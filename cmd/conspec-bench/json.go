@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"conspec/internal/attack"
+	"conspec/internal/core"
+	"conspec/internal/exp"
+)
+
+// jsonFig5Row is one benchmark's normalized runtimes.
+type jsonFig5Row struct {
+	Benchmark string  `json:"benchmark"`
+	Baseline  float64 `json:"baseline"`
+	CacheHit  float64 `json:"cachehit"`
+	TPBuf     float64 `json:"tpbuf"`
+}
+
+// jsonTable5Row is one benchmark's filter analysis.
+type jsonTable5Row struct {
+	Benchmark       string  `json:"benchmark"`
+	L1HitRate       float64 `json:"l1_hit_rate"`
+	BaselineBlocked float64 `json:"baseline_blocked_rate"`
+	CacheHitBlocked float64 `json:"cachehit_blocked_rate"`
+	SpecHitRate     float64 `json:"speculative_hit_rate"`
+	TPBufBlocked    float64 `json:"tpbuf_blocked_rate"`
+	MismatchRate    float64 `json:"spattern_mismatch_rate"`
+}
+
+// jsonAttackRow is one Table IV cell.
+type jsonAttackRow struct {
+	Scenario  string `json:"scenario"`
+	Class     string `json:"class,omitempty"`
+	Mechanism string `json:"mechanism"`
+	Correct   int    `json:"bytes_recovered"`
+	Total     int    `json:"bytes_total"`
+	Leaked    bool   `json:"leaked"`
+}
+
+// jsonReport aggregates whatever suites ran.
+type jsonReport struct {
+	Fig5   []jsonFig5Row   `json:"fig5,omitempty"`
+	Table5 []jsonTable5Row `json:"table5,omitempty"`
+	Table4 []jsonAttackRow `json:"table4,omitempty"`
+}
+
+func fig5JSON(ev *exp.Evaluation) []jsonFig5Row {
+	rows := make([]jsonFig5Row, 0, len(ev.Benches))
+	for _, b := range ev.Benches {
+		rows = append(rows, jsonFig5Row{
+			Benchmark: b.Name,
+			Baseline:  1 + b.Overhead(core.Baseline),
+			CacheHit:  1 + b.Overhead(core.CacheHit),
+			TPBuf:     1 + b.Overhead(core.CacheHitTPBuf),
+		})
+	}
+	return rows
+}
+
+func table5JSON(ev *exp.Evaluation) []jsonTable5Row {
+	rows := make([]jsonTable5Row, 0, len(ev.Benches))
+	for _, b := range ev.Benches {
+		rows = append(rows, jsonTable5Row{
+			Benchmark:       b.Name,
+			L1HitRate:       b.Results[core.Origin].L1D.HitRate(),
+			BaselineBlocked: b.Results[core.Baseline].Filter.BlockedRate(),
+			CacheHitBlocked: b.Results[core.CacheHit].Filter.BlockedRate(),
+			SpecHitRate:     b.Results[core.CacheHit].Filter.SpecHitRate(),
+			TPBufBlocked:    b.Results[core.CacheHitTPBuf].Filter.BlockedRate(),
+			MismatchRate:    b.Results[core.CacheHitTPBuf].TPBuf.MismatchRate(),
+		})
+	}
+	return rows
+}
+
+func table4JSON(outcomes []attack.Outcome) []jsonAttackRow {
+	rows := make([]jsonAttackRow, 0, len(outcomes))
+	for _, o := range outcomes {
+		rows = append(rows, jsonAttackRow{
+			Scenario:  o.Scenario,
+			Mechanism: o.Mechanism,
+			Correct:   o.Correct,
+			Total:     len(o.Secret),
+			Leaked:    o.Leaked,
+		})
+	}
+	return rows
+}
+
+func emitJSON(r jsonReport) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,145 @@
+// Command conspec-bench regenerates the paper's evaluation artifacts:
+//
+//	-suite fig5     Figure 5  (normalized performance, 22 benchmarks)
+//	-suite table4   Table IV  (security: attacks vs mechanisms)
+//	-suite table5   Table V   (filter analysis)
+//	-suite table6   Table VI  (A57/I7/Xeon sensitivity)
+//	-suite scope    §VI.C(1)  (branch-only vs branch+memory matrix)
+//	-suite lru      §VII.A    (secure replacement-update policies)
+//	-suite icache   §VII.B    (ICache-hit filter extension)
+//	-suite compare  extension (CH+TPBuf vs InvisiSpec-like vs LFENCE baseline)
+//	-suite overhead §VI.E     (area/timing model)
+//	-suite all      everything above
+//
+// Figure 5 and Table V come from the same runs and are always printed
+// together. Use -benches to restrict to a comma-separated subset and
+// -measure to change the per-run instruction budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"conspec/internal/config"
+	"conspec/internal/exp"
+)
+
+func main() {
+	var (
+		suite   = flag.String("suite", "all", "fig5|table4|table5|table6|scope|lru|icache|dtlb|compare|overhead|all")
+		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all 22)")
+		warmup  = flag.Uint64("warmup", 20_000, "warmup instructions per run")
+		measure = flag.Uint64("measure", 120_000, "measured instructions per run")
+		verbose = flag.Bool("v", false, "print per-run progress")
+		asJSON  = flag.Bool("json", false, "emit fig5/table5/table4 results as JSON instead of text")
+	)
+	flag.Parse()
+
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	spec := exp.DefaultSpec()
+	spec.Warmup = *warmup
+	spec.Measure = *measure
+
+	progress := func(string) {}
+	if *verbose {
+		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	want := func(s string) bool { return *suite == "all" || *suite == s }
+	start := time.Now()
+
+	var report jsonReport
+	if want("fig5") || want("table5") {
+		ev, err := exp.RunEvaluation(spec, names, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			report.Fig5 = fig5JSON(ev)
+			report.Table5 = table5JSON(ev)
+		} else {
+			fmt.Println("=== Figure 5: runtime normalized to Origin ===")
+			fmt.Println(ev.Fig5Text())
+			fmt.Println("=== Table V: filter analysis ===")
+			fmt.Println(ev.Table5Text())
+		}
+	}
+	if want("table4") {
+		cfg := config.PaperCore()
+		cfg.Mem.L2Size = 256 * 1024
+		cfg.Mem.L3Size = 1024 * 1024
+		outcomes := exp.RunTable4(cfg, progress)
+		if *asJSON {
+			report.Table4 = table4JSON(outcomes)
+		} else {
+			fmt.Println("=== Table IV: security analysis ===")
+			fmt.Println(exp.Table4Text(outcomes))
+		}
+	}
+	if want("table6") {
+		cores, err := exp.RunTable6(spec, names, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("=== Table VI: core sensitivity ===")
+		fmt.Println(exp.Table6Text(cores))
+	}
+	if want("scope") {
+		r, err := exp.RunScope(spec, names, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("=== §VI.C(1): matrix scope decomposition ===")
+		fmt.Println(exp.ScopeText(r))
+	}
+	if want("lru") {
+		r, err := exp.RunLRU(spec, names, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("=== §VII.A: secure replacement-update policies ===")
+		fmt.Println(exp.LRUText(r))
+	}
+	if want("icache") {
+		r, err := exp.RunICache(spec, names, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("=== §VII.B: ICache-hit filter extension ===")
+		fmt.Println(exp.ICacheText(r))
+	}
+	if want("dtlb") {
+		r, err := exp.RunDTLBFilter(spec, names, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("=== DTLB-hit filter extension ===")
+		fmt.Println(exp.DTLBText(r))
+	}
+	if want("compare") {
+		r, err := exp.RunComparison(spec, names, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("=== Defense comparison: CH+TPBuf vs InvisiSpec vs SW fence ===")
+		fmt.Println(exp.CompareText(r))
+	}
+	if want("overhead") {
+		fmt.Println("=== §VI.E: hardware overhead model ===")
+		fmt.Println(exp.OverheadText())
+	}
+	if *asJSON {
+		emitJSON(report)
+	}
+	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command conspec-sim runs one synthetic benchmark on one simulated core
+// under one Conditional Speculation mechanism and prints the detailed
+// statistics: cycles, IPC, cache behaviour, and the security-filter
+// counters behind Table V.
+//
+// Usage:
+//
+//	conspec-sim -list
+//	conspec-sim -bench lbm -mech tpbuf
+//	conspec-sim -bench astar -mech baseline -core xeon -measure 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"conspec/internal/config"
+	"conspec/internal/core"
+	"conspec/internal/exp"
+	"conspec/internal/mem"
+	"conspec/internal/pipeline"
+	"conspec/internal/workload"
+)
+
+func coreByName(name string) (config.Core, bool) {
+	switch strings.ToLower(name) {
+	case "paper", "":
+		return config.PaperCore(), true
+	case "a57", "a57-like":
+		return config.A57Like(), true
+	case "i7", "i7-like":
+		return config.I7Like(), true
+	case "xeon", "xeon-like":
+		return config.XeonLike(), true
+	}
+	return config.Core{}, false
+}
+
+func mechByName(name string) (core.Mechanism, bool) {
+	switch strings.ToLower(name) {
+	case "origin", "":
+		return core.Origin, true
+	case "baseline":
+		return core.Baseline, true
+	case "cachehit", "cache-hit":
+		return core.CacheHit, true
+	case "tpbuf", "cachehit+tpbuf":
+		return core.CacheHitTPBuf, true
+	}
+	return 0, false
+}
+
+func lruByName(name string) (mem.UpdatePolicy, bool) {
+	switch strings.ToLower(name) {
+	case "always", "":
+		return mem.UpdateAlways, true
+	case "noupdate", "no-update":
+		return mem.UpdateNoSpec, true
+	case "delayed", "delayed-update":
+		return mem.UpdateDelayed, true
+	}
+	return 0, false
+}
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		bench   = flag.String("bench", "", "benchmark name (see -list)")
+		mech    = flag.String("mech", "origin", "mechanism: origin|baseline|cachehit|tpbuf")
+		coreF   = flag.String("core", "paper", "core: paper|a57|i7|xeon")
+		scope   = flag.String("scope", "full", "matrix scope: full|branch-only")
+		icache  = flag.Bool("icache", false, "enable the §VII.B ICache-hit filter")
+		lru     = flag.String("lru", "always", "L1D update policy: always|noupdate|delayed")
+		ssbd    = flag.Bool("ssbd", false, "disable speculative store bypass (V4 mitigation)")
+		dtlbF   = flag.Bool("dtlbfilter", false, "enable the DTLB-hit filter extension")
+		warmup  = flag.Uint64("warmup", 20_000, "warmup instructions")
+		measure = flag.Uint64("measure", 120_000, "measured instructions")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Profiles() {
+			fmt.Printf("%-12s paper L1 hit %.1f%%\n", p.Name, 100*p.PaperL1HitRate)
+		}
+		return
+	}
+
+	prof, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(2)
+	}
+	cfg, ok := coreByName(*coreF)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown core %q\n", *coreF)
+		os.Exit(2)
+	}
+	m, ok := mechByName(*mech)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown mechanism %q\n", *mech)
+		os.Exit(2)
+	}
+	pol, ok := lruByName(*lru)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown lru policy %q\n", *lru)
+		os.Exit(2)
+	}
+	sc := core.ScopeBranchMem
+	if *scope == "branch-only" {
+		sc = core.ScopeBranchOnly
+	}
+
+	w, err := workload.Generate(prof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec := exp.RunSpec{
+		Core: cfg,
+		Sec: pipeline.SecurityConfig{Mechanism: m, Scope: sc,
+			ICacheFilter: *icache, SSBD: *ssbd, DTLBFilter: *dtlbF},
+		L1DUpdate: pol,
+		Warmup:    *warmup,
+		Measure:   *measure,
+	}
+	res := exp.RunWorkload(w, spec)
+
+	fmt.Printf("benchmark   : %s on %s\n", prof.Name, cfg.Name)
+	fmt.Printf("mechanism   : %v (scope %v, icache-filter %v, lru %v)\n", m, sc, *icache, pol)
+	fmt.Printf("instructions: %d (after %d warmup)\n", res.Committed, *warmup)
+	fmt.Printf("cycles      : %d  (IPC %.3f)\n", res.Cycles, res.IPC())
+	fmt.Printf("L1D         : %.2f%% hit (%d accesses)\n", 100*res.L1D.HitRate(), res.L1D.Accesses)
+	fmt.Printf("L1I         : %.2f%% hit\n", 100*res.L1I.HitRate())
+	fmt.Printf("branches    : %.2f%% mispredicted (%d predicts)\n",
+		100*res.Branch.MispredictRate(), res.Branch.CondPredicts)
+	fmt.Printf("squashes    : %d (%d memory-order violations)\n", res.Squashes, res.MemViolations)
+	if m.TracksDependence() {
+		fmt.Printf("suspect     : %d issued, %.2f%% hit L1D\n",
+			res.Filter.SuspectIssued, 100*res.Filter.SpecHitRate())
+		fmt.Printf("blocked     : %.2f%% of committed memory instructions (%d events)\n",
+			100*res.Filter.BlockedRate(), res.Filter.BlockedEvents)
+	}
+	if m.UsesTPBuf() {
+		fmt.Printf("TPBuf       : %d queries, %.2f%% S-Pattern mismatch (safe)\n",
+			res.TPBuf.Queries, 100*res.TPBuf.MismatchRate())
+	}
+	if *icache {
+		fmt.Printf("icache-stall: %d fetch stalls from the ICache-hit filter\n",
+			res.FetchStallsICacheFilter)
+	}
+}

@@ -1,0 +1,73 @@
+// Workload study: sweep a synthetic profile's hot fraction — the knob that
+// controls the L1D hit rate — and watch how each mechanism's cost responds.
+// This is the relationship the paper's §VI.C(2) analysis is built on: the
+// cache-hit filter's benefit tracks the hit rate, and TPBuf's additional
+// benefit tracks the S-Pattern mismatch rate of what remains.
+//
+//	go run ./examples/workload_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"conspec/internal/core"
+	"conspec/internal/exp"
+	"conspec/internal/pipeline"
+	"conspec/internal/workload"
+)
+
+func main() {
+	base := workload.Profile{
+		Name:      "study",
+		HotBytes:  32 * 1024,
+		ColdBytes: 32 * 1024 * 1024,
+		// Page-local cold streaming: high S-Pattern mismatch, so TPBuf has
+		// something to rescue at the low-hit end of the sweep.
+		ColdPattern:         workload.ColdSeq,
+		ColdStride:          48,
+		StoreFrac:           0.3,
+		MemBlocks:           8,
+		ChainDepth:          1,
+		PhaseLen:            16,
+		ColdDepFrac:         0.25,
+		PredictableBranches: 1,
+	}
+
+	fmt.Printf("%-8s %-8s %-10s %-10s %-10s %-12s\n",
+		"HotFrac", "L1D hit", "Baseline", "Cache-hit", "CH+TPBuf", "TP mismatch")
+	for _, hot := range []float64{0.10, 0.30, 0.50, 0.70, 0.90, 0.99} {
+		p := base
+		p.HotFrac = hot
+		w, err := workload.Generate(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec := exp.DefaultSpec()
+		spec.Warmup, spec.Measure = 10_000, 60_000
+
+		results := map[core.Mechanism]pipelineResult{}
+		for _, m := range core.Mechanisms {
+			s := spec
+			s.Sec = pipeline.SecurityConfig{Mechanism: m}
+			res := exp.RunWorkload(w, s)
+			results[m] = pipelineResult{cycles: res.Cycles,
+				hit: res.L1D.HitRate(), mismatch: res.TPBuf.MismatchRate()}
+		}
+		origin := float64(results[core.Origin].cycles)
+		fmt.Printf("%-8.2f %-8.1f %-10.3f %-10.3f %-10.3f %-12.1f\n",
+			hot,
+			100*results[core.Origin].hit,
+			float64(results[core.Baseline].cycles)/origin,
+			float64(results[core.CacheHit].cycles)/origin,
+			float64(results[core.CacheHitTPBuf].cycles)/origin,
+			100*results[core.CacheHitTPBuf].mismatch)
+	}
+	fmt.Println("\ncolumns 3-5 are runtime normalized to Origin (lower is better)")
+}
+
+type pipelineResult struct {
+	cycles   uint64
+	hit      float64
+	mismatch float64
+}

@@ -1,0 +1,3 @@
+module conspec
+
+go 1.22

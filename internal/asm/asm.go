@@ -1,0 +1,454 @@
+// Package asm provides a two-pass programmatic assembler for the conspec
+// ISA. Workload generators and Spectre gadgets are written against the
+// Builder API: instructions are appended with forward-referencable labels,
+// and Assemble resolves branch offsets and lays the program out in memory.
+//
+// A small text front end (ParseText) accepts the same mnemonics the
+// disassembler prints, so examples and tests can embed readable listings.
+package asm
+
+import (
+	"fmt"
+
+	"conspec/internal/isa"
+)
+
+// Reg is an architectural register number (0..31). Register 0 reads as zero.
+type Reg = uint8
+
+// Conventional register roles used by generated code. These are pure
+// conventions; the hardware treats all registers except x0 identically.
+const (
+	Zero Reg = 0 // hard-wired zero
+	RA   Reg = 1 // return address / link
+	SP   Reg = 2 // stack pointer (unused by generators, reserved)
+	T0   Reg = 5 // temporaries
+	T1   Reg = 6
+	T2   Reg = 7
+	T3   Reg = 28
+	T4   Reg = 29
+	T5   Reg = 30
+	T6   Reg = 31
+	A0   Reg = 10 // argument/result registers
+	A1   Reg = 11
+	A2   Reg = 12
+	A3   Reg = 13
+	A4   Reg = 14
+	A5   Reg = 15
+	S0   Reg = 8 // saved registers: generators keep loop state here
+	S1   Reg = 9
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+)
+
+// Label names a program position. Labels may be referenced before they are
+// bound; Assemble reports any label that is referenced but never bound.
+type Label string
+
+type fixupKind int
+
+const (
+	fixBranch fixupKind = iota // PC-relative byte offset into Imm
+	fixAbs                     // absolute address via a 5-instruction li sequence
+)
+
+type fixup struct {
+	index int   // instruction index whose Imm needs the offset
+	label Label // target
+	kind  fixupKind
+}
+
+// Builder accumulates instructions and resolves labels at Assemble time.
+// The zero value is ready to use.
+type Builder struct {
+	insts  []isa.Inst
+	labels map[Label]int // label -> instruction index
+	fixups []fixup
+	err    error
+
+	// Initialized data regions (.data/.word/.byte/.ascii directives and the
+	// DataAt/Word/Byte/Ascii builder methods).
+	data       map[uint64][]byte
+	dataCursor uint64
+	dataActive bool
+}
+
+// New returns an empty Builder.
+func New() *Builder { return &Builder{labels: make(map[Label]int)} }
+
+func (b *Builder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.insts) }
+
+// PCOf returns the address of label given the program base address.
+// It is only valid after the label is bound.
+func (b *Builder) PCOf(base uint64, l Label) (uint64, bool) {
+	idx, ok := b.labels[l]
+	if !ok {
+		return 0, false
+	}
+	return base + uint64(idx)*isa.InstBytes, true
+}
+
+// Raw appends a pre-built instruction verbatim.
+func (b *Builder) Raw(in isa.Inst) *Builder {
+	b.insts = append(b.insts, in)
+	return b
+}
+
+// Bind attaches the label to the next emitted instruction.
+func (b *Builder) Bind(l Label) *Builder {
+	if b.labels == nil {
+		b.labels = make(map[Label]int)
+	}
+	if _, dup := b.labels[l]; dup {
+		b.setErr(fmt.Errorf("asm: label %q bound twice", l))
+		return b
+	}
+	b.labels[l] = len(b.insts)
+	return b
+}
+
+func (b *Builder) ref(l Label) {
+	b.fixups = append(b.fixups, fixup{index: len(b.insts) - 1, label: l})
+}
+
+// --- Data emitters ----------------------------------------------------------
+
+// DataAt positions the data cursor; subsequent Word/Byte/Ascii calls write
+// consecutively from addr. Data is materialized by Program.Load.
+func (b *Builder) DataAt(addr uint64) *Builder {
+	if b.data == nil {
+		b.data = make(map[uint64][]byte)
+	}
+	b.dataCursor = addr
+	b.dataActive = true
+	b.data[addr] = b.data[addr] // ensure region exists
+	return b
+}
+
+func (b *Builder) appendData(bytes ...byte) {
+	if !b.dataActive {
+		b.setErr(fmt.Errorf("asm: data emitted before DataAt/.data"))
+		return
+	}
+	// Find the region the cursor extends (regions are keyed by start).
+	for start, blob := range b.data {
+		if start+uint64(len(blob)) == b.dataCursor {
+			b.data[start] = append(blob, bytes...)
+			b.dataCursor += uint64(len(bytes))
+			return
+		}
+	}
+	b.data[b.dataCursor] = append([]byte(nil), bytes...)
+	b.dataCursor += uint64(len(bytes))
+}
+
+// Word emits a little-endian 64-bit value at the data cursor.
+func (b *Builder) Word(v uint64) *Builder {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	b.appendData(buf[:]...)
+	return b
+}
+
+// Byte emits one byte at the data cursor.
+func (b *Builder) Byte(v byte) *Builder {
+	b.appendData(v)
+	return b
+}
+
+// Ascii emits the string's bytes (no terminator) at the data cursor.
+func (b *Builder) Ascii(s string) *Builder {
+	b.appendData([]byte(s)...)
+	return b
+}
+
+// --- Instruction emitters -------------------------------------------------
+
+// Nop appends a no-op.
+func (b *Builder) Nop() *Builder { return b.Raw(isa.Inst{Op: isa.OpNop}) }
+
+// Halt appends a halt.
+func (b *Builder) Halt() *Builder { return b.Raw(isa.Inst{Op: isa.OpHalt}) }
+
+// Fence appends a speculation barrier.
+func (b *Builder) Fence() *Builder { return b.Raw(isa.Inst{Op: isa.OpFence}) }
+
+// Rdcycle appends rd = cycle.
+func (b *Builder) Rdcycle(rd Reg) *Builder {
+	return b.Raw(isa.Inst{Op: isa.OpRdcycle, Rd: rd})
+}
+
+// R appends a register-register ALU operation rd = rs1 op rs2.
+func (b *Builder) R(op isa.Op, rd, rs1, rs2 Reg) *Builder {
+	return b.Raw(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// I appends a register-immediate ALU operation rd = rs1 op imm.
+func (b *Builder) I(op isa.Op, rd, rs1 Reg, imm int32) *Builder {
+	return b.Raw(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Add appends rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 Reg) *Builder { return b.R(isa.OpAdd, rd, rs1, rs2) }
+
+// Sub appends rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 Reg) *Builder { return b.R(isa.OpSub, rd, rs1, rs2) }
+
+// And appends rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 Reg) *Builder { return b.R(isa.OpAnd, rd, rs1, rs2) }
+
+// Or appends rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 Reg) *Builder { return b.R(isa.OpOr, rd, rs1, rs2) }
+
+// Xor appends rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 Reg) *Builder { return b.R(isa.OpXor, rd, rs1, rs2) }
+
+// Mul appends rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 Reg) *Builder { return b.R(isa.OpMul, rd, rs1, rs2) }
+
+// Div appends rd = rs1 / rs2 (signed).
+func (b *Builder) Div(rd, rs1, rs2 Reg) *Builder { return b.R(isa.OpDiv, rd, rs1, rs2) }
+
+// Addi appends rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 Reg, imm int32) *Builder { return b.I(isa.OpAddi, rd, rs1, imm) }
+
+// Andi appends rd = rs1 & imm.
+func (b *Builder) Andi(rd, rs1 Reg, imm int32) *Builder { return b.I(isa.OpAndi, rd, rs1, imm) }
+
+// Shli appends rd = rs1 << imm.
+func (b *Builder) Shli(rd, rs1 Reg, imm int32) *Builder { return b.I(isa.OpShli, rd, rs1, imm) }
+
+// Shri appends rd = rs1 >> imm (logical).
+func (b *Builder) Shri(rd, rs1 Reg, imm int32) *Builder { return b.I(isa.OpShri, rd, rs1, imm) }
+
+// Li appends rd = sign-extended 32-bit imm.
+func (b *Builder) Li(rd Reg, imm int32) *Builder {
+	return b.Raw(isa.Inst{Op: isa.OpLi, Rd: rd, Imm: imm})
+}
+
+// Li64 loads an arbitrary 64-bit constant, expanding to up to four
+// instructions (li + shli + ori pairs). Values representable as a
+// sign-extended 32-bit immediate expand to a single li.
+func (b *Builder) Li64(rd Reg, v uint64) *Builder {
+	if int64(int32(v)) == int64(v) {
+		return b.Li(rd, int32(v))
+	}
+	// Build top-down: the high 32 bits via li (its sign extension is shifted
+	// out by the two 16-bit shifts below), then OR in two 16-bit chunks.
+	b.Li(rd, int32(v>>32))
+	b.Shli(rd, rd, 16)
+	if mid := int32((v >> 16) & 0xFFFF); mid != 0 {
+		b.I(isa.OpOri, rd, rd, mid)
+	}
+	b.Shli(rd, rd, 16)
+	if lo := int32(v & 0xFFFF); lo != 0 {
+		b.I(isa.OpOri, rd, rd, lo)
+	}
+	return b
+}
+
+// LiAddr loads the absolute address of a label into rd. It always expands
+// to exactly five instructions (li hi32; shl 16; ori mid16; shl 16; ori
+// lo16) so the immediates can be patched at Assemble time once the label's
+// address is known. Attack gadget trainers use it to materialize code
+// addresses (e.g. the Spectre V2 gadget entry).
+func (b *Builder) LiAddr(rd Reg, target Label) *Builder {
+	b.Li(rd, 0)
+	b.Shli(rd, rd, 16)
+	b.I(isa.OpOri, rd, rd, 0)
+	b.Shli(rd, rd, 16)
+	b.I(isa.OpOri, rd, rd, 0)
+	b.fixups = append(b.fixups, fixup{index: b.Len() - 5, label: target, kind: fixAbs})
+	return b
+}
+
+// PadTo appends NOPs until exactly n instructions have been emitted. It is
+// used to place code at controlled addresses (e.g. a branch that aliases a
+// victim's BTB entry). It is an error to have already passed n.
+func (b *Builder) PadTo(n int) *Builder {
+	if b.Len() > n {
+		b.setErr(fmt.Errorf("asm: PadTo(%d) but %d instructions already emitted", n, b.Len()))
+		return b
+	}
+	for b.Len() < n {
+		b.Nop()
+	}
+	return b
+}
+
+// Ld appends rd = mem64[rs1+imm].
+func (b *Builder) Ld(rd, rs1 Reg, imm int32) *Builder {
+	return b.Raw(isa.Inst{Op: isa.OpLd, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Ld1 appends rd = zero-extended mem8[rs1+imm].
+func (b *Builder) Ld1(rd, rs1 Reg, imm int32) *Builder {
+	return b.Raw(isa.Inst{Op: isa.OpLd1, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// St appends mem64[rs1+imm] = rs2.
+func (b *Builder) St(rs2, rs1 Reg, imm int32) *Builder {
+	return b.Raw(isa.Inst{Op: isa.OpSt, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// St1 appends mem8[rs1+imm] = low byte of rs2.
+func (b *Builder) St1(rs2, rs1 Reg, imm int32) *Builder {
+	return b.Raw(isa.Inst{Op: isa.OpSt1, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Clflush appends a line flush of address rs1+imm.
+func (b *Builder) Clflush(rs1 Reg, imm int32) *Builder {
+	return b.Raw(isa.Inst{Op: isa.OpClflush, Rs1: rs1, Imm: imm})
+}
+
+// Branch appends a conditional branch to label.
+func (b *Builder) Branch(op isa.Op, rs1, rs2 Reg, target Label) *Builder {
+	if !op.IsCondBranch() {
+		b.setErr(fmt.Errorf("asm: Branch with non-branch opcode %v", op))
+		return b
+	}
+	b.Raw(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2})
+	b.ref(target)
+	return b
+}
+
+// Beq appends branch-if-equal to label.
+func (b *Builder) Beq(rs1, rs2 Reg, l Label) *Builder { return b.Branch(isa.OpBeq, rs1, rs2, l) }
+
+// Bne appends branch-if-not-equal to label.
+func (b *Builder) Bne(rs1, rs2 Reg, l Label) *Builder { return b.Branch(isa.OpBne, rs1, rs2, l) }
+
+// Blt appends branch-if-signed-less to label.
+func (b *Builder) Blt(rs1, rs2 Reg, l Label) *Builder { return b.Branch(isa.OpBlt, rs1, rs2, l) }
+
+// Bge appends branch-if-signed-greater-or-equal to label.
+func (b *Builder) Bge(rs1, rs2 Reg, l Label) *Builder { return b.Branch(isa.OpBge, rs1, rs2, l) }
+
+// Bltu appends branch-if-unsigned-less to label.
+func (b *Builder) Bltu(rs1, rs2 Reg, l Label) *Builder { return b.Branch(isa.OpBltu, rs1, rs2, l) }
+
+// Bgeu appends branch-if-unsigned-greater-or-equal to label.
+func (b *Builder) Bgeu(rs1, rs2 Reg, l Label) *Builder { return b.Branch(isa.OpBgeu, rs1, rs2, l) }
+
+// Jal appends a direct jump-and-link to label.
+func (b *Builder) Jal(rd Reg, target Label) *Builder {
+	b.Raw(isa.Inst{Op: isa.OpJal, Rd: rd})
+	b.ref(target)
+	return b
+}
+
+// Jmp appends an unconditional direct jump (jal x0).
+func (b *Builder) Jmp(target Label) *Builder { return b.Jal(Zero, target) }
+
+// Jalr appends an indirect jump to rs1+imm, linking into rd.
+func (b *Builder) Jalr(rd, rs1 Reg, imm int32) *Builder {
+	return b.Raw(isa.Inst{Op: isa.OpJalr, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Ret appends a return through RA (jalr x0, 0(ra)).
+func (b *Builder) Ret() *Builder { return b.Jalr(Zero, RA, 0) }
+
+// --- Assembly --------------------------------------------------------------
+
+// Program is an assembled instruction sequence ready to be loaded.
+type Program struct {
+	Base  uint64
+	Insts []isa.Inst
+	// Symbols maps bound labels to absolute addresses.
+	Symbols map[Label]uint64
+	// Data holds initialized data regions keyed by absolute start address.
+	Data map[uint64][]byte
+}
+
+// Assemble resolves all label references against base and returns the
+// program. The builder remains usable (more code may be appended and
+// Assemble called again).
+func (b *Builder) Assemble(base uint64) (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	insts := make([]isa.Inst, len(b.insts))
+	copy(insts, b.insts)
+	for _, f := range b.fixups {
+		ti, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		switch f.kind {
+		case fixAbs:
+			addr := base + uint64(ti)*isa.InstBytes
+			if addr >= 1<<47 {
+				return nil, fmt.Errorf("asm: address of %q too large for LiAddr", f.label)
+			}
+			insts[f.index].Imm = int32(addr >> 32)
+			insts[f.index+2].Imm = int32((addr >> 16) & 0xFFFF)
+			insts[f.index+4].Imm = int32(addr & 0xFFFF)
+		default:
+			off := int64(ti-f.index) * isa.InstBytes
+			if int64(int32(off)) != off {
+				return nil, fmt.Errorf("asm: branch to %q out of range", f.label)
+			}
+			insts[f.index].Imm = int32(off)
+		}
+	}
+	syms := make(map[Label]uint64, len(b.labels))
+	for l, i := range b.labels {
+		syms[l] = base + uint64(i)*isa.InstBytes
+	}
+	data := make(map[uint64][]byte, len(b.data))
+	for addr, blob := range b.data {
+		if len(blob) > 0 {
+			data[addr] = append([]byte(nil), blob...)
+		}
+	}
+	return &Program{Base: base, Insts: insts, Symbols: syms, Data: data}, nil
+}
+
+// MustAssemble is Assemble but panics on error; for tests and generators
+// whose input is program-controlled.
+func (b *Builder) MustAssemble(base uint64) *Program {
+	p, err := b.Assemble(base)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Load writes the encoded program and its data regions into memory.
+func (p *Program) Load(mem isa.Memory) {
+	for i, in := range p.Insts {
+		mem.Write(p.Base+uint64(i)*isa.InstBytes, isa.InstBytes, isa.Encode(in))
+	}
+	for addr, blob := range p.Data {
+		for i, c := range blob {
+			mem.Write(addr+uint64(i), 1, uint64(c))
+		}
+	}
+}
+
+// End returns the address one past the last instruction.
+func (p *Program) End() uint64 {
+	return p.Base + uint64(len(p.Insts))*isa.InstBytes
+}
+
+// Listing renders the program as text with addresses, for debugging.
+func (p *Program) Listing() string {
+	out := ""
+	for i, in := range p.Insts {
+		out += fmt.Sprintf("%#08x: %v\n", p.Base+uint64(i)*isa.InstBytes, in)
+	}
+	return out
+}

@@ -1,0 +1,422 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"conspec/internal/isa"
+)
+
+// runProgram assembles, loads and interprets a builder's program.
+func runProgram(t *testing.T, b *Builder, base uint64, maxInsts uint64) *isa.Interp {
+	t.Helper()
+	p, err := b.Assemble(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := isa.NewFlatMem()
+	p.Load(mem)
+	in := isa.NewInterp(mem, base)
+	if _, err := in.Run(maxInsts); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Halted {
+		t.Fatal("program did not halt")
+	}
+	return in
+}
+
+func TestBuilderLoopSum(t *testing.T) {
+	b := New()
+	b.Li(S0, 0)  // sum
+	b.Li(S1, 1)  // i
+	b.Li(S2, 10) // n
+	b.Bind("loop")
+	b.Add(S0, S0, S1)
+	b.Addi(S1, S1, 1)
+	b.Bge(S2, S1, "loop")
+	b.Halt()
+	in := runProgram(t, b, 0x1000, 1000)
+	if in.Regs[S0] != 55 {
+		t.Fatalf("sum = %d, want 55", in.Regs[S0])
+	}
+}
+
+func TestBuilderForwardLabel(t *testing.T) {
+	b := New()
+	b.Li(T0, 1)
+	b.Beq(T0, T0, "skip") // always taken, forward
+	b.Li(T1, 99)          // skipped
+	b.Bind("skip")
+	b.Li(T2, 7)
+	b.Halt()
+	in := runProgram(t, b, 0, 100)
+	if in.Regs[T1] != 0 || in.Regs[T2] != 7 {
+		t.Fatalf("t1=%d t2=%d, want 0 and 7", in.Regs[T1], in.Regs[T2])
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := New()
+	b.Jmp("nowhere").Halt()
+	if _, err := b.Assemble(0); err == nil {
+		t.Fatal("expected undefined-label error")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := New()
+	b.Bind("x").Nop().Bind("x").Halt()
+	if _, err := b.Assemble(0); err == nil {
+		t.Fatal("expected duplicate-label error")
+	}
+}
+
+func TestBuilderCallRet(t *testing.T) {
+	b := New()
+	b.Jal(RA, "fn")
+	b.Addi(T1, T0, 1)
+	b.Halt()
+	b.Bind("fn")
+	b.Li(T0, 41)
+	b.Ret()
+	in := runProgram(t, b, 0x2000, 100)
+	if in.Regs[T1] != 42 {
+		t.Fatalf("t1 = %d, want 42", in.Regs[T1])
+	}
+}
+
+func TestLi64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := New()
+		b.Li64(A0, v)
+		b.Halt()
+		p, err := b.Assemble(0)
+		if err != nil {
+			return false
+		}
+		mem := isa.NewFlatMem()
+		p.Load(mem)
+		in := isa.NewInterp(mem, 0)
+		if _, err := in.Run(20); err != nil {
+			return false
+		}
+		return in.Regs[A0] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLi64SpecificValues(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xFFFF, 0x7FFFFFFF, 0x80000000,
+		0xFFFFFFFF, 0x100000000, 0xDEADBEEFCAFEBABE, ^uint64(0),
+		1 << 63, 0x0000FFFF00000000} {
+		b := New()
+		b.Li64(A0, v).Halt()
+		p := b.MustAssemble(0)
+		mem := isa.NewFlatMem()
+		p.Load(mem)
+		in := isa.NewInterp(mem, 0)
+		if _, err := in.Run(20); err != nil {
+			t.Fatal(err)
+		}
+		if in.Regs[A0] != v {
+			t.Errorf("Li64(%#x) produced %#x", v, in.Regs[A0])
+		}
+	}
+}
+
+func TestLi64SmallIsOneInst(t *testing.T) {
+	b := New()
+	b.Li64(A0, 42)
+	if b.Len() != 1 {
+		t.Fatalf("Li64(42) expanded to %d instructions, want 1", b.Len())
+	}
+	b2 := New()
+	b2.Li64(A0, ^uint64(4)) // -5: sign-extended 32-bit imm
+	if b2.Len() != 1 {
+		t.Fatalf("Li64(-5) expanded to %d instructions, want 1", b2.Len())
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	b := New()
+	b.Nop().Bind("here").Halt()
+	p := b.MustAssemble(0x4000)
+	if got := p.Symbols["here"]; got != 0x4008 {
+		t.Fatalf("symbol = %#x, want 0x4008", got)
+	}
+	if pc, ok := b.PCOf(0x4000, "here"); !ok || pc != 0x4008 {
+		t.Fatalf("PCOf = %#x,%v", pc, ok)
+	}
+	if _, ok := b.PCOf(0, "missing"); ok {
+		t.Fatal("PCOf must report unbound labels")
+	}
+}
+
+func TestProgramEndAndListing(t *testing.T) {
+	b := New()
+	b.Nop().Nop().Halt()
+	p := b.MustAssemble(0x100)
+	if p.End() != 0x100+3*isa.InstBytes {
+		t.Fatalf("End = %#x", p.End())
+	}
+	if p.Listing() == "" {
+		t.Fatal("empty listing")
+	}
+}
+
+func TestParseTextBasics(t *testing.T) {
+	b, err := ParseText(`
+		# sum 1..n
+		li   s0, 0
+		li   s1, 1
+		li   s2, 10
+	loop:
+		add  s0, s0, s1
+		addi s1, s1, 1
+		bge  s2, s1, loop   ; keep going
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := runProgram(t, b, 0x1000, 1000)
+	if in.Regs[S0] != 55 {
+		t.Fatalf("sum = %d, want 55", in.Regs[S0])
+	}
+}
+
+func TestParseTextMemoryForms(t *testing.T) {
+	b, err := ParseText(`
+		li   a0, 0x2000
+		li   a1, 0xAB
+		st   a1, 16(a0)
+		ld   a2, 16(a0)
+		st1  a2, (a0)
+		ld1  a3, 0(a0)
+		clflush 16(a0)
+		rdcycle a4
+		fence
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := runProgram(t, b, 0, 100)
+	if in.Regs[A2] != 0xAB || in.Regs[A3] != 0xAB {
+		t.Fatalf("a2=%#x a3=%#x, want 0xAB", in.Regs[A2], in.Regs[A3])
+	}
+}
+
+func TestParseTextJumps(t *testing.T) {
+	b, err := ParseText(`
+		jal  ra, fn
+		addi t1, t0, 1
+		halt
+	fn: li   t0, 9
+		jalr x0, 0(ra)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := runProgram(t, b, 0, 100)
+	if in.Regs[T1] != 10 {
+		t.Fatalf("t1 = %d, want 10", in.Regs[T1])
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, src := range []string{
+		"bogus x1, x2, x3",
+		"add x1, x2",
+		"ld x1, x2",       // not a memory operand
+		"li x99, 0",       // bad register
+		"beq x1, x2",      // missing target
+		"addi x1, x2, zz", // bad immediate
+	} {
+		if _, err := ParseText(src); err == nil {
+			t.Errorf("ParseText(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseTextImm64(t *testing.T) {
+	b, err := ParseText("li a0, 0xDEADBEEFCAFEBABE\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := runProgram(t, b, 0, 100)
+	if in.Regs[A0] != 0xDEADBEEFCAFEBABE {
+		t.Fatalf("a0 = %#x", in.Regs[A0])
+	}
+}
+
+// TestParseTextRoundTrip: disassembling any encodable instruction and
+// re-parsing it yields the same instruction (for ops with stable syntax).
+func TestParseTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		in := isa.Inst{
+			Op:  isa.Op(rng.Intn(int(isa.OpRdcycle) + 1)),
+			Rd:  uint8(rng.Intn(isa.NumRegs)),
+			Rs1: uint8(rng.Intn(isa.NumRegs)),
+			Rs2: uint8(rng.Intn(isa.NumRegs)),
+			Imm: int32(rng.Uint32() >> 8), // keep positive and small-ish
+		}
+		switch in.Op {
+		case isa.OpLi:
+			continue // li may legitimately expand differently
+		}
+		text := in.String()
+		b, err := ParseText(text)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", text, err)
+		}
+		p := b.MustAssemble(0)
+		if len(p.Insts) != 1 {
+			t.Fatalf("reparse %q: %d insts", text, len(p.Insts))
+		}
+		got := p.Insts[0]
+		// Normalize fields the textual form does not carry.
+		want := in
+		switch {
+		case want.Op == isa.OpNop || want.Op == isa.OpHalt || want.Op == isa.OpFence:
+			want = isa.Inst{Op: want.Op}
+		case want.Op == isa.OpRdcycle:
+			want = isa.Inst{Op: want.Op, Rd: want.Rd}
+		case want.Op.IsLoad(), want.Op == isa.OpJalr:
+			want.Rs2 = 0
+		case want.Op.IsStore():
+			want.Rd = 0
+		case want.Op == isa.OpClflush:
+			want.Rd, want.Rs2 = 0, 0
+		case want.Op == isa.OpJal:
+			want.Rs1, want.Rs2 = 0, 0
+		case want.Op.IsCondBranch():
+			want.Rd = 0
+		case want.Op >= isa.OpAddi && want.Op <= isa.OpSrai:
+			want.Rs2 = 0
+		default: // R-type ALU
+			want.Imm = 0
+		}
+		if got != want {
+			t.Fatalf("round trip %q: got %+v want %+v", text, got, want)
+		}
+	}
+}
+
+func TestLiAddr(t *testing.T) {
+	b := New()
+	b.LiAddr(A0, "target")
+	b.Halt()
+	b.Bind("target")
+	b.Nop()
+	p := b.MustAssemble(0x123456780)
+	mem := isa.NewFlatMem()
+	p.Load(mem)
+	in := isa.NewInterp(mem, p.Base)
+	if _, err := in.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	want := p.Symbols["target"]
+	if in.Regs[A0] != want {
+		t.Fatalf("LiAddr loaded %#x, want %#x", in.Regs[A0], want)
+	}
+}
+
+func TestLiAddrAlwaysFiveInsts(t *testing.T) {
+	b := New()
+	b.Bind("t0")
+	b.LiAddr(A0, "t0")
+	if b.Len() != 5 {
+		t.Fatalf("LiAddr emitted %d instructions, want 5", b.Len())
+	}
+	p := b.MustAssemble(0) // address 0: all immediates zero
+	mem := isa.NewFlatMem()
+	p.Load(mem)
+	in := isa.NewInterp(mem, 0)
+	for i := 0; i < 5; i++ {
+		if err := in.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if in.Regs[A0] != 0 {
+		t.Fatalf("address-0 LiAddr produced %#x", in.Regs[A0])
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	b := New()
+	b.Nop().Nop()
+	b.PadTo(10)
+	if b.Len() != 10 {
+		t.Fatalf("PadTo left %d instructions", b.Len())
+	}
+	b.PadTo(5) // backwards: error at Assemble
+	if _, err := b.Assemble(0); err == nil {
+		t.Fatal("PadTo backwards must fail")
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	b, err := ParseText(`
+		.data 0x2000
+		.word 0x1122334455667788
+		.byte 0xAB
+		.ascii "hi"
+		li   a0, 0x2000
+		ld   a1, 0(a0)
+		ld1  a2, 8(a0)
+		ld1  a3, 9(a0)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := runProgram(t, b, 0x100, 100)
+	if in.Regs[A1] != 0x1122334455667788 {
+		t.Fatalf("word = %#x", in.Regs[A1])
+	}
+	if in.Regs[A2] != 0xAB {
+		t.Fatalf("byte = %#x", in.Regs[A2])
+	}
+	if in.Regs[A3] != 'h' {
+		t.Fatalf("ascii = %#x", in.Regs[A3])
+	}
+}
+
+func TestDataBuilderAPI(t *testing.T) {
+	b := New()
+	b.DataAt(0x3000).Word(7).Byte(9).Ascii("ok")
+	b.Halt()
+	p := b.MustAssemble(0)
+	m := isa.NewFlatMem()
+	p.Load(m)
+	if m.Read(0x3000, 8) != 7 || m.ByteAt(0x3008) != 9 ||
+		m.ByteAt(0x3009) != 'o' || m.ByteAt(0x300A) != 'k' {
+		t.Fatal("data not materialized")
+	}
+}
+
+func TestDataBeforeCursorFails(t *testing.T) {
+	b := New()
+	b.Word(1) // no DataAt yet
+	b.Halt()
+	if _, err := b.Assemble(0); err == nil {
+		t.Fatal("data without a cursor must fail")
+	}
+}
+
+func TestDirectiveErrors(t *testing.T) {
+	for _, src := range []string{
+		".data zz", ".word zz", ".byte 300", ".ascii noquotes", ".bogus 1",
+		".word 1", // no .data first
+	} {
+		if _, err := ParseText(src); err == nil {
+			t.Errorf("ParseText(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package asm_test
+
+import (
+	"fmt"
+
+	"conspec/internal/asm"
+	"conspec/internal/isa"
+)
+
+// Build, assemble and run a loop on the reference interpreter.
+func ExampleBuilder() {
+	b := asm.New()
+	b.Li(asm.S0, 0)
+	b.Li(asm.S1, 1)
+	b.Li(asm.S2, 5)
+	b.Bind("loop")
+	b.Add(asm.S0, asm.S0, asm.S1)
+	b.Addi(asm.S1, asm.S1, 1)
+	b.Bge(asm.S2, asm.S1, "loop")
+	b.Halt()
+
+	prog := b.MustAssemble(0x1000)
+	mem := isa.NewFlatMem()
+	prog.Load(mem)
+	cpu := isa.NewInterp(mem, prog.Base)
+	cpu.Run(1000)
+	fmt.Println("sum:", cpu.Regs[asm.S0])
+	// Output: sum: 15
+}
+
+// The text front end accepts the disassembler's syntax plus directives.
+func ExampleParseText() {
+	b, _ := asm.ParseText(`
+		.data 0x2000
+		.word 42
+		li  a0, 0x2000
+		ld  a1, 0(a0)
+		halt
+	`)
+	prog := b.MustAssemble(0x100)
+	mem := isa.NewFlatMem()
+	prog.Load(mem)
+	cpu := isa.NewInterp(mem, prog.Base)
+	cpu.Run(100)
+	fmt.Println("loaded:", cpu.Regs[asm.A1])
+	// Output: loaded: 42
+}

@@ -1,0 +1,41 @@
+package asm
+
+import (
+	"testing"
+
+	"conspec/internal/isa"
+)
+
+// FuzzParseText checks the text assembler never panics and that anything it
+// accepts also assembles and loads cleanly.
+func FuzzParseText(f *testing.F) {
+	for _, seed := range []string{
+		"li a0, 1\nhalt",
+		"loop: add s0, s0, s1\nbge s2, s1, loop\nhalt",
+		".data 0x1000\n.word 5\n.byte 1\n.ascii \"x\"",
+		"ld x1, 8(x2)\nst x3, (x4)\nclflush 0(a0)",
+		"jal ra, fn\nfn: jalr x0, 0(ra)",
+		"beq x1, x2, 16\n# comment\nnop ; trailing",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		b, err := ParseText(src)
+		if err != nil {
+			return
+		}
+		p, err := b.Assemble(0x1000)
+		if err != nil {
+			return
+		}
+		m := isa.NewFlatMem()
+		p.Load(m)
+		// Decoding every assembled instruction must round-trip.
+		for i := range p.Insts {
+			w := m.Read(p.Base+uint64(i)*isa.InstBytes, isa.InstBytes)
+			if isa.Decode(w) != p.Insts[i] {
+				t.Fatalf("inst %d does not round-trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,329 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"conspec/internal/isa"
+)
+
+// ParseText assembles a textual listing into a Builder. The syntax matches
+// the disassembler output of isa.Inst.String, one instruction per line:
+//
+//	loop:                     ; label (also accepted on the same line)
+//	  li   x1, 4096
+//	  ld   x2, 8(x1)
+//	  add  x3, x2, x1
+//	  beq  x3, x0, done
+//	  jal  x0, loop
+//	done:
+//	  halt
+//
+// '#' and ';' start comments. Branch and jal targets may be labels or
+// numeric byte offsets. Register names are x0..x31 or the ABI aliases
+// (zero, ra, sp, t0-t6, a0-a5, s0-s7).
+func ParseText(src string) (*Builder, error) {
+	b := New()
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading "name:" binds a label; the rest of the line may continue.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,()") {
+				break
+			}
+			b.Bind(Label(strings.TrimSpace(line[:i])))
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := parseDirective(b, line); err != nil {
+				return nil, fmt.Errorf("asm: line %d: %w", ln+1, err)
+			}
+			continue
+		}
+		if err := parseInst(b, line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", ln+1, err)
+		}
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b, nil
+}
+
+var regAlias = map[string]Reg{
+	"zero": Zero, "ra": RA, "sp": SP,
+	"t0": T0, "t1": T1, "t2": T2, "t3": T3, "t4": T4, "t5": T5, "t6": T6,
+	"a0": A0, "a1": A1, "a2": A2, "a3": A3, "a4": A4, "a5": A5,
+	"s0": S0, "s1": S1, "s2": S2, "s3": S3, "s4": S4, "s5": S5, "s6": S6, "s7": S7,
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if r, ok := regAlias[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "x") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if int64(int32(v)) != v {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return int32(v), nil
+}
+
+// parseMemOperand parses "imm(reg)" or "(reg)".
+func parseMemOperand(s string) (Reg, int32, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	var imm int32
+	if pre := strings.TrimSpace(s[:open]); pre != "" {
+		v, err := parseImm(pre)
+		if err != nil {
+			return 0, 0, err
+		}
+		imm = v
+	}
+	r, err := parseReg(s[open+1 : len(s)-1])
+	return r, imm, err
+}
+
+// parseDirective handles assembler directives:
+//
+//	.data ADDR      position the data cursor
+//	.word V         emit a 64-bit little-endian value
+//	.byte V         emit one byte
+//	.ascii "text"   emit string bytes (Go quoting)
+func parseDirective(b *Builder, line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	arg := ""
+	if len(fields) == 2 {
+		arg = strings.TrimSpace(fields[1])
+	}
+	switch fields[0] {
+	case ".data":
+		addr, err := strconv.ParseUint(arg, 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad .data address %q", arg)
+		}
+		b.DataAt(addr)
+	case ".word":
+		v, err := strconv.ParseUint(arg, 0, 64)
+		if err != nil {
+			sv, serr := strconv.ParseInt(arg, 0, 64)
+			if serr != nil {
+				return fmt.Errorf("bad .word value %q", arg)
+			}
+			v = uint64(sv)
+		}
+		b.Word(v)
+	case ".byte":
+		v, err := strconv.ParseUint(arg, 0, 8)
+		if err != nil {
+			return fmt.Errorf("bad .byte value %q", arg)
+		}
+		b.Byte(byte(v))
+	case ".ascii":
+		str, err := strconv.Unquote(arg)
+		if err != nil {
+			return fmt.Errorf("bad .ascii string %q", arg)
+		}
+		b.Ascii(str)
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+	if b.err != nil {
+		return b.err
+	}
+	return nil
+}
+
+var opByName = func() map[string]isa.Op {
+	m := make(map[string]isa.Op)
+	for o := isa.Op(0); o.Valid(); o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+func parseInst(b *Builder, line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	mn := strings.ToLower(strings.TrimSpace(fields[0]))
+	op, ok := opByName[mn]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	var args []string
+	if len(fields) == 2 {
+		for _, a := range strings.Split(fields[1], ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", mn, n, len(args))
+		}
+		return nil
+	}
+	switch {
+	case op == isa.OpNop || op == isa.OpHalt || op == isa.OpFence:
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Raw(isa.Inst{Op: op})
+	case op == isa.OpRdcycle:
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.Rdcycle(rd)
+	case op == isa.OpLi:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		// Allow full 64-bit constants; expand via Li64 when needed.
+		v, perr := strconv.ParseUint(strings.TrimSpace(args[1]), 0, 64)
+		if perr != nil {
+			sv, serr := strconv.ParseInt(strings.TrimSpace(args[1]), 0, 64)
+			if serr != nil {
+				return fmt.Errorf("bad immediate %q", args[1])
+			}
+			v = uint64(sv)
+		}
+		b.Li64(rd, v)
+	case op.IsLoad():
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, imm, err := parseMemOperand(args[1])
+		if err != nil {
+			return err
+		}
+		b.Raw(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+	case op.IsStore():
+		if err := need(2); err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, imm, err := parseMemOperand(args[1])
+		if err != nil {
+			return err
+		}
+		b.Raw(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm})
+	case op == isa.OpClflush:
+		if err := need(1); err != nil {
+			return err
+		}
+		rs1, imm, err := parseMemOperand(args[0])
+		if err != nil {
+			return err
+		}
+		b.Clflush(rs1, imm)
+	case op.IsCondBranch():
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if imm, err := parseImm(args[2]); err == nil {
+			b.Raw(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm})
+		} else {
+			b.Branch(op, rs1, rs2, Label(args[2]))
+		}
+	case op == isa.OpJal:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		if imm, err := parseImm(args[1]); err == nil {
+			b.Raw(isa.Inst{Op: op, Rd: rd, Imm: imm})
+		} else {
+			b.Jal(rd, Label(args[1]))
+		}
+	case op == isa.OpJalr:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, imm, err := parseMemOperand(args[1])
+		if err != nil {
+			return err
+		}
+		b.Jalr(rd, rs1, imm)
+	default:
+		// Remaining ops are ALU. Distinguish R-type from I-type by the
+		// third operand: register vs number.
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if rs2, rerr := parseReg(args[2]); rerr == nil {
+			b.Raw(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+		} else {
+			imm, ierr := parseImm(args[2])
+			if ierr != nil {
+				return fmt.Errorf("operand %q is neither register nor immediate", args[2])
+			}
+			b.Raw(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+		}
+	}
+	return nil
+}

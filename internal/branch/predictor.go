@@ -1,0 +1,283 @@
+// Package branch implements the front-end branch prediction substrate:
+// a gshare direction predictor, an untagged direct-mapped branch target
+// buffer (BTB), and a return address stack (RAS), with the checkpointing the
+// out-of-order core needs to recover from mis-speculation.
+//
+// Trainability is a feature, not a bug: Spectre V1 trains the gshare
+// counters and V2 poisons the BTB, exactly as the paper's threat model
+// assumes, so the predictor deliberately has no thread or process isolation.
+package branch
+
+import "fmt"
+
+// Kind selects the direction-prediction algorithm.
+type Kind int
+
+const (
+	// KindGshare is the default: PC xor global history indexes one table
+	// of 2-bit counters.
+	KindGshare Kind = iota
+	// KindBimodal indexes by PC only (no history): cheaper, weaker on
+	// correlated branches.
+	KindBimodal
+	// KindTournament runs bimodal and gshare side by side with a
+	// PC-indexed chooser, the classic Alpha 21264 arrangement.
+	KindTournament
+)
+
+// String names the predictor kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBimodal:
+		return "bimodal"
+	case KindTournament:
+		return "tournament"
+	default:
+		return "gshare"
+	}
+}
+
+// Config sizes the predictor structures. All counts must be powers of two.
+type Config struct {
+	Kind       Kind
+	PHTBits    int // log2 of pattern history table entries
+	GHRBits    int // global history length
+	BTBEntries int
+	RASEntries int
+}
+
+// DefaultConfig returns a predictor sized like a mid-range core.
+func DefaultConfig() Config {
+	return Config{PHTBits: 12, GHRBits: 12, BTBEntries: 1024, RASEntries: 16}
+}
+
+// Checkpoint captures the speculative predictor state at a branch so it can
+// be restored on mis-speculation. It is small by design: GHR value plus RAS
+// top-of-stack pointer, the standard low-cost recovery scheme.
+type Checkpoint struct {
+	GHR    uint64
+	RASTop int
+}
+
+// Stats counts prediction events.
+type Stats struct {
+	CondPredicts   uint64
+	CondMispredict uint64
+	BTBLookups     uint64
+	BTBHits        uint64
+	BTBMispredict  uint64
+	RASPushes      uint64
+	RASPops        uint64
+}
+
+// MispredictRate returns conditional mispredictions per prediction.
+func (s Stats) MispredictRate() float64 {
+	if s.CondPredicts == 0 {
+		return 0
+	}
+	return float64(s.CondMispredict) / float64(s.CondPredicts)
+}
+
+type btbEntry struct {
+	valid  bool
+	target uint64
+}
+
+// Predictor bundles a direction predictor (gshare, bimodal or tournament)
+// with a BTB and a RAS.
+type Predictor struct {
+	cfg     Config
+	pht     []uint8 // 2-bit saturating counters (gshare-indexed)
+	bim     []uint8 // 2-bit counters, PC-indexed (bimodal / tournament)
+	choose  []uint8 // tournament chooser: >=2 selects gshare
+	phtMask uint64
+	ghr     uint64
+	ghrMask uint64
+	btb     []btbEntry
+	btbMask uint64
+	ras     []uint64
+	rasTop  int // index of next push slot
+	Stats   Stats
+}
+
+// New builds a predictor; it panics on non-power-of-two sizes (configs are
+// program constants).
+func New(cfg Config) *Predictor {
+	if cfg.PHTBits <= 0 || cfg.PHTBits > 24 || cfg.GHRBits <= 0 || cfg.GHRBits > 64 {
+		panic(fmt.Sprintf("branch: bad config %+v", cfg))
+	}
+	if cfg.BTBEntries&(cfg.BTBEntries-1) != 0 || cfg.BTBEntries == 0 {
+		panic("branch: BTB entries must be a power of two")
+	}
+	if cfg.RASEntries <= 0 {
+		panic("branch: RAS entries must be positive")
+	}
+	p := &Predictor{
+		cfg:     cfg,
+		pht:     make([]uint8, 1<<cfg.PHTBits),
+		phtMask: uint64(1<<cfg.PHTBits) - 1,
+		ghrMask: func() uint64 {
+			if cfg.GHRBits >= 64 {
+				return ^uint64(0)
+			}
+			return uint64(1<<cfg.GHRBits) - 1
+		}(),
+		btb:     make([]btbEntry, cfg.BTBEntries),
+		btbMask: uint64(cfg.BTBEntries) - 1,
+		ras:     make([]uint64, cfg.RASEntries),
+	}
+	for i := range p.pht {
+		p.pht[i] = 1 // weakly not-taken
+	}
+	if cfg.Kind != KindGshare {
+		p.bim = make([]uint8, 1<<cfg.PHTBits)
+		for i := range p.bim {
+			p.bim[i] = 1
+		}
+	}
+	if cfg.Kind == KindTournament {
+		p.choose = make([]uint8, 1<<cfg.PHTBits)
+		for i := range p.choose {
+			p.choose[i] = 2 // weakly prefer gshare
+		}
+	}
+	return p
+}
+
+func (p *Predictor) phtIndex(pc uint64, ghr uint64) uint64 {
+	return ((pc >> 3) ^ ghr) & p.phtMask
+}
+
+func (p *Predictor) bimIndex(pc uint64) uint64 { return (pc >> 3) & p.phtMask }
+
+// direction computes the prediction for pc under the configured kind using
+// the given history value, without updating any state.
+func (p *Predictor) direction(pc, ghr uint64) bool {
+	switch p.cfg.Kind {
+	case KindBimodal:
+		return p.bim[p.bimIndex(pc)] >= 2
+	case KindTournament:
+		if p.choose[p.bimIndex(pc)] >= 2 {
+			return p.pht[p.phtIndex(pc, ghr)] >= 2
+		}
+		return p.bim[p.bimIndex(pc)] >= 2
+	default:
+		return p.pht[p.phtIndex(pc, ghr)] >= 2
+	}
+}
+
+// Checkpoint returns the current speculative state for later recovery.
+func (p *Predictor) Checkpoint() Checkpoint {
+	return Checkpoint{GHR: p.ghr, RASTop: p.rasTop}
+}
+
+// Restore rewinds speculative state to a checkpoint (mis-speculation).
+func (p *Predictor) Restore(cp Checkpoint) {
+	p.ghr = cp.GHR
+	p.rasTop = ((cp.RASTop % len(p.ras)) + len(p.ras)) % len(p.ras)
+}
+
+// PredictCond predicts a conditional branch at pc and speculatively shifts
+// the prediction into the GHR. The caller should take a Checkpoint *before*
+// calling this if it may need to recover.
+func (p *Predictor) PredictCond(pc uint64) bool {
+	p.Stats.CondPredicts++
+	taken := p.direction(pc, p.ghr)
+	p.pushGHR(taken)
+	return taken
+}
+
+func (p *Predictor) pushGHR(taken bool) {
+	bit := uint64(0)
+	if taken {
+		bit = 1
+	}
+	p.ghr = ((p.ghr << 1) | bit) & p.ghrMask
+}
+
+// ResolveCond trains the direction predictor with the branch outcome. cpGHR
+// is the GHR value the prediction was made with (from the pre-prediction
+// Checkpoint); mispredicted causes the misprediction counter to advance and
+// is the caller's cue to Restore and re-steer.
+func (p *Predictor) ResolveCond(pc uint64, taken, mispredicted bool, cpGHR uint64) {
+	bump := func(c uint8) uint8 {
+		if taken {
+			if c < 3 {
+				c++
+			}
+		} else if c > 0 {
+			c--
+		}
+		return c
+	}
+	gi := p.phtIndex(pc, cpGHR)
+	if p.cfg.Kind == KindTournament {
+		bi := p.bimIndex(pc)
+		gRight := (p.pht[gi] >= 2) == taken
+		bRight := (p.bim[bi] >= 2) == taken
+		ci := p.bimIndex(pc)
+		if gRight && !bRight && p.choose[ci] < 3 {
+			p.choose[ci]++
+		}
+		if bRight && !gRight && p.choose[ci] > 0 {
+			p.choose[ci]--
+		}
+		p.pht[gi] = bump(p.pht[gi])
+		p.bim[bi] = bump(p.bim[bi])
+	} else if p.cfg.Kind == KindBimodal {
+		bi := p.bimIndex(pc)
+		p.bim[bi] = bump(p.bim[bi])
+	} else {
+		p.pht[gi] = bump(p.pht[gi])
+	}
+	if mispredicted {
+		p.Stats.CondMispredict++
+	}
+}
+
+// CorrectGHRAfterRestore shifts the actual branch outcome into the GHR; call
+// after Restore when recovering from a conditional-branch misprediction.
+func (p *Predictor) CorrectGHRAfterRestore(taken bool) { p.pushGHR(taken) }
+
+// PredictTarget looks up the BTB for an indirect branch at pc.
+func (p *Predictor) PredictTarget(pc uint64) (uint64, bool) {
+	p.Stats.BTBLookups++
+	e := p.btb[(pc>>3)&p.btbMask]
+	if e.valid {
+		p.Stats.BTBHits++
+		return e.target, true
+	}
+	return 0, false
+}
+
+// ResolveTarget trains the BTB with an indirect branch's actual target.
+func (p *Predictor) ResolveTarget(pc, target uint64, mispredicted bool) {
+	p.btb[(pc>>3)&p.btbMask] = btbEntry{valid: true, target: target}
+	if mispredicted {
+		p.Stats.BTBMispredict++
+	}
+}
+
+// PushRAS records a call's return address (speculatively, at predict time).
+func (p *Predictor) PushRAS(retAddr uint64) {
+	p.ras[p.rasTop] = retAddr
+	p.rasTop = (p.rasTop + 1) % len(p.ras)
+	p.Stats.RASPushes++
+}
+
+// PopRAS predicts a return target. ok is false when the stack has never
+// been pushed at this position (cold).
+func (p *Predictor) PopRAS() (uint64, bool) {
+	p.rasTop = (p.rasTop - 1 + len(p.ras)) % len(p.ras)
+	p.Stats.RASPops++
+	v := p.ras[p.rasTop]
+	return v, v != 0
+}
+
+// GHR exposes the current global history (for tests and diagnostics).
+func (p *Predictor) GHR() uint64 { return p.ghr }
+
+// CounterAt exposes a PHT counter (for tests and attack diagnostics).
+func (p *Predictor) CounterAt(pc uint64, ghr uint64) uint8 {
+	return p.pht[p.phtIndex(pc, ghr)]
+}

@@ -1,0 +1,300 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newP() *Predictor { return New(DefaultConfig()) }
+
+func TestColdPredictionIsNotTaken(t *testing.T) {
+	p := newP()
+	if p.PredictCond(0x1000) {
+		t.Fatal("cold gshare must predict weakly not-taken")
+	}
+}
+
+func TestTrainingFlipsPrediction(t *testing.T) {
+	p := newP()
+	pc := uint64(0x4000)
+	// Train taken repeatedly with consistent history (restore each time to
+	// mimic a loop with stable GHR).
+	for i := 0; i < 4; i++ {
+		cp := p.Checkpoint()
+		p.PredictCond(pc)
+		p.ResolveCond(pc, true, false, cp.GHR)
+		p.Restore(cp)
+		p.CorrectGHRAfterRestore(true)
+		p.Restore(cp) // reset history so the index repeats
+	}
+	if !p.PredictCond(pc) {
+		t.Fatal("after taken training the branch must predict taken")
+	}
+}
+
+func TestCountersSaturate(t *testing.T) {
+	p := newP()
+	pc := uint64(0x10)
+	cp := p.Checkpoint()
+	for i := 0; i < 10; i++ {
+		p.ResolveCond(pc, true, false, cp.GHR)
+	}
+	if c := p.CounterAt(pc, cp.GHR); c != 3 {
+		t.Fatalf("counter = %d, want saturated 3", c)
+	}
+	for i := 0; i < 10; i++ {
+		p.ResolveCond(pc, false, false, cp.GHR)
+	}
+	if c := p.CounterAt(pc, cp.GHR); c != 0 {
+		t.Fatalf("counter = %d, want saturated 0", c)
+	}
+}
+
+func TestCheckpointRestoreGHR(t *testing.T) {
+	p := newP()
+	cp := p.Checkpoint()
+	p.CorrectGHRAfterRestore(true) // shift in a taken bit
+	p.PredictCond(0x200)
+	if p.GHR() == cp.GHR {
+		t.Fatal("shifted history must differ from the checkpoint")
+	}
+	p.Restore(cp)
+	if p.GHR() != cp.GHR {
+		t.Fatal("restore must rewind the GHR")
+	}
+}
+
+func TestBTBTrainAndPredict(t *testing.T) {
+	p := newP()
+	pc, target := uint64(0x8000), uint64(0x9000)
+	if _, ok := p.PredictTarget(pc); ok {
+		t.Fatal("cold BTB must miss")
+	}
+	p.ResolveTarget(pc, target, true)
+	got, ok := p.PredictTarget(pc)
+	if !ok || got != target {
+		t.Fatalf("BTB predict = %#x,%v", got, ok)
+	}
+	if p.Stats.BTBMispredict != 1 {
+		t.Fatalf("BTB mispredicts = %d", p.Stats.BTBMispredict)
+	}
+}
+
+// TestBTBAliasing demonstrates the property Spectre V2 relies on: an
+// attacker branch aliasing to the same BTB entry poisons the victim's
+// prediction.
+func TestBTBAliasing(t *testing.T) {
+	p := New(Config{PHTBits: 10, GHRBits: 10, BTBEntries: 64, RASEntries: 8})
+	victimPC := uint64(0x1000)
+	attackerPC := victimPC + 64*8 // same index: (pc>>3) mod 64 equal
+	gadget := uint64(0xBAD0)
+	p.ResolveTarget(attackerPC, gadget, false)
+	got, ok := p.PredictTarget(victimPC)
+	if !ok || got != gadget {
+		t.Fatalf("aliased BTB prediction = %#x,%v; want poisoned %#x", got, ok, gadget)
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	p := newP()
+	p.PushRAS(0x111)
+	p.PushRAS(0x222)
+	if v, ok := p.PopRAS(); !ok || v != 0x222 {
+		t.Fatalf("pop = %#x,%v", v, ok)
+	}
+	if v, ok := p.PopRAS(); !ok || v != 0x111 {
+		t.Fatalf("pop = %#x,%v", v, ok)
+	}
+}
+
+func TestRASCheckpointRestore(t *testing.T) {
+	p := newP()
+	p.PushRAS(0x111)
+	cp := p.Checkpoint()
+	p.PushRAS(0x222)
+	p.PushRAS(0x333)
+	p.Restore(cp)
+	if v, ok := p.PopRAS(); !ok || v != 0x111 {
+		t.Fatalf("after restore pop = %#x,%v, want 0x111", v, ok)
+	}
+}
+
+func TestRASWrapAround(t *testing.T) {
+	p := New(Config{PHTBits: 8, GHRBits: 8, BTBEntries: 16, RASEntries: 4})
+	for i := 1; i <= 6; i++ {
+		p.PushRAS(uint64(i) * 0x10)
+	}
+	// Stack holds the last 4: 0x30,0x40,0x50,0x60; pops come back LIFO.
+	for want := 6; want >= 3; want-- {
+		v, ok := p.PopRAS()
+		if !ok || v != uint64(want)*0x10 {
+			t.Fatalf("pop = %#x,%v, want %#x", v, ok, uint64(want)*0x10)
+		}
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	var s Stats
+	if s.MispredictRate() != 0 {
+		t.Fatal("no predictions -> rate 0")
+	}
+	s = Stats{CondPredicts: 8, CondMispredict: 2}
+	if s.MispredictRate() != 0.25 {
+		t.Fatalf("rate = %v", s.MispredictRate())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{PHTBits: 0, GHRBits: 8, BTBEntries: 16, RASEntries: 4},
+		{PHTBits: 8, GHRBits: 0, BTBEntries: 16, RASEntries: 4},
+		{PHTBits: 8, GHRBits: 8, BTBEntries: 12, RASEntries: 4},
+		{PHTBits: 8, GHRBits: 8, BTBEntries: 16, RASEntries: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v must panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: Restore is always exact for the GHR regardless of the sequence
+// of predictions in between.
+func TestRestoreProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		p := newP()
+		rng := rand.New(rand.NewSource(seed))
+		// Random warmup.
+		for i := 0; i < int(n%40); i++ {
+			p.PredictCond(uint64(rng.Intn(1 << 20)))
+		}
+		cp := p.Checkpoint()
+		for i := 0; i < int(n); i++ {
+			p.PredictCond(uint64(rng.Intn(1 << 20)))
+			if rng.Intn(3) == 0 {
+				p.PushRAS(uint64(rng.Intn(1 << 20)))
+			}
+		}
+		p.Restore(cp)
+		return p.GHR() == cp.GHR
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a perfectly biased branch is eventually predicted perfectly
+// (with stable history), for either bias.
+func TestBiasedBranchLearned(t *testing.T) {
+	for _, bias := range []bool{true, false} {
+		p := newP()
+		pc := uint64(0x7700)
+		cp := p.Checkpoint()
+		for i := 0; i < 8; i++ {
+			p.ResolveCond(pc, bias, false, cp.GHR)
+		}
+		if got := p.PredictCond(pc); got != bias {
+			t.Errorf("bias %v not learned", bias)
+		}
+	}
+}
+
+func newKind(k Kind) *Predictor {
+	cfg := DefaultConfig()
+	cfg.Kind = k
+	return New(cfg)
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindGshare.String() != "gshare" || KindBimodal.String() != "bimodal" ||
+		KindTournament.String() != "tournament" {
+		t.Fatal("kind names changed")
+	}
+}
+
+func TestBimodalIgnoresHistory(t *testing.T) {
+	p := newKind(KindBimodal)
+	pc := uint64(0x1000)
+	// Train taken under one history.
+	for i := 0; i < 4; i++ {
+		p.ResolveCond(pc, true, false, 0)
+	}
+	// Scramble the history: bimodal must still predict taken.
+	for i := 0; i < 20; i++ {
+		p.PredictCond(uint64(0x9000 + i*8))
+	}
+	if !p.PredictCond(pc) {
+		t.Fatal("bimodal prediction must not depend on global history")
+	}
+}
+
+func TestGshareUsesHistory(t *testing.T) {
+	p := newKind(KindGshare)
+	pc := uint64(0x1000)
+	// Train taken at history=0 only.
+	for i := 0; i < 4; i++ {
+		p.ResolveCond(pc, true, false, 0)
+	}
+	if got := p.direction(pc, 0); !got {
+		t.Fatal("trained history must predict taken")
+	}
+	if got := p.direction(pc, 0xFFF); got {
+		t.Fatal("untrained history must stay at the cold default (not-taken)")
+	}
+}
+
+// TestTournamentLearnsAlternation: a branch alternating taken/not-taken is
+// hopeless for bimodal but learnable by gshare with history; the tournament
+// chooser must converge to gshare and predict well.
+func TestTournamentLearnsAlternation(t *testing.T) {
+	measure := func(k Kind) float64 {
+		p := newKind(k)
+		pc := uint64(0x4000)
+		wrong := 0
+		const rounds = 400
+		for i := 0; i < rounds; i++ {
+			cp := p.Checkpoint()
+			pred := p.PredictCond(pc)
+			actual := i%2 == 0
+			mis := pred != actual
+			if mis {
+				wrong++
+				p.Restore(cp)
+				p.CorrectGHRAfterRestore(actual)
+			}
+			p.ResolveCond(pc, actual, mis, cp.GHR)
+		}
+		return float64(wrong) / rounds
+	}
+	bim := measure(KindBimodal)
+	tour := measure(KindTournament)
+	gsh := measure(KindGshare)
+	if bim < 0.4 {
+		t.Fatalf("bimodal should be hopeless on alternation, got %.2f", bim)
+	}
+	if gsh > 0.1 {
+		t.Fatalf("gshare should learn alternation, got %.2f", gsh)
+	}
+	if tour > 0.2 {
+		t.Fatalf("tournament should converge to the history predictor, got %.2f", tour)
+	}
+}
+
+func TestAllKindsLearnBias(t *testing.T) {
+	for _, k := range []Kind{KindGshare, KindBimodal, KindTournament} {
+		p := newKind(k)
+		pc := uint64(0x7700)
+		cp := p.Checkpoint()
+		for i := 0; i < 8; i++ {
+			p.ResolveCond(pc, true, false, cp.GHR)
+		}
+		if !p.direction(pc, cp.GHR) {
+			t.Errorf("%v did not learn a constant-taken branch", k)
+		}
+	}
+}

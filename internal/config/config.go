@@ -1,0 +1,164 @@
+// Package config defines the simulated processor configurations: the
+// paper's Table III core (the main evaluation machine) and the three
+// Table VI sensitivity cores (A57-like mobile, I7-like desktop, Xeon-like
+// server).
+package config
+
+import (
+	"conspec/internal/branch"
+	"conspec/internal/mem"
+)
+
+// Core sizes one simulated out-of-order processor.
+type Core struct {
+	Name string
+
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	// FrontendDepth is the fetch-to-dispatch latency in cycles; together
+	// with execution depth it models the paper's 15-stage pipeline (deeper
+	// front ends pay more per branch misprediction).
+	FrontendDepth int
+
+	ROB      int
+	IQ       int
+	LDQ      int
+	STQ      int
+	PhysRegs int
+
+	ALUs        int
+	MulUnits    int
+	DivUnits    int
+	MemPorts    int
+	BranchUnits int
+
+	MulLat int
+	DivLat int
+
+	// FusedStores makes stores issue only when BOTH address and data are
+	// ready — gem5's O3 store model, and therefore closer to the machine
+	// the paper measured. The default (split stores) issues on address
+	// readiness, the modern design. The difference matters enormously for
+	// the Baseline mechanism: a fused store with late data is an unissued
+	// memory producer that blocks every younger suspect access.
+	FusedStores bool
+
+	// MaxMSHRs bounds concurrently outstanding L1D misses (0 = unlimited,
+	// the paper's effective configuration). Lowering it throttles memory
+	// level parallelism — an ablation for how much of each mechanism's cost
+	// is MLP loss.
+	MaxMSHRs int
+
+	// StoreSets enables the Store Sets memory-dependence predictor
+	// (ablation; the paper's machine speculates loads unconditionally).
+	// StoreSetEntries sizes its PC-indexed table (power of two).
+	StoreSets       bool
+	StoreSetEntries int
+
+	Predictor branch.Config
+	Mem       mem.HierarchyConfig
+}
+
+// paperMem returns the Table III memory system: 64KB 4-way L1s (2-cycle),
+// 2MB 16-way L2 (10-cycle), 8MB 32-way L3 (60-cycle), 192-cycle memory,
+// 64-entry TLBs.
+func paperMem() mem.HierarchyConfig {
+	return mem.HierarchyConfig{
+		LineBytes: 64,
+		L1ISize:   64 * 1024, L1IWays: 4, L1ILat: 2,
+		L1DSize: 64 * 1024, L1DWays: 4, L1DLat: 2,
+		L2Size: 2 * 1024 * 1024, L2Ways: 16, L2Lat: 10,
+		L3Size: 8 * 1024 * 1024, L3Ways: 32, L3Lat: 60,
+		MemLat:      192,
+		ITLBEntries: 64, DTLBEntries: 64, PageWalkLat: 30,
+	}
+}
+
+// PaperCore returns the Table III configuration: a 4-way out-of-order core
+// with a 15-stage pipeline, 192-entry ROB, 64-entry issue queue, 32-entry
+// LDQ and 24-entry STQ.
+func PaperCore() Core {
+	return Core{
+		Name:            "paper",
+		FetchWidth:      4,
+		IssueWidth:      4,
+		CommitWidth:     4,
+		FrontendDepth:   8, // 15 stages ≈ 8 front-end + issue/exec/commit
+		ROB:             192,
+		IQ:              64,
+		LDQ:             32,
+		STQ:             24,
+		PhysRegs:        256,
+		ALUs:            4,
+		MulUnits:        1,
+		DivUnits:        1,
+		MemPorts:        2,
+		BranchUnits:     1,
+		MulLat:          3,
+		DivLat:          12,
+		StoreSetEntries: 1024,
+		Predictor:       branch.DefaultConfig(),
+		Mem:             paperMem(),
+	}
+}
+
+// A57Like returns the Table VI mobile-class configuration: narrow and
+// shallow, with a small cache hierarchy and no L3.
+func A57Like() Core {
+	c := PaperCore()
+	c.Name = "A57-like"
+	c.FetchWidth, c.IssueWidth, c.CommitWidth = 2, 2, 2
+	c.FrontendDepth = 5
+	c.ROB, c.IQ, c.LDQ, c.STQ = 64, 28, 16, 12
+	c.PhysRegs = 128
+	c.ALUs, c.MemPorts, c.BranchUnits = 2, 1, 1
+	c.Predictor = branch.Config{PHTBits: 10, GHRBits: 10, BTBEntries: 256, RASEntries: 8}
+	c.Mem = mem.HierarchyConfig{
+		LineBytes: 64,
+		L1ISize:   32 * 1024, L1IWays: 2, L1ILat: 2,
+		L1DSize: 32 * 1024, L1DWays: 2, L1DLat: 2,
+		L2Size: 512 * 1024, L2Ways: 8, L2Lat: 12,
+		// No real L3 on A57; model a thin 1MB with near-memory latency.
+		L3Size: 1024 * 1024, L3Ways: 8, L3Lat: 40,
+		MemLat:      160,
+		ITLBEntries: 32, DTLBEntries: 32, PageWalkLat: 30,
+	}
+	return c
+}
+
+// I7Like returns the Table VI desktop-class configuration.
+func I7Like() Core {
+	c := PaperCore()
+	c.Name = "I7-like"
+	c.FetchWidth, c.IssueWidth, c.CommitWidth = 4, 4, 4
+	c.FrontendDepth = 7
+	c.ROB, c.IQ, c.LDQ, c.STQ = 168, 54, 28, 20
+	c.PhysRegs = 224
+	c.Mem.L2Size = 1024 * 1024
+	c.Mem.L2Ways = 8
+	c.Mem.L3Size = 6 * 1024 * 1024
+	c.Mem.L3Ways = 12
+	return c
+}
+
+// XeonLike returns the Table VI server-class configuration: the widest and
+// deepest machine, with the largest speculation window.
+func XeonLike() Core {
+	c := PaperCore()
+	c.Name = "Xeon-like"
+	c.FetchWidth, c.IssueWidth, c.CommitWidth = 4, 6, 4
+	c.FrontendDepth = 9
+	c.ROB, c.IQ, c.LDQ, c.STQ = 224, 72, 40, 32
+	c.PhysRegs = 288
+	c.ALUs, c.MemPorts, c.BranchUnits = 6, 2, 2
+	c.Mem.L3Size = 16 * 1024 * 1024
+	c.Mem.L3Ways = 32
+	c.Mem.L3Lat = 70
+	return c
+}
+
+// SensitivityCores returns the three Table VI configurations in paper order.
+func SensitivityCores() []Core {
+	return []Core{A57Like(), I7Like(), XeonLike()}
+}

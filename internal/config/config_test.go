@@ -1,0 +1,110 @@
+package config
+
+import (
+	"testing"
+
+	"conspec/internal/isa"
+)
+
+func allCores() []Core {
+	return append([]Core{PaperCore()}, SensitivityCores()...)
+}
+
+func TestPaperCoreMatchesTableIII(t *testing.T) {
+	c := PaperCore()
+	if c.IssueWidth != 4 || c.CommitWidth != 4 {
+		t.Error("Table III: 4-way out-of-order, 4 commits/cycle")
+	}
+	if c.ROB != 192 || c.IQ != 64 || c.LDQ != 32 || c.STQ != 24 {
+		t.Errorf("Table III structure sizes: ROB=%d IQ=%d LDQ=%d STQ=%d",
+			c.ROB, c.IQ, c.LDQ, c.STQ)
+	}
+	m := c.Mem
+	if m.L1DSize != 64*1024 || m.L1DWays != 4 || m.L1DLat != 2 {
+		t.Error("Table III: L1D 64KB 4-way 2-cycle")
+	}
+	if m.L2Size != 2*1024*1024 || m.L2Ways != 16 || m.L2Lat != 10 {
+		t.Error("Table III: L2 2MB 16-way 10-cycle")
+	}
+	if m.L3Size != 8*1024*1024 || m.L3Ways != 32 || m.L3Lat != 60 {
+		t.Error("Table III: L3 8MB 32-way 60-cycle")
+	}
+	if m.MemLat != 192 {
+		t.Error("Table III: 192-cycle memory")
+	}
+	if m.ITLBEntries != 64 || m.DTLBEntries != 64 {
+		t.Error("Table III: 64-entry TLBs")
+	}
+}
+
+func TestSensitivityCoreOrdering(t *testing.T) {
+	cores := SensitivityCores()
+	if len(cores) != 3 {
+		t.Fatalf("expected A57/I7/Xeon, got %d cores", len(cores))
+	}
+	a57, i7, xeon := cores[0], cores[1], cores[2]
+	if a57.Name != "A57-like" || i7.Name != "I7-like" || xeon.Name != "Xeon-like" {
+		t.Fatalf("core order wrong: %s %s %s", a57.Name, i7.Name, xeon.Name)
+	}
+	// Speculation window must grow with core class: it is what Table VI's
+	// increasing overheads come from.
+	if !(a57.ROB < i7.ROB && i7.ROB < xeon.ROB) {
+		t.Error("ROB sizes must grow A57 < I7 < Xeon")
+	}
+	if !(a57.IQ < i7.IQ && i7.IQ < xeon.IQ) {
+		t.Error("IQ sizes must grow A57 < I7 < Xeon")
+	}
+	if !(a57.IssueWidth <= i7.IssueWidth && i7.IssueWidth <= xeon.IssueWidth) {
+		t.Error("issue width must not shrink with core class")
+	}
+}
+
+func TestAllCoresAreConsistent(t *testing.T) {
+	for _, c := range allCores() {
+		if c.PhysRegs < isa.NumRegs+c.ROB {
+			t.Errorf("%s: %d physical registers cannot rename a %d-entry ROB",
+				c.Name, c.PhysRegs, c.ROB)
+		}
+		if c.IQ > c.ROB {
+			t.Errorf("%s: IQ (%d) larger than ROB (%d)", c.Name, c.IQ, c.ROB)
+		}
+		if c.LDQ+c.STQ > c.ROB {
+			t.Errorf("%s: LSQ larger than ROB", c.Name)
+		}
+		if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0 {
+			t.Errorf("%s: zero widths", c.Name)
+		}
+		if c.MulLat <= 0 || c.DivLat <= c.MulLat {
+			t.Errorf("%s: implausible latencies mul=%d div=%d", c.Name, c.MulLat, c.DivLat)
+		}
+		m := c.Mem
+		for _, geom := range []struct {
+			name             string
+			size, ways, line int
+		}{
+			{"L1I", m.L1ISize, m.L1IWays, m.LineBytes},
+			{"L1D", m.L1DSize, m.L1DWays, m.LineBytes},
+			{"L2", m.L2Size, m.L2Ways, m.LineBytes},
+			{"L3", m.L3Size, m.L3Ways, m.LineBytes},
+		} {
+			if geom.size%(geom.ways*geom.line) != 0 {
+				t.Errorf("%s %s: size %d not divisible by ways*line", c.Name, geom.name, geom.size)
+			}
+			sets := geom.size / (geom.ways * geom.line)
+			if sets&(sets-1) != 0 {
+				t.Errorf("%s %s: %d sets not a power of two", c.Name, geom.name, sets)
+			}
+		}
+		if !(m.L1DLat < m.L2Lat && m.L2Lat < m.L3Lat && m.L3Lat < m.MemLat) {
+			t.Errorf("%s: latency ordering broken", c.Name)
+		}
+	}
+}
+
+func TestCacheLatencyHierarchyGrowsWithSize(t *testing.T) {
+	for _, c := range allCores() {
+		if c.Mem.L1DSize > c.Mem.L2Size || c.Mem.L2Size > c.Mem.L3Size {
+			t.Errorf("%s: cache sizes must grow down the hierarchy", c.Name)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package core implements the paper's primary contribution: the security
+// dependence matrix integrated in the issue queue (§V.B), the suspect
+// speculation flag, the hazard filters that decide whether a suspect memory
+// access may execute speculatively — the Cache-hit filter (§V.C) and the
+// Trusted Page Buffer with its S-Pattern detector (§V.D) — and the policy
+// knobs that select between the paper's evaluated mechanisms (Origin,
+// Baseline, Cache-hit Filter, Cache-hit + TPBuf Filter).
+//
+// The structures are written the way the RTL would be: an NxN bit matrix
+// with row-OR hazard reduction and single-cycle column clears, and a CAM-like
+// TPBuf whose safety equation is the paper's eq. (1),
+//
+//	safe = !( |(V & W & S & Match) )
+//
+// with Match the "accesses a different physical page" vector per Table II.
+package core
+
+import "fmt"
+
+const wordBits = 64
+
+// BitMatrix is a dense NxN bit matrix supporting the row and column
+// operations the security dependence matrix needs: per-row set at dispatch,
+// row-OR reduction at select, and column clear at dependence clearance.
+type BitMatrix struct {
+	n     int
+	words int // words per row
+	bits  []uint64
+}
+
+// NewBitMatrix returns an n x n zero matrix.
+func NewBitMatrix(n int) *BitMatrix {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: bit matrix size %d", n))
+	}
+	w := (n + wordBits - 1) / wordBits
+	return &BitMatrix{n: n, words: w, bits: make([]uint64, n*w)}
+}
+
+// Size returns n.
+func (m *BitMatrix) Size() int { return m.n }
+
+func (m *BitMatrix) check(i int) {
+	if i < 0 || i >= m.n {
+		panic(fmt.Sprintf("core: index %d out of range [0,%d)", i, m.n))
+	}
+}
+
+// Set sets bit [i,j].
+func (m *BitMatrix) Set(i, j int) {
+	m.check(i)
+	m.check(j)
+	m.bits[i*m.words+j/wordBits] |= 1 << (uint(j) % wordBits)
+}
+
+// Clear clears bit [i,j].
+func (m *BitMatrix) Clear(i, j int) {
+	m.check(i)
+	m.check(j)
+	m.bits[i*m.words+j/wordBits] &^= 1 << (uint(j) % wordBits)
+}
+
+// Get reports bit [i,j].
+func (m *BitMatrix) Get(i, j int) bool {
+	m.check(i)
+	m.check(j)
+	return m.bits[i*m.words+j/wordBits]&(1<<(uint(j)%wordBits)) != 0
+}
+
+// RowAny reports whether any bit in row i is set — the reduction-OR the
+// paper uses to detect a potential security hazard for the issuing entry.
+func (m *BitMatrix) RowAny(i int) bool {
+	m.check(i)
+	row := m.bits[i*m.words : (i+1)*m.words]
+	var or uint64
+	for _, w := range row {
+		or |= w
+	}
+	return or != 0
+}
+
+// ClearRow zeroes row i (entry deallocated or squashed).
+func (m *BitMatrix) ClearRow(i int) {
+	m.check(i)
+	row := m.bits[i*m.words : (i+1)*m.words]
+	for k := range row {
+		row[k] = 0
+	}
+}
+
+// ClearCol zeroes column j across all rows — the dependence clearance that
+// happens one cycle after entry j issues.
+func (m *BitMatrix) ClearCol(j int) {
+	m.check(j)
+	w, b := j/wordBits, uint(j)%wordBits
+	mask := ^(uint64(1) << b)
+	for i := 0; i < m.n; i++ {
+		m.bits[i*m.words+w] &= mask
+	}
+}
+
+// PopCount returns the number of set bits (diagnostics and area modelling).
+func (m *BitMatrix) PopCount() int {
+	n := 0
+	for _, w := range m.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset zeroes the whole matrix.
+func (m *BitMatrix) Reset() {
+	for i := range m.bits {
+		m.bits[i] = 0
+	}
+}

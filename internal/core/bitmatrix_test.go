@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitMatrixBasics(t *testing.T) {
+	m := NewBitMatrix(70) // spans two words per row
+	if m.Size() != 70 {
+		t.Fatalf("size %d", m.Size())
+	}
+	m.Set(3, 65)
+	if !m.Get(3, 65) || m.Get(3, 64) || m.Get(65, 3) {
+		t.Fatal("set/get mismatch")
+	}
+	if !m.RowAny(3) || m.RowAny(4) {
+		t.Fatal("RowAny mismatch")
+	}
+	m.Clear(3, 65)
+	if m.Get(3, 65) || m.RowAny(3) {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestBitMatrixClearRowCol(t *testing.T) {
+	m := NewBitMatrix(8)
+	for j := 0; j < 8; j++ {
+		m.Set(2, j)
+		m.Set(j, 5)
+	}
+	m.ClearRow(2)
+	if m.RowAny(2) {
+		t.Fatal("row not cleared")
+	}
+	if !m.Get(3, 5) {
+		t.Fatal("ClearRow must not affect other rows")
+	}
+	m.ClearCol(5)
+	for i := 0; i < 8; i++ {
+		if m.Get(i, 5) {
+			t.Fatalf("col bit [%d,5] survived ClearCol", i)
+		}
+	}
+}
+
+func TestBitMatrixPopCountAndReset(t *testing.T) {
+	m := NewBitMatrix(10)
+	m.Set(0, 0)
+	m.Set(9, 9)
+	m.Set(5, 7)
+	if m.PopCount() != 3 {
+		t.Fatalf("popcount %d", m.PopCount())
+	}
+	m.Reset()
+	if m.PopCount() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestBitMatrixOutOfRangePanics(t *testing.T) {
+	m := NewBitMatrix(4)
+	for _, f := range []func(){
+		func() { m.Set(4, 0) },
+		func() { m.Get(0, -1) },
+		func() { m.ClearRow(7) },
+		func() { m.ClearCol(4) },
+		func() { NewBitMatrix(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// refMatrix is a trivially-correct map-based model for differential testing.
+type refMatrix map[[2]int]bool
+
+func (r refMatrix) rowAny(i, n int) bool {
+	for j := 0; j < n; j++ {
+		if r[[2]int{i, j}] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBitMatrixDifferential drives random operations against both the
+// packed implementation and the reference model.
+func TestBitMatrixDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(130)
+		m := NewBitMatrix(n)
+		ref := refMatrix{}
+		for step := 0; step < 300; step++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			switch rng.Intn(5) {
+			case 0:
+				m.Set(i, j)
+				ref[[2]int{i, j}] = true
+			case 1:
+				m.Clear(i, j)
+				delete(ref, [2]int{i, j})
+			case 2:
+				m.ClearRow(i)
+				for k := 0; k < n; k++ {
+					delete(ref, [2]int{i, k})
+				}
+			case 3:
+				m.ClearCol(j)
+				for k := 0; k < n; k++ {
+					delete(ref, [2]int{k, j})
+				}
+			case 4:
+				if m.Get(i, j) != ref[[2]int{i, j}] {
+					return false
+				}
+				if m.RowAny(i) != ref.rowAny(i, n) {
+					return false
+				}
+			}
+		}
+		if m.PopCount() != len(ref) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+
+	"conspec/internal/core"
+)
+
+// The dispatch-time formula and issue-time hazard check of §V.B.
+func ExampleSecMatrix() {
+	m := core.NewSecMatrix(8, core.ScopeBranchMem)
+
+	// The issue queue currently holds an unresolved branch in slot 0.
+	queue := make([]core.EntryState, 8)
+	queue[0] = core.EntryState{Valid: true, Class: core.ClassBranch}
+
+	// A load dispatches into slot 3: its row records the dependence.
+	m.OnDispatch(3, core.ClassMem, queue)
+	fmt.Println("suspect at issue:", m.HasHazard(3))
+
+	// The branch issues; its column clears at the next clock edge.
+	m.OnIssue(0)
+	m.ClockEdge()
+	fmt.Println("suspect after clearance:", m.Peek(3))
+	// Output:
+	// suspect at issue: true
+	// suspect after clearance: false
+}
+
+// Table II's decision for a suspect L1D miss.
+func ExampleTPBuf() {
+	t := core.NewTPBuf(4)
+
+	// Entry 0: instruction A — suspect, completed, page 0x40.
+	t.Allocate(0)
+	t.SetSuspect(0, true)
+	t.SetPPN(0, 0x40)
+	t.SetWriteback(0)
+
+	// Entry 1: instruction B, missing the L1D.
+	t.Allocate(1)
+	fmt.Println("same page safe:     ", t.QuerySafe(1, 0x40))
+	fmt.Println("different page safe:", t.QuerySafe(1, 0x99))
+	// Output:
+	// same page safe:      true
+	// different page safe: false
+}

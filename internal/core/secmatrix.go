@@ -1,0 +1,174 @@
+package core
+
+// Class is the instruction classification the security dependence matrix
+// operates on. The matrix does not care about opcodes, only whether an
+// entry is a memory access, a speculation source (branch), or neither.
+type Class uint8
+
+// Issue-queue entry classes.
+const (
+	ClassOther  Class = iota
+	ClassMem          // load, store, clflush
+	ClassBranch       // conditional branch or indirect jump
+)
+
+// Scope selects which producer classes create security dependences. The
+// paper's full mechanism is ScopeBranchMem; ScopeBranchOnly models the
+// branch-memory-only matrix of §VI.C(1) (23.0% average overhead) used to
+// decompose where the Baseline's cost comes from.
+type Scope uint8
+
+const (
+	// ScopeBranchMem marks dependences on unissued branches AND memory
+	// instructions (the paper's full formula).
+	ScopeBranchMem Scope = iota
+	// ScopeBranchOnly marks dependences on unissued branches only.
+	ScopeBranchOnly
+)
+
+// String names the scope.
+func (s Scope) String() string {
+	if s == ScopeBranchOnly {
+		return "branch-only"
+	}
+	return "branch+mem"
+}
+
+// EntryState is the issue-queue-side view of one entry that the matrix
+// consults at dispatch: the inputs of the paper's formula.
+type EntryState struct {
+	Valid  bool
+	Issued bool
+	Class  Class
+}
+
+// SecMatrixStats counts matrix events for Table V-style reporting.
+type SecMatrixStats struct {
+	Dispatches     uint64 // matrix rows initialized
+	MemDispatches  uint64 // rows for memory instructions
+	DepsRecorded   uint64 // bits set at dispatch
+	HazardsFlagged uint64 // issue-time row-OR hits (suspect flags assigned)
+	ColumnClears   uint64
+}
+
+// SecMatrix is the security dependence matrix of §V.B: an NxN bit matrix
+// indexed by issue-queue position, plus the Update Vector Register that
+// defers column clears by one cycle.
+type SecMatrix struct {
+	m         *BitMatrix
+	scope     Scope
+	updateVec []bool // set at issue; columns cleared at the next ClockEdge
+	pending   bool
+	Stats     SecMatrixStats
+}
+
+// NewSecMatrix builds a matrix for an issue queue of n entries.
+func NewSecMatrix(n int, scope Scope) *SecMatrix {
+	return &SecMatrix{m: NewBitMatrix(n), scope: scope, updateVec: make([]bool, n)}
+}
+
+// Size returns the issue queue size the matrix was built for.
+func (s *SecMatrix) Size() int { return s.m.Size() }
+
+// Scope returns the producer scope.
+func (s *SecMatrix) Scope() Scope { return s.scope }
+
+func (s *SecMatrix) producer(c Class) bool {
+	switch s.scope {
+	case ScopeBranchOnly:
+		return c == ClassBranch
+	default:
+		return c == ClassBranch || c == ClassMem
+	}
+}
+
+// OnDispatch initializes row x when instruction X enters the issue queue.
+// entries is the current state of every issue-queue position; the formula
+// from §V.B is applied verbatim:
+//
+//	Matrix[X,Y] = (X is MEMORY) & (Y is MEMORY or BRANCH)
+//	            & entries[Y].Valid & !entries[Y].Issued
+//
+// Row x is cleared first (the entry is being reallocated).
+func (s *SecMatrix) OnDispatch(x int, xClass Class, entries []EntryState) {
+	s.m.ClearRow(x)
+	if s.updateVec[x] {
+		// The previous occupant issued and was deallocated before its
+		// pending column clear fired; apply the clear now so the stale
+		// dependence does not transfer to the new occupant.
+		s.m.ClearCol(x)
+		s.updateVec[x] = false
+	}
+	s.Stats.Dispatches++
+	if xClass != ClassMem {
+		return
+	}
+	s.Stats.MemDispatches++
+	for y, e := range entries {
+		if y == x {
+			continue
+		}
+		if e.Valid && !e.Issued && s.producer(e.Class) {
+			s.m.Set(x, y)
+			s.Stats.DepsRecorded++
+		}
+	}
+}
+
+// HasHazard reports whether entry x still has an uncleared security
+// dependence — the row-OR consulted at the select stage. When it returns
+// true the issuing instruction is tagged with the suspect speculation flag.
+func (s *SecMatrix) HasHazard(x int) bool {
+	h := s.m.RowAny(x)
+	if h {
+		s.Stats.HazardsFlagged++
+	}
+	return h
+}
+
+// Peek is HasHazard without statistics (for re-issue checks each cycle).
+func (s *SecMatrix) Peek(x int) bool { return s.m.RowAny(x) }
+
+// OnIssue records that entry x issued this cycle. Its column is cleared at
+// the next ClockEdge, exactly one cycle later, via the Update Vector
+// Register — younger instructions stop depending on x then.
+func (s *SecMatrix) OnIssue(x int) {
+	s.updateVec[x] = true
+	s.pending = true
+}
+
+// OnSquash removes entry x entirely (squash or deallocation): both its row
+// and its column vanish immediately, since the entry no longer exists.
+func (s *SecMatrix) OnSquash(x int) {
+	s.m.ClearRow(x)
+	s.m.ClearCol(x)
+	s.updateVec[x] = false
+}
+
+// ClockEdge applies pending column clears from the Update Vector Register.
+// Call once per simulated cycle, after issue selection.
+func (s *SecMatrix) ClockEdge() {
+	if !s.pending {
+		return
+	}
+	for x, set := range s.updateVec {
+		if set {
+			s.m.ClearCol(x)
+			s.updateVec[x] = false
+			s.Stats.ColumnClears++
+		}
+	}
+	s.pending = false
+}
+
+// Get exposes one matrix bit (tests, diagnostics).
+func (s *SecMatrix) Get(x, y int) bool { return s.m.Get(x, y) }
+
+// Reset clears all state between runs.
+func (s *SecMatrix) Reset() {
+	s.m.Reset()
+	for i := range s.updateVec {
+		s.updateVec[i] = false
+	}
+	s.pending = false
+}

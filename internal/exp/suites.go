@@ -1,0 +1,409 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"conspec/internal/attack"
+	"conspec/internal/config"
+	"conspec/internal/core"
+	"conspec/internal/hw"
+	"conspec/internal/mem"
+	"conspec/internal/pipeline"
+	"conspec/internal/workload"
+)
+
+// Table6Row is one benchmark's overheads on one sensitivity core.
+type Table6Row struct {
+	Benchmark string
+	Baseline  float64
+	CacheHit  float64
+	TPBuf     float64
+}
+
+// Table6Core is Table VI for one core configuration.
+type Table6Core struct {
+	Core string
+	Rows []Table6Row
+	Avg  Table6Row
+}
+
+// RunTable6 regenerates Table VI: the three defense mechanisms on the
+// A57-like, I7-like and Xeon-like cores.
+func RunTable6(spec RunSpec, names []string, progress func(string)) ([]Table6Core, error) {
+	var out []Table6Core
+	for _, cfg := range config.SensitivityCores() {
+		s := spec
+		s.Core = cfg
+		ev, err := RunEvaluation(s, names, progress)
+		if err != nil {
+			return nil, err
+		}
+		tc := Table6Core{Core: cfg.Name}
+		for _, b := range ev.Benches {
+			tc.Rows = append(tc.Rows, Table6Row{
+				Benchmark: b.Name,
+				Baseline:  b.Overhead(core.Baseline),
+				CacheHit:  b.Overhead(core.CacheHit),
+				TPBuf:     b.Overhead(core.CacheHitTPBuf),
+			})
+		}
+		tc.Avg = Table6Row{
+			Benchmark: "Average",
+			Baseline:  ev.AverageOverhead(core.Baseline),
+			CacheHit:  ev.AverageOverhead(core.CacheHit),
+			TPBuf:     ev.AverageOverhead(core.CacheHitTPBuf),
+		}
+		out = append(out, tc)
+	}
+	return out, nil
+}
+
+// Table6Text renders the Table VI results with the paper's averages.
+func Table6Text(cores []Table6Core) string {
+	var sb strings.Builder
+	paperAvg := map[string][3]string{
+		"A57-like":  {"41.1%", "11.0%", "6.0%"},
+		"I7-like":   {"46.3%", "15.1%", "9.0%"},
+		"Xeon-like": {"51.4%", "15.9%", "9.6%"},
+	}
+	for _, tc := range cores {
+		fmt.Fprintf(&sb, "== %s ==\n", tc.Core)
+		tw := newTable(&sb)
+		tw.row("Benchmark", "Baseline", "Cache-hit", "CH+TPBuf")
+		tw.sep()
+		pct := func(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+		for _, r := range tc.Rows {
+			tw.row(r.Benchmark, pct(r.Baseline), pct(r.CacheHit), pct(r.TPBuf))
+		}
+		tw.sep()
+		tw.row("Average", pct(tc.Avg.Baseline), pct(tc.Avg.CacheHit), pct(tc.Avg.TPBuf))
+		if pa, ok := paperAvg[tc.Core]; ok {
+			tw.row("Paper avg", pa[0], pa[1], pa[2])
+		}
+		tw.flush()
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ScopeResult is the §VI.C(1) decomposition: how much of the Baseline's
+// cost comes from branch-memory dependences alone versus the full
+// branch+memory matrix.
+type ScopeResult struct {
+	BranchOnlyAvg float64
+	FullAvg       float64
+	// PerBench maps benchmark -> [branch-only, full] overheads.
+	PerBench map[string][2]float64
+	// UnresolvedBranchFrac is the fraction of dispatched instructions that
+	// entered the machine while a branch was unresolved (astar analysis).
+	UnresolvedBranchFrac map[string]float64
+}
+
+// RunScope measures Baseline overheads under the two matrix scopes.
+func RunScope(spec RunSpec, names []string, progress func(string)) (*ScopeResult, error) {
+	if names == nil {
+		names = workload.Names()
+	}
+	if names == nil {
+		names = workload.Names()
+	}
+	out := &ScopeResult{
+		PerBench:             make(map[string][2]float64),
+		UnresolvedBranchFrac: make(map[string]float64),
+	}
+	var mu sync.Mutex
+	n := float64(len(names))
+	err := forEachBench(names, func(p workload.Profile) error {
+		w, err := workload.Generate(p)
+		if err != nil {
+			return err
+		}
+		s := spec
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
+		origin := RunWorkload(w, s)
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Baseline, Scope: core.ScopeBranchOnly}
+		bo := RunWorkload(w, s)
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Baseline, Scope: core.ScopeBranchMem}
+		full := RunWorkload(w, s)
+		ovBO, ovFull := Overhead(origin, bo), Overhead(origin, full)
+		mu.Lock()
+		defer mu.Unlock()
+		out.PerBench[p.Name] = [2]float64{ovBO, ovFull}
+		out.BranchOnlyAvg += ovBO / n
+		out.FullAvg += ovFull / n
+		if full.Committed > 0 {
+			out.UnresolvedBranchFrac[p.Name] =
+				float64(full.UnresolvedBranchAtDispatch) / float64(full.Committed)
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("%-12s branch-only %+6.1f%%  full %+6.1f%%",
+				p.Name, 100*ovBO, 100*ovFull))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// ScopeText renders the §VI.C(1) decomposition.
+func ScopeText(r *ScopeResult) string {
+	var sb strings.Builder
+	tw := newTable(&sb)
+	tw.row("Benchmark", "Branch-only", "Branch+Mem", "UnresolvedBr@disp")
+	tw.sep()
+	for _, name := range workload.Names() {
+		v, ok := r.PerBench[name]
+		if !ok {
+			continue
+		}
+		tw.row(name,
+			fmt.Sprintf("%.1f%%", 100*v[0]),
+			fmt.Sprintf("%.1f%%", 100*v[1]),
+			fmt.Sprintf("%.1f%%", 100*r.UnresolvedBranchFrac[name]))
+	}
+	tw.sep()
+	tw.row("Average", fmt.Sprintf("%.1f%%", 100*r.BranchOnlyAvg),
+		fmt.Sprintf("%.1f%%", 100*r.FullAvg), "")
+	tw.row("Paper avg", "23.0%", "53.6%", "")
+	tw.flush()
+	return sb.String()
+}
+
+// LRUResult is the §VII.A secure replacement-update study on top of the
+// full Cache-hit + TPBuf mechanism.
+type LRUResult struct {
+	// Overheads vs the Origin machine, averaged across benchmarks, for the
+	// conventional, no-update and delayed-update policies.
+	Always, NoUpdate, Delayed float64
+}
+
+// RunLRU measures the three §VII.A policies under CacheHit+TPBuf.
+func RunLRU(spec RunSpec, names []string, progress func(string)) (*LRUResult, error) {
+	if names == nil {
+		names = workload.Names()
+	}
+	if names == nil {
+		names = workload.Names()
+	}
+	var out LRUResult
+	var mu sync.Mutex
+	n := float64(len(names))
+	err := forEachBench(names, func(p workload.Profile) error {
+		w, err := workload.Generate(p)
+		if err != nil {
+			return err
+		}
+		s := spec
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
+		origin := RunWorkload(w, s)
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
+		var deltas [3]float64
+		for i, pol := range []mem.UpdatePolicy{mem.UpdateAlways, mem.UpdateNoSpec, mem.UpdateDelayed} {
+			s.L1DUpdate = pol
+			deltas[i] = Overhead(origin, RunWorkload(w, s))
+		}
+		mu.Lock()
+		out.Always += deltas[0] / n
+		out.NoUpdate += deltas[1] / n
+		out.Delayed += deltas[2] / n
+		mu.Unlock()
+		if progress != nil {
+			progress("lru: " + p.Name)
+		}
+		return nil
+	})
+	return &out, err
+}
+
+// LRUText renders the §VII.A comparison.
+func LRUText(r *LRUResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CacheHit+TPBuf overhead vs Origin, by L1D replacement-update policy:\n")
+	fmt.Fprintf(&sb, "  conventional update : %6.2f%%\n", 100*r.Always)
+	fmt.Fprintf(&sb, "  no-update policy    : %6.2f%%  (paper: +0.71%% over conventional)\n", 100*r.NoUpdate)
+	fmt.Fprintf(&sb, "  delayed-update      : %6.2f%%  (paper: recovers 0.26%% of no-update)\n", 100*r.Delayed)
+	fmt.Fprintf(&sb, "  no-update cost      : %+6.2f%%\n", 100*(r.NoUpdate-r.Always))
+	fmt.Fprintf(&sb, "  delayed-update gain : %+6.2f%%\n", 100*(r.NoUpdate-r.Delayed))
+	return sb.String()
+}
+
+// ICacheResult is the §VII.B extension study.
+type ICacheResult struct {
+	Without float64 // CacheHit+TPBuf overhead vs Origin
+	With    float64 // same plus the ICache-hit filter
+	// Stalls is the per-benchmark count of filter-induced fetch stalls.
+	Stalls map[string]uint64
+}
+
+// RunICache measures the ICache-hit filter's additional cost. Beyond the
+// requested benchmarks it always includes the dedicated icache-stress
+// kernel, because loop-resident SPEC-shaped kernels never miss the L1I and
+// would report the filter as free by construction.
+func RunICache(spec RunSpec, names []string, progress func(string)) (*ICacheResult, error) {
+	if names == nil {
+		names = workload.Names()
+	}
+	profiles := make([]workload.Profile, 0, len(names)+1)
+	for _, name := range names {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown benchmark %q", name)
+		}
+		profiles = append(profiles, p)
+	}
+	profiles = append(profiles, workload.ICacheStress())
+	out := &ICacheResult{Stalls: make(map[string]uint64)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	n := float64(len(profiles))
+	for _, p := range profiles {
+		wg.Add(1)
+		go func(p workload.Profile) {
+			defer wg.Done()
+			w, err := workload.Generate(p)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			s := spec
+			s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
+			origin := RunWorkload(w, s)
+			s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
+			without := Overhead(origin, RunWorkload(w, s))
+			s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf, ICacheFilter: true}
+			res := RunWorkload(w, s)
+			mu.Lock()
+			out.Without += without / n
+			out.With += Overhead(origin, res) / n
+			out.Stalls[p.Name] = res.FetchStallsICacheFilter
+			mu.Unlock()
+			if progress != nil {
+				progress("icache: " + p.Name)
+			}
+		}(p)
+	}
+	wg.Wait()
+	return out, firstErr
+}
+
+// ICacheText renders the §VII.B study.
+func ICacheText(r *ICacheResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ICache-hit filter extension (§VII.B), CacheHit+TPBuf overhead vs Origin:\n")
+	fmt.Fprintf(&sb, "  without ICache filter: %6.2f%%\n", 100*r.Without)
+	fmt.Fprintf(&sb, "  with ICache filter   : %6.2f%%\n", 100*r.With)
+	fmt.Fprintf(&sb, "  additional cost      : %+6.2f%%\n", 100*(r.With-r.Without))
+	return sb.String()
+}
+
+// RunTable4 regenerates Table IV by running every attack scenario under
+// every mechanism.
+func RunTable4(cfg config.Core, progress func(string)) []attack.Outcome {
+	var out []attack.Outcome
+	for _, h := range attack.Scenarios(cfg) {
+		for _, m := range core.Mechanisms {
+			o := h.Run(cfg, pipeline.SecurityConfig{Mechanism: m})
+			out = append(out, o)
+			if progress != nil {
+				progress(o.String())
+			}
+		}
+	}
+	return out
+}
+
+// Table4Text renders the attack matrix with the paper's expectations.
+func Table4Text(outcomes []attack.Outcome) string {
+	var sb strings.Builder
+	tw := newTable(&sb)
+	tw.row("Scenario", "Mechanism", "Recovered", "Result", "Paper")
+	tw.sep()
+	for _, o := range outcomes {
+		status := "DEFENDED"
+		if o.Leaked {
+			status = "LEAKED"
+		}
+		// Expectation by mechanism name and scenario class.
+		h := o.Scenario
+		shared := !strings.Contains(h, "samepage")
+		want := "✓ defends"
+		if !attack.ExpectedDefense("", shared, o.Mechanism) {
+			want = "✗ leaks"
+		}
+		tw.row(o.Scenario, o.Mechanism,
+			fmt.Sprintf("%d/%d", o.Correct, len(o.Secret)), status, want)
+	}
+	tw.flush()
+	return sb.String()
+}
+
+// OverheadText renders the §VI.E hardware model for all cores.
+func OverheadText() string {
+	var sb strings.Builder
+	tech := hw.SMIC40()
+	cores := append([]config.Core{config.PaperCore()}, config.SensitivityCores()...)
+	for _, cfg := range cores {
+		sb.WriteString(hw.Evaluate(tech, cfg).String())
+		sb.WriteString("\n")
+	}
+	sb.WriteString("paper reference: matrix 0.05mm² (3.5% of 32KB cache), +1.4% critical path;\n")
+	sb.WriteString("                 TPBuf 0.00079mm² (0.055% of 32KB cache)\n")
+	return sb.String()
+}
+
+// DTLBResult measures this reproduction's DTLB-hit filter extension.
+type DTLBResult struct {
+	Without float64 // CacheHit+TPBuf overhead vs Origin
+	With    float64 // same plus the DTLB-hit filter
+	// Blocks counts filter-induced blocks per benchmark.
+	Blocks map[string]uint64
+}
+
+// RunDTLBFilter measures the DTLB-hit filter's additional cost.
+func RunDTLBFilter(spec RunSpec, names []string, progress func(string)) (*DTLBResult, error) {
+	if names == nil {
+		names = workload.Names()
+	}
+	out := &DTLBResult{Blocks: make(map[string]uint64)}
+	var mu sync.Mutex
+	n := float64(len(names))
+	err := forEachBench(names, func(p workload.Profile) error {
+		w, err := workload.Generate(p)
+		if err != nil {
+			return err
+		}
+		s := spec
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
+		origin := RunWorkload(w, s)
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
+		without := Overhead(origin, RunWorkload(w, s))
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf, DTLBFilter: true}
+		res := RunWorkload(w, s)
+		mu.Lock()
+		out.Without += without / n
+		out.With += Overhead(origin, res) / n
+		out.Blocks[p.Name] = res.DTLBFilterBlocks
+		mu.Unlock()
+		if progress != nil {
+			progress("dtlb: " + p.Name)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// DTLBText renders the DTLB-filter study.
+func DTLBText(r *DTLBResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DTLB-hit filter extension (closes the translation side channel):\n")
+	fmt.Fprintf(&sb, "  CacheHit+TPBuf overhead without it: %6.2f%%\n", 100*r.Without)
+	fmt.Fprintf(&sb, "  with the DTLB-hit filter          : %6.2f%%\n", 100*r.With)
+	fmt.Fprintf(&sb, "  additional cost                   : %+6.2f%%\n", 100*(r.With-r.Without))
+	return sb.String()
+}

@@ -1,0 +1,136 @@
+// Package hw provides the analytical area/timing model behind §VI.E's
+// hardware overhead evaluation. The paper synthesized the security
+// dependence matrix and TPBuf at RTL with the SMIC 40nm library; we cannot
+// run a synthesis flow, so this model counts storage cells and logic per
+// structure and applies per-cell area constants calibrated so that the
+// paper configuration reproduces the published absolute numbers:
+//
+//   - 64-entry issue queue matrix: 0.05 mm², 3.5% of a 4-way 32KB cache,
+//     +1.4% on the issue-select critical path;
+//   - 56-entry TPBuf: 0.00079 mm², 0.055% of the same cache.
+//
+// With the constants fixed, the model extrapolates to the other cores
+// (A57-like, I7-like, Xeon-like) by structure size, which is exactly how
+// the area of bit-matrix and CAM structures scales to first order.
+package hw
+
+import (
+	"fmt"
+
+	"conspec/internal/config"
+)
+
+// Tech holds per-cell area constants for one process node.
+type Tech struct {
+	Name string
+	// MatrixCellUM2 is the effective area of one security-dependence
+	// matrix bit: a multi-ported register cell plus its share of the row
+	// OR-reduction and column-clear drivers.
+	MatrixCellUM2 float64
+	// TPBufCellUM2 is the effective area of one TPBuf storage bit (CAM tag
+	// bits, mask bits and status flops averaged).
+	TPBufCellUM2 float64
+	// Cache32KB4WayMM2 is the reference macro the paper normalizes
+	// against: a complete 4-way 32KB cache including tags and periphery.
+	Cache32KB4WayMM2 float64
+	// SelectPathPsPerLevel approximates the extra delay of one gate level
+	// on the issue-select path, as a fraction of the baseline select path
+	// per level (used for the critical-path estimate).
+	SelectPathFracPerLevel float64
+}
+
+// SMIC40 returns the 40nm constants calibrated against the paper's numbers.
+func SMIC40() Tech {
+	return Tech{
+		Name: "SMIC 40nm",
+		// 0.05mm² / (64*64 bits) = 12.2 µm² per matrix bit.
+		MatrixCellUM2: 0.05 * 1e6 / (64 * 64),
+		// 0.00079mm² / (56*(28+56+4) bits) = 0.16 µm² per TPBuf bit.
+		TPBufCellUM2: 0.00079 * 1e6 / (56 * 88),
+		// 0.05mm² is 3.5% of the reference cache => 1.4286mm².
+		Cache32KB4WayMM2: 0.05 / 0.035,
+		// One extra select stage level at IQ=64 costs 1.4%/log2(64)
+		// ≈ 0.2333% per level.
+		SelectPathFracPerLevel: 0.014 / 6,
+	}
+}
+
+// PPNBits is the physical page number width the TPBuf stores; 40 physical
+// address bits minus the 12-bit page offset.
+const PPNBits = 28
+
+// Area is one structure's modelled area.
+type Area struct {
+	Bits           int
+	MM2            float64
+	PercentOfCache float64 // relative to the 4-way 32KB reference macro
+}
+
+func (a Area) String() string {
+	return fmt.Sprintf("%d bits, %.5f mm² (%.3f%% of a 4-way 32KB cache)",
+		a.Bits, a.MM2, a.PercentOfCache)
+}
+
+// MatrixArea models the NxN security dependence matrix for an issue queue
+// of n entries.
+func (t Tech) MatrixArea(n int) Area {
+	bits := n * n
+	mm2 := float64(bits) * t.MatrixCellUM2 / 1e6
+	return Area{Bits: bits, MM2: mm2, PercentOfCache: 100 * mm2 / t.Cache32KB4WayMM2}
+}
+
+// TPBufArea models a TPBuf with one entry per LSQ slot: PPN tag, an
+// age-mask bit per entry, and the four status bits (S, W, V, A).
+func (t Tech) TPBufArea(entries int) Area {
+	bitsPerEntry := PPNBits + entries + 4
+	bits := entries * bitsPerEntry
+	mm2 := float64(bits) * t.TPBufCellUM2 / 1e6
+	return Area{Bits: bits, MM2: mm2, PercentOfCache: 100 * mm2 / t.Cache32KB4WayMM2}
+}
+
+// CriticalPathIncrease estimates the relative lengthening of the issue
+// select path from consulting the security matrix: the row-OR reduction
+// adds log2(n) gate levels.
+func (t Tech) CriticalPathIncrease(n int) float64 {
+	levels := 0
+	for v := 1; v < n; v <<= 1 {
+		levels++
+	}
+	return float64(levels) * t.SelectPathFracPerLevel
+}
+
+// Report is the full §VI.E evaluation for one core configuration.
+type Report struct {
+	Core         string
+	Tech         string
+	IQEntries    int
+	LSQEntries   int
+	Matrix       Area
+	TPBuf        Area
+	CriticalPath float64 // fractional increase, e.g. 0.014
+}
+
+// Evaluate models the hardware cost of Conditional Speculation on cfg.
+func Evaluate(t Tech, cfg config.Core) Report {
+	lsq := cfg.LDQ + cfg.STQ
+	return Report{
+		Core:         cfg.Name,
+		Tech:         t.Name,
+		IQEntries:    cfg.IQ,
+		LSQEntries:   lsq,
+		Matrix:       t.MatrixArea(cfg.IQ),
+		TPBuf:        t.TPBufArea(lsq),
+		CriticalPath: t.CriticalPathIncrease(cfg.IQ),
+	}
+}
+
+// String renders the report in the shape of §VI.E's prose.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"core %s (%s)\n"+
+			"  security dependence matrix (%d-entry IQ): %v\n"+
+			"  critical path increase: %.1f%%\n"+
+			"  TPBuf (%d LSQ entries): %v\n",
+		r.Core, r.Tech, r.IQEntries, r.Matrix,
+		100*r.CriticalPath, r.LSQEntries, r.TPBuf)
+}

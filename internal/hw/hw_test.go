@@ -1,0 +1,112 @@
+package hw
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"conspec/internal/config"
+)
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}
+
+// TestPaperCalibration: the paper configuration must reproduce §VI.E's
+// published numbers exactly (they are the calibration points).
+func TestPaperCalibration(t *testing.T) {
+	tech := SMIC40()
+	m := tech.MatrixArea(64)
+	if !approx(m.MM2, 0.05, 1e-9) {
+		t.Errorf("matrix area = %v mm², want 0.05", m.MM2)
+	}
+	if !approx(m.PercentOfCache, 3.5, 1e-9) {
+		t.Errorf("matrix %% of cache = %v, want 3.5", m.PercentOfCache)
+	}
+	tp := tech.TPBufArea(56)
+	if !approx(tp.MM2, 0.00079, 1e-9) {
+		t.Errorf("TPBuf area = %v mm², want 0.00079", tp.MM2)
+	}
+	if !approx(tp.PercentOfCache, 0.055, 0.01) {
+		t.Errorf("TPBuf %% of cache = %v, want ~0.055", tp.PercentOfCache)
+	}
+	if !approx(tech.CriticalPathIncrease(64), 0.014, 1e-9) {
+		t.Errorf("critical path = %v, want 0.014", tech.CriticalPathIncrease(64))
+	}
+}
+
+func TestAreaScalesQuadratically(t *testing.T) {
+	tech := SMIC40()
+	a32, a64 := tech.MatrixArea(32), tech.MatrixArea(64)
+	if !approx(a64.MM2/a32.MM2, 4, 1e-9) {
+		t.Errorf("doubling IQ entries must quadruple matrix area: %v vs %v", a32.MM2, a64.MM2)
+	}
+}
+
+func TestTPBufScalesSuperlinearly(t *testing.T) {
+	tech := SMIC40()
+	a28, a56 := tech.TPBufArea(28), tech.TPBufArea(56)
+	ratio := a56.MM2 / a28.MM2
+	if ratio <= 2 || ratio >= 4 {
+		t.Errorf("TPBuf doubling ratio = %v, want in (2,4) (mask grows with entries)", ratio)
+	}
+}
+
+func TestCriticalPathMonotonic(t *testing.T) {
+	tech := SMIC40()
+	prev := -1.0
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		cp := tech.CriticalPathIncrease(n)
+		if cp <= prev {
+			t.Errorf("critical path not monotonic at n=%d: %v <= %v", n, cp, prev)
+		}
+		prev = cp
+	}
+}
+
+func TestEvaluateAllCores(t *testing.T) {
+	tech := SMIC40()
+	paper := Evaluate(tech, config.PaperCore())
+	if paper.IQEntries != 64 || paper.LSQEntries != 56 {
+		t.Fatalf("paper core structure sizes wrong: %+v", paper)
+	}
+	if paper.String() == "" {
+		t.Fatal("empty report")
+	}
+	for _, cfg := range config.SensitivityCores() {
+		r := Evaluate(tech, cfg)
+		if r.Matrix.MM2 <= 0 || r.TPBuf.MM2 <= 0 || r.CriticalPath <= 0 {
+			t.Errorf("%s: non-positive areas: %+v", cfg.Name, r)
+		}
+		// Sanity: every core's defense hardware is a tiny fraction of a
+		// 32KB cache — the paper's headline claim.
+		if r.Matrix.PercentOfCache > 10 {
+			t.Errorf("%s: matrix suspiciously large: %v", cfg.Name, r.Matrix)
+		}
+		if r.TPBuf.PercentOfCache > 0.2 {
+			t.Errorf("%s: TPBuf suspiciously large: %v", cfg.Name, r.TPBuf)
+		}
+	}
+}
+
+func TestAreaString(t *testing.T) {
+	if SMIC40().MatrixArea(64).String() == "" {
+		t.Fatal("empty area string")
+	}
+}
+
+func TestReportMentionsStructures(t *testing.T) {
+	r := Evaluate(SMIC40(), config.PaperCore())
+	s := r.String()
+	for _, want := range []string{"security dependence matrix", "TPBuf", "critical path"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPPNBitsSane(t *testing.T) {
+	if PPNBits != 28 {
+		t.Fatalf("PPNBits = %d; TPBuf sizing and §VI.E calibration assume 28", PPNBits)
+	}
+}

@@ -1,0 +1,57 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStringCoversEveryOpcode renders every opcode with plausible operands
+// and checks the mnemonic appears and the format is parseable-looking.
+func TestStringCoversEveryOpcode(t *testing.T) {
+	for o := Op(0); o < opCount; o++ {
+		in := Inst{Op: o, Rd: 1, Rs1: 2, Rs2: 3, Imm: 16}
+		s := in.String()
+		if s == "" {
+			t.Fatalf("%v renders empty", o)
+		}
+		if !strings.HasPrefix(s, o.String()) {
+			t.Errorf("%v: %q does not start with its mnemonic", o, s)
+		}
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := map[string]Inst{
+		"ld x1, 16(x2)":   {Op: OpLd, Rd: 1, Rs1: 2, Imm: 16},
+		"st x3, 16(x2)":   {Op: OpSt, Rs1: 2, Rs2: 3, Imm: 16},
+		"clflush 16(x2)":  {Op: OpClflush, Rs1: 2, Imm: 16},
+		"beq x2, x3, 16":  {Op: OpBeq, Rs1: 2, Rs2: 3, Imm: 16},
+		"jal x1, 16":      {Op: OpJal, Rd: 1, Imm: 16},
+		"jalr x1, 16(x2)": {Op: OpJalr, Rd: 1, Rs1: 2, Imm: 16},
+		"li x1, 16":       {Op: OpLi, Rd: 1, Imm: 16},
+		"rdcycle x1":      {Op: OpRdcycle, Rd: 1},
+		"addi x1, x2, 16": {Op: OpAddi, Rd: 1, Rs1: 2, Imm: 16},
+		"add x1, x2, x3":  {Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		"fence":           {Op: OpFence},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%+v renders %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestOpUnitCoversAll(t *testing.T) {
+	for o := Op(0); o < opCount; o++ {
+		u := o.Unit()
+		if u >= FUCount {
+			t.Errorf("%v has invalid unit %d", o, u)
+		}
+		if o.IsMem() && u != FUMem {
+			t.Errorf("%v: memory op must use the memory unit", o)
+		}
+		if o.IsControl() && u != FUBranch {
+			t.Errorf("%v: control op must use the branch unit", o)
+		}
+	}
+}

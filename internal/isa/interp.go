@@ -1,0 +1,94 @@
+package isa
+
+import "fmt"
+
+// Interp is the reference in-order interpreter: the architectural golden
+// model. It executes one instruction per Step with no speculation, no caches
+// and no timing, and is used for differential testing of the out-of-order
+// core (both must reach identical architectural state) and for constructing
+// expected results in attack harnesses.
+type Interp struct {
+	Regs   [NumRegs]uint64
+	PC     uint64
+	Mem    Memory
+	Halted bool
+
+	// InstRet counts retired instructions; it also serves as the "cycle"
+	// value returned by RDCYCLE in the reference model (the golden model has
+	// no timing, so any monotonic counter is a valid architectural reading).
+	InstRet uint64
+}
+
+// NewInterp returns an interpreter over mem starting at pc.
+func NewInterp(mem Memory, pc uint64) *Interp {
+	return &Interp{Mem: mem, PC: pc}
+}
+
+// ErrBadOpcode is returned by Step when it fetches an undefined instruction,
+// which almost always means the PC escaped the program.
+type ErrBadOpcode struct {
+	PC uint64
+	Op Op
+}
+
+func (e ErrBadOpcode) Error() string {
+	return fmt.Sprintf("isa: undefined opcode %d at PC %#x", uint8(e.Op), e.PC)
+}
+
+// Step executes one instruction. It is a no-op once Halted.
+func (m *Interp) Step() error {
+	if m.Halted {
+		return nil
+	}
+	in := Decode(m.Mem.Read(m.PC, InstBytes))
+	if !in.Valid() {
+		return ErrBadOpcode{PC: m.PC, Op: in.Op}
+	}
+	next := m.PC + InstBytes
+	a, b := m.Regs[in.Rs1], m.Regs[in.Rs2]
+
+	switch {
+	case in.Op == OpHalt:
+		m.Halted = true
+	case in.Op == OpNop || in.Op == OpFence || in.Op == OpClflush:
+		// No architectural effect.
+	case in.Op.IsLoad():
+		m.setReg(in.Rd, m.Mem.Read(a+uint64(int64(in.Imm)), in.Op.MemBytes()))
+	case in.Op.IsStore():
+		m.Mem.Write(a+uint64(int64(in.Imm)), in.Op.MemBytes(), b)
+	case in.Op.IsCondBranch():
+		if BranchTaken(in.Op, a, b) {
+			next = m.PC + uint64(int64(in.Imm))
+		}
+	case in.Op == OpJal:
+		m.setReg(in.Rd, m.PC+InstBytes)
+		next = m.PC + uint64(int64(in.Imm))
+	case in.Op == OpJalr:
+		m.setReg(in.Rd, m.PC+InstBytes)
+		next = a + uint64(int64(in.Imm))
+	default:
+		m.setReg(in.Rd, EvalALU(in, a, b, m.InstRet))
+	}
+
+	m.PC = next
+	m.InstRet++
+	return nil
+}
+
+func (m *Interp) setReg(rd uint8, v uint64) {
+	if rd != 0 {
+		m.Regs[rd] = v
+	}
+}
+
+// Run steps until HALT or max instructions, whichever comes first. It
+// returns the number of instructions retired by this call.
+func (m *Interp) Run(max uint64) (uint64, error) {
+	start := m.InstRet
+	for !m.Halted && m.InstRet-start < max {
+		if err := m.Step(); err != nil {
+			return m.InstRet - start, err
+		}
+	}
+	return m.InstRet - start, nil
+}

@@ -1,0 +1,369 @@
+// Package isa defines the 64-bit RISC instruction set interpreted by the
+// conspec simulator, together with a reference in-order interpreter that
+// serves as the golden architectural model for differential testing.
+//
+// The ISA is deliberately small: integer ALU operations, 1- and 8-byte loads
+// and stores, conditional branches, direct and indirect jumps, and the three
+// primitives Spectre proof-of-concept code needs — CLFLUSH (evict a line from
+// the whole hierarchy), FENCE (serialize speculation) and RDCYCLE (read the
+// cycle counter, the timing side-channel receiver).
+//
+// Instructions occupy eight bytes in simulated memory:
+//
+//	bits 63..56 opcode
+//	bits 55..48 rd
+//	bits 47..40 rs1
+//	bits 39..32 rs2
+//	bits 31..0  imm (signed 32-bit)
+//
+// The program counter advances by InstBytes (8) per instruction. Branch and
+// JAL immediates are byte offsets relative to the instruction's own PC.
+package isa
+
+import "fmt"
+
+// InstBytes is the size of one encoded instruction in memory.
+const InstBytes = 8
+
+// NumRegs is the number of architectural integer registers. Register 0 is
+// hard-wired to zero: writes to it are discarded.
+const NumRegs = 32
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode space. The order groups instructions by functional class; use the
+// classification helpers (IsLoad, IsStore, ...) rather than numeric ranges.
+const (
+	OpNop Op = iota
+	OpHalt
+
+	// Register-register ALU.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // logical right shift
+	OpSra // arithmetic right shift
+	OpSlt // set if signed less-than
+	OpSltu
+
+	// Register-immediate ALU.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+	OpSrai
+	OpLi // rd = sign-extended imm
+
+	// Long-latency integer.
+	OpMul
+	OpDiv // signed divide; division by zero yields all-ones, like RISC-V
+	OpRem
+
+	// Memory. Effective address is rs1+imm.
+	OpLd  // rd = mem64[rs1+imm]
+	OpLd1 // rd = zero-extended mem8[rs1+imm]
+	OpSt  // mem64[rs1+imm] = rs2
+	OpSt1 // mem8[rs1+imm] = low byte of rs2
+
+	// Control flow. Conditional branches compare rs1 against rs2.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJal  // rd = PC+8; PC += imm
+	OpJalr // rd = PC+8; PC = rs1+imm (indirect)
+
+	// System.
+	OpClflush // flush the line containing rs1+imm from all cache levels
+	OpFence   // speculation barrier: younger instructions wait for commit
+	OpRdcycle // rd = current cycle count
+
+	opCount // sentinel; keep last
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpHalt: "halt",
+	OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpSra: "sra", OpSlt: "slt", OpSltu: "sltu",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpShli: "shli", OpShri: "shri", OpSrai: "srai", OpLi: "li",
+	OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpLd: "ld", OpLd1: "ld1", OpSt: "st", OpSt1: "st1",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBltu: "bltu", OpBgeu: "bgeu",
+	OpJal: "jal", OpJalr: "jalr",
+	OpClflush: "clflush", OpFence: "fence", OpRdcycle: "rdcycle",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opCount }
+
+// IsLoad reports whether o reads data memory.
+func (o Op) IsLoad() bool { return o == OpLd || o == OpLd1 }
+
+// IsStore reports whether o writes data memory.
+func (o Op) IsStore() bool { return o == OpSt || o == OpSt1 }
+
+// IsMem reports whether o is a data-memory access (load or store).
+// CLFLUSH is also treated as a memory-class instruction: it occupies the
+// memory pipeline and participates in security dependences as instruction i.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() || o == OpClflush }
+
+// IsCondBranch reports whether o is a conditional branch.
+func (o Op) IsCondBranch() bool { return o >= OpBeq && o <= OpBgeu }
+
+// IsIndirect reports whether o is an indirect control transfer.
+func (o Op) IsIndirect() bool { return o == OpJalr }
+
+// IsBranch reports whether o speculatively redirects control flow: all
+// conditional branches and indirect jumps. Direct JAL is decode-resolved and
+// never mis-speculates, so it is excluded — it cannot be instruction i of a
+// security dependence.
+func (o Op) IsBranch() bool { return o.IsCondBranch() || o.IsIndirect() }
+
+// IsControl reports whether o changes the PC non-sequentially at all.
+func (o Op) IsControl() bool { return o.IsCondBranch() || o == OpJal || o == OpJalr }
+
+// MemBytes returns the access width in bytes for memory instructions, or 0.
+func (o Op) MemBytes() int {
+	switch o {
+	case OpLd, OpSt:
+		return 8
+	case OpLd1, OpSt1:
+		return 1
+	}
+	return 0
+}
+
+// FU identifies the functional-unit class an instruction executes on.
+type FU uint8
+
+// Functional-unit classes.
+const (
+	FUAlu FU = iota
+	FUMul
+	FUDiv
+	FUMem
+	FUBranch
+	FUNone // nop, halt, fence
+	FUCount
+)
+
+// Unit returns the functional-unit class for the opcode.
+func (o Op) Unit() FU {
+	switch {
+	case o == OpMul:
+		return FUMul
+	case o == OpDiv || o == OpRem:
+		return FUDiv
+	case o.IsMem():
+		return FUMem
+	case o.IsControl():
+		return FUBranch
+	case o == OpNop || o == OpHalt || o == OpFence:
+		return FUNone
+	default:
+		return FUAlu
+	}
+}
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op       Op
+	Rd       uint8
+	Rs1, Rs2 uint8
+	Imm      int32
+}
+
+// Encode packs the instruction into its 64-bit memory representation.
+func Encode(in Inst) uint64 {
+	return uint64(in.Op)<<56 |
+		uint64(in.Rd)<<48 |
+		uint64(in.Rs1)<<40 |
+		uint64(in.Rs2)<<32 |
+		uint64(uint32(in.Imm))
+}
+
+// Decode unpacks a 64-bit memory word into an instruction.
+func Decode(w uint64) Inst {
+	return Inst{
+		Op:  Op(w >> 56),
+		Rd:  uint8(w >> 48),
+		Rs1: uint8(w >> 40),
+		Rs2: uint8(w >> 32),
+		Imm: int32(uint32(w)),
+	}
+}
+
+// Valid reports whether the instruction is well-formed: a defined opcode
+// and register fields within range (the encoding reserves the upper bits of
+// each register byte; set bits there make the word an illegal instruction,
+// which is what keeps wrong-path fetch of arbitrary data safe).
+func (in Inst) Valid() bool {
+	return in.Op.Valid() && in.Rd < NumRegs && in.Rs1 < NumRegs && in.Rs2 < NumRegs
+}
+
+// HasDest reports whether the instruction writes an architectural register.
+// Writes to register 0 are architecturally discarded, so rd==0 means no dest.
+func (in Inst) HasDest() bool {
+	if in.Rd == 0 {
+		return false
+	}
+	switch in.Op {
+	case OpNop, OpHalt, OpSt, OpSt1, OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu,
+		OpClflush, OpFence:
+		return false
+	}
+	return true
+}
+
+// Sources returns which source registers the instruction actually reads.
+func (in Inst) Sources() (useRs1, useRs2 bool) {
+	switch in.Op {
+	case OpNop, OpHalt, OpLi, OpJal, OpRdcycle, OpFence:
+		return false, false
+	case OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSrai,
+		OpLd, OpLd1, OpJalr, OpClflush:
+		return true, false
+	case OpSt, OpSt1:
+		return true, true // rs1 = base, rs2 = data
+	default:
+		return true, true
+	}
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	r := func(i uint8) string { return fmt.Sprintf("x%d", i) }
+	switch {
+	case in.Op == OpNop || in.Op == OpHalt || in.Op == OpFence:
+		return in.Op.String()
+	case in.Op == OpLi:
+		return fmt.Sprintf("%s %s, %d", in.Op, r(in.Rd), in.Imm)
+	case in.Op == OpRdcycle:
+		return fmt.Sprintf("%s %s", in.Op, r(in.Rd))
+	case in.Op.IsLoad():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, r(in.Rd), in.Imm, r(in.Rs1))
+	case in.Op.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, r(in.Rs2), in.Imm, r(in.Rs1))
+	case in.Op == OpClflush:
+		return fmt.Sprintf("%s %d(%s)", in.Op, in.Imm, r(in.Rs1))
+	case in.Op.IsCondBranch():
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rs1), r(in.Rs2), in.Imm)
+	case in.Op == OpJal:
+		return fmt.Sprintf("%s %s, %d", in.Op, r(in.Rd), in.Imm)
+	case in.Op == OpJalr:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, r(in.Rd), in.Imm, r(in.Rs1))
+	case in.Op >= OpAddi && in.Op <= OpSrai:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Rs1), in.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Rs1), r(in.Rs2))
+	}
+}
+
+// EvalALU computes the result of a non-memory, non-control instruction given
+// its source operand values. It is shared by the reference interpreter and
+// the out-of-order core's execute stage so the two cannot diverge.
+func EvalALU(in Inst, a, b uint64, cycle uint64) uint64 {
+	imm := uint64(int64(in.Imm))
+	switch in.Op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (b & 63)
+	case OpShr:
+		return a >> (b & 63)
+	case OpSra:
+		return uint64(int64(a) >> (b & 63))
+	case OpSlt:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case OpSltu:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpAddi:
+		return a + imm
+	case OpAndi:
+		return a & imm
+	case OpOri:
+		return a | imm
+	case OpXori:
+		return a ^ imm
+	case OpShli:
+		return a << (uint64(in.Imm) & 63)
+	case OpShri:
+		return a >> (uint64(in.Imm) & 63)
+	case OpSrai:
+		return uint64(int64(a) >> (uint64(in.Imm) & 63))
+	case OpLi:
+		return imm
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return a // overflow: result is the dividend, like RISC-V
+		}
+		return uint64(int64(a) / int64(b))
+	case OpRem:
+		if b == 0 {
+			return a
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case OpRdcycle:
+		return cycle
+	}
+	return 0
+}
+
+// BranchTaken evaluates a conditional branch's predicate on operand values.
+func BranchTaken(op Op, a, b uint64) bool {
+	switch op {
+	case OpBeq:
+		return a == b
+	case OpBne:
+		return a != b
+	case OpBlt:
+		return int64(a) < int64(b)
+	case OpBge:
+		return int64(a) >= int64(b)
+	case OpBltu:
+		return a < b
+	case OpBgeu:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package isa
+
+// PageBits is the log2 of the simulated page size. Physical page numbers
+// (PPNs) — the tags the paper's TPBuf compares — are addr >> PageBits.
+const PageBits = 12
+
+// PageSize is the simulated page size in bytes.
+const PageSize = 1 << PageBits
+
+// Memory is the architectural backing store seen by the reference
+// interpreter and, behind the cache hierarchy, by the out-of-order core.
+// Reads of never-written locations return zero. Accesses may straddle page
+// boundaries; size must be 1..8.
+type Memory interface {
+	Read(addr uint64, size int) uint64
+	Write(addr uint64, size int, val uint64)
+}
+
+// FlatMem is a sparse, page-granular implementation of Memory. The zero
+// value is not usable; create one with NewFlatMem.
+type FlatMem struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// NewFlatMem returns an empty sparse memory.
+func NewFlatMem() *FlatMem {
+	return &FlatMem{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (m *FlatMem) page(ppn uint64, alloc bool) *[PageSize]byte {
+	p := m.pages[ppn]
+	if p == nil && alloc {
+		p = new([PageSize]byte)
+		m.pages[ppn] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr (zero if the page was never written).
+func (m *FlatMem) ByteAt(addr uint64) byte {
+	p := m.page(addr>>PageBits, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(PageSize-1)]
+}
+
+// SetByte stores one byte at addr.
+func (m *FlatMem) SetByte(addr uint64, b byte) {
+	m.page(addr>>PageBits, true)[addr&(PageSize-1)] = b
+}
+
+// Read returns size bytes at addr, little-endian, zero-extended to 64 bits.
+func (m *FlatMem) Read(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes of val at addr, little-endian.
+func (m *FlatMem) Write(addr uint64, size int, val uint64) {
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(val>>(8*i)))
+	}
+}
+
+// SetBytes copies b into memory starting at addr.
+func (m *FlatMem) SetBytes(addr uint64, b []byte) {
+	for i, c := range b {
+		m.SetByte(addr+uint64(i), c)
+	}
+}
+
+// BytesAt copies n bytes starting at addr into a fresh slice.
+func (m *FlatMem) BytesAt(addr uint64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = m.ByteAt(addr + uint64(i))
+	}
+	return b
+}
+
+// Pages returns the number of resident (written) pages; useful in tests.
+func (m *FlatMem) Pages() int { return len(m.pages) }

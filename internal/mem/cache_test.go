@@ -1,0 +1,327 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newSmallCache() *Cache {
+	// 4 sets x 2 ways x 64B lines = 512B.
+	return NewCache("t", 512, 2, 64, 2)
+}
+
+func TestCacheGeometry(t *testing.T) {
+	c := NewCache("L1D", 64*1024, 4, 64, 2)
+	if c.Sets() != 256 || c.Ways() != 4 || c.LineBytes() != 64 {
+		t.Fatalf("geometry sets=%d ways=%d line=%d", c.Sets(), c.Ways(), c.LineBytes())
+	}
+}
+
+func TestCacheInvalidGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache("x", 100, 2, 64, 1) }, // size not divisible
+		func() { NewCache("x", 0, 2, 64, 1) },   // zero size
+		func() { NewCache("x", 512, 3, 64, 1) }, // hmm: 512/(3*64) not integral -> covered
+		func() { NewCache("x", 768, 2, 96, 1) }, // line not power of two
+		func() { NewCache("x", 384, 2, 64, 1) }, // sets=3 not power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid geometry")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCacheMissThenRefillThenHit(t *testing.T) {
+	c := newSmallCache()
+	addr := uint64(0x1000)
+	if c.Access(addr, true) {
+		t.Fatal("cold cache must miss")
+	}
+	c.Refill(addr)
+	if !c.Access(addr, true) {
+		t.Fatal("refilled line must hit")
+	}
+	if !c.Probe(addr) {
+		t.Fatal("probe must see the line")
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 || c.Stats.Accesses != 2 {
+		t.Fatalf("stats %+v", c.Stats)
+	}
+}
+
+func TestCacheSameLineDifferentOffsets(t *testing.T) {
+	c := newSmallCache()
+	c.Refill(0x1000)
+	if !c.Probe(0x103F) {
+		t.Fatal("offset 63 must be on the same 64B line")
+	}
+	if c.Probe(0x1040) {
+		t.Fatal("offset 64 is the next line")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newSmallCache() // 2 ways
+	// Three lines mapping to the same set: stride = sets*line = 4*64 = 256.
+	a, b, d := uint64(0x0000), uint64(0x0100), uint64(0x0200)
+	c.Refill(a)
+	c.Refill(b)
+	c.Access(a, true) // make a MRU
+	evicted, did := c.Refill(d)
+	if !did || evicted != b {
+		t.Fatalf("evicted %#x (did=%v), want %#x", evicted, did, b)
+	}
+	if c.Probe(b) {
+		t.Fatal("b must be evicted")
+	}
+	if !c.Probe(a) || !c.Probe(d) {
+		t.Fatal("a and d must be resident")
+	}
+}
+
+func TestCacheNoTouchKeepsLRUOrder(t *testing.T) {
+	c := newSmallCache()
+	a, b, d := uint64(0x0000), uint64(0x0100), uint64(0x0200)
+	c.Refill(a)
+	c.Refill(b)
+	// Access a WITHOUT touch: a stays LRU, so refilling d evicts a.
+	c.Access(a, false)
+	evicted, did := c.Refill(d)
+	if !did || evicted != a {
+		t.Fatalf("evicted %#x, want %#x (no-touch access must not refresh LRU)", evicted, a)
+	}
+}
+
+func TestCacheTouchRefreshes(t *testing.T) {
+	c := newSmallCache()
+	a, b, d := uint64(0x0000), uint64(0x0100), uint64(0x0200)
+	c.Refill(a)
+	c.Refill(b)
+	c.Touch(a) // deferred LRU update
+	evicted, _ := c.Refill(d)
+	if evicted != b {
+		t.Fatalf("evicted %#x, want %#x after Touch(a)", evicted, b)
+	}
+	// Touch on a missing line is a no-op.
+	c.Touch(0x9999000)
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := newSmallCache()
+	c.Refill(0x1000)
+	if !c.Flush(0x1008) { // same line
+		t.Fatal("flush must find the line")
+	}
+	if c.Probe(0x1000) {
+		t.Fatal("flushed line still resident")
+	}
+	if c.Flush(0x1000) {
+		t.Fatal("second flush must miss")
+	}
+	if c.Stats.Flushes != 1 {
+		t.Fatalf("flushes = %d", c.Stats.Flushes)
+	}
+}
+
+func TestCacheRefillExistingNoEvict(t *testing.T) {
+	c := newSmallCache()
+	c.Refill(0x1000)
+	if _, did := c.Refill(0x1000); did {
+		t.Fatal("refilling resident line must not evict")
+	}
+	if c.Stats.Refills != 1 {
+		t.Fatalf("refills = %d, want 1", c.Stats.Refills)
+	}
+}
+
+func TestCacheEvictedAddressMapsSameSet(t *testing.T) {
+	c := NewCache("t", 4096, 2, 64, 1)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		addr := uint64(rng.Intn(1 << 20))
+		before := c.SetIndex(addr)
+		if ev, did := c.Refill(addr); did {
+			if c.SetIndex(ev) != before {
+				t.Fatalf("evicted %#x from set %d, inserting %#x into set %d",
+					ev, c.SetIndex(ev), addr, before)
+			}
+			if c.Probe(ev) {
+				t.Fatalf("evicted line %#x still resident", ev)
+			}
+		}
+		if !c.Probe(addr) {
+			t.Fatalf("just-refilled %#x not resident", addr)
+		}
+	}
+}
+
+// Property: a cache never holds more than ways lines per set, and Resident
+// never exceeds sets*ways.
+func TestCacheCapacityInvariant(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		c := newSmallCache()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(n); i++ {
+			c.Refill(uint64(rng.Intn(1 << 16)))
+		}
+		return c.Resident() <= c.Sets()*c.Ways()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LRU is an exact stack — with w ways, after accessing w distinct
+// lines in a set, refilling a new one evicts exactly the least recently used.
+func TestCacheLRUStackProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ways := 4
+		c := NewCache("p", 4*ways*64, ways, 64, 1) // 4 sets
+		// Work within one set: stride 4*64.
+		lines := make([]uint64, ways+1)
+		for i := range lines {
+			lines[i] = uint64(i) * 4 * 64
+		}
+		for _, a := range lines[:ways] {
+			c.Refill(a)
+		}
+		// Random access order determines LRU order.
+		order := rng.Perm(ways)
+		for _, i := range order {
+			c.Access(lines[i], true)
+		}
+		evicted, did := c.Refill(lines[ways])
+		return did && evicted == lines[order[0]]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s CacheStats
+	if s.HitRate() != 0 {
+		t.Fatal("empty stats hit rate must be 0")
+	}
+	s = CacheStats{Accesses: 4, Hits: 3}
+	if s.HitRate() != 0.75 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+}
+
+func TestUpdatePolicyString(t *testing.T) {
+	if UpdateAlways.String() != "always" || UpdateNoSpec.String() != "no-update" ||
+		UpdateDelayed.String() != "delayed-update" {
+		t.Fatal("policy names changed")
+	}
+	if UpdatePolicy(42).String() == "" {
+		t.Fatal("unknown policy must still render")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	want := map[Level]string{LevelL1: "L1", LevelL2: "L2", LevelL3: "L3", LevelMem: "Mem"}
+	for l, s := range want {
+		if l.String() != s {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), s)
+		}
+	}
+}
+
+func TestReplacementKindStrings(t *testing.T) {
+	if ReplLRU.String() != "lru" || ReplTreePLRU.String() != "tree-plru" ||
+		ReplRandom.String() != "random" {
+		t.Fatal("replacement names changed")
+	}
+}
+
+func TestTreePLRUBasics(t *testing.T) {
+	// 4-way PLRU: touching ways 0..3 in order leaves way 0 as the victim.
+	c := NewCache("p", 4*4*64, 4, 64, 1).SetReplacement(ReplTreePLRU)
+	stride := uint64(4 * 64) // same-set stride
+	for i := 0; i < 4; i++ {
+		c.Refill(uint64(i) * stride)
+	}
+	ev, did := c.Refill(4 * stride)
+	if !did || ev != 0 {
+		t.Fatalf("PLRU evicted %#x (did=%v), want way touched longest ago (addr 0)", ev, did)
+	}
+}
+
+func TestTreePLRUTouchProtects(t *testing.T) {
+	c := NewCache("p", 4*4*64, 4, 64, 1).SetReplacement(ReplTreePLRU)
+	stride := uint64(4 * 64)
+	for i := 0; i < 4; i++ {
+		c.Refill(uint64(i) * stride)
+	}
+	c.Access(0, true) // protect way 0
+	ev, _ := c.Refill(4 * stride)
+	if ev == 0 {
+		t.Fatal("freshly touched line must not be the PLRU victim")
+	}
+}
+
+func TestTreePLRUNoTouchLeavesVictim(t *testing.T) {
+	// The §VII.A interaction holds for PLRU too: a no-touch (suspect) hit
+	// leaves the tree pointing at the line.
+	c := NewCache("p", 4*4*64, 4, 64, 1).SetReplacement(ReplTreePLRU)
+	stride := uint64(4 * 64)
+	for i := 0; i < 4; i++ {
+		c.Refill(uint64(i) * stride)
+	}
+	c.Access(0, false) // suspect hit, no metadata update
+	ev, _ := c.Refill(4 * stride)
+	if ev != 0 {
+		t.Fatalf("no-touch hit must leave way 0 as victim, evicted %#x", ev)
+	}
+}
+
+func TestRandomReplacementBounded(t *testing.T) {
+	c := NewCache("r", 4*4*64, 4, 64, 1).SetReplacement(ReplRandom)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		c.Refill(uint64(rng.Intn(1 << 18)))
+	}
+	if c.Resident() > c.Sets()*c.Ways() {
+		t.Fatal("capacity invariant violated under random replacement")
+	}
+	if c.Stats.Evictions == 0 {
+		t.Fatal("random policy must evict under pressure")
+	}
+}
+
+func TestPLRURejectsBadWays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two ways must panic for PLRU")
+		}
+	}()
+	NewCache("p", 3*64*4, 3, 64, 1).SetReplacement(ReplTreePLRU)
+}
+
+// TestPLRUHitRateComparable: on a simple reuse pattern, PLRU should track
+// LRU within a few points (it is an approximation, not a different regime).
+func TestPLRUHitRateComparable(t *testing.T) {
+	run := func(k ReplacementKind) float64 {
+		c := NewCache("x", 16*1024, 4, 64, 1).SetReplacement(k)
+		rng := rand.New(rand.NewSource(77))
+		for i := 0; i < 30000; i++ {
+			addr := uint64(rng.Intn(24 * 1024)) // slightly bigger than the cache
+			if !c.Access(addr, true) {
+				c.Refill(addr)
+			}
+		}
+		return c.Stats.HitRate()
+	}
+	lru, plru := run(ReplLRU), run(ReplTreePLRU)
+	if diff := lru - plru; diff < -0.1 || diff > 0.1 {
+		t.Fatalf("PLRU hit rate %.3f too far from LRU %.3f", plru, lru)
+	}
+}

@@ -1,0 +1,94 @@
+package mem
+
+import "fmt"
+
+// ReplacementKind selects the victim-choice algorithm. True LRU is the
+// paper's configuration; tree-PLRU and random are ablations — commodity
+// cores usually ship PLRU, and §VII.A's replacement-state channel exists
+// for any policy whose metadata speculative hits can perturb.
+type ReplacementKind int
+
+const (
+	// ReplLRU is exact least-recently-used (timestamp-based).
+	ReplLRU ReplacementKind = iota
+	// ReplTreePLRU is the classic tree pseudo-LRU (ways must be a power
+	// of two).
+	ReplTreePLRU
+	// ReplRandom picks victims with a deterministic xorshift PRNG and
+	// keeps no use-ordering metadata at all (its replacement state leaks
+	// nothing — the degenerate fix §VII.A's no-update policy approximates).
+	ReplRandom
+)
+
+// String names the policy.
+func (k ReplacementKind) String() string {
+	switch k {
+	case ReplTreePLRU:
+		return "tree-plru"
+	case ReplRandom:
+		return "random"
+	default:
+		return "lru"
+	}
+}
+
+// plruState holds one uint32 of tree bits per set (supports up to 32 ways).
+type plruState struct {
+	bits []uint32
+	ways int
+}
+
+func newPLRU(sets, ways int) *plruState {
+	if ways&(ways-1) != 0 || ways > 32 {
+		panic(fmt.Sprintf("mem: tree-PLRU needs power-of-two ways <= 32, got %d", ways))
+	}
+	return &plruState{bits: make([]uint32, sets), ways: ways}
+}
+
+// touch points the tree away from way (marking it most recently used).
+func (p *plruState) touch(set, way int) {
+	node := 1
+	levels := log2(p.ways)
+	for l := levels - 1; l >= 0; l-- {
+		bit := (way >> l) & 1
+		if bit == 0 {
+			p.bits[set] |= 1 << uint(node) // point right (away from 0-side)
+		} else {
+			p.bits[set] &^= 1 << uint(node)
+		}
+		node = node*2 + bit
+	}
+}
+
+// victim walks the tree toward the pseudo-LRU leaf.
+func (p *plruState) victim(set int) int {
+	node := 1
+	way := 0
+	levels := log2(p.ways)
+	for l := 0; l < levels; l++ {
+		bit := int(p.bits[set]>>uint(node)) & 1
+		way = way*2 + bit
+		node = node*2 + bit
+	}
+	return way
+}
+
+func log2(v int) int {
+	n := 0
+	for 1<<n < v {
+		n++
+	}
+	return n
+}
+
+// xorshift64 is the deterministic PRNG behind ReplRandom.
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}

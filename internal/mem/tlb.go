@@ -1,0 +1,69 @@
+package mem
+
+import "conspec/internal/isa"
+
+// TLB models a fully-associative translation lookaside buffer with LRU
+// replacement. The simulator uses identity mapping (PPN = VA >> PageBits),
+// so the TLB only contributes timing (a page-walk penalty on miss) and the
+// architectural requirement the paper leans on: "the access address must be
+// checked and get physical page number (PPN) using TLB first" before a TPBuf
+// entry's tag is valid.
+type TLB struct {
+	Name    string
+	entries []line
+	clock   uint64
+	WalkLat int // page-walk penalty charged on a miss, in cycles
+	Stats   CacheStats
+}
+
+// NewTLB returns a TLB with n entries and a walk latency.
+func NewTLB(name string, n, walkLat int) *TLB {
+	return &TLB{Name: name, entries: make([]line, n), WalkLat: walkLat}
+}
+
+// Translate returns the physical page number for addr and the extra latency
+// (0 on a TLB hit, WalkLat on a miss). Misses refill the TLB.
+func (t *TLB) Translate(addr uint64) (ppn uint64, extraLat int) {
+	vpn := addr >> isa.PageBits
+	t.Stats.Accesses++
+	t.clock++
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.tag == vpn {
+			t.Stats.Hits++
+			e.lru = t.clock
+			return vpn, 0 // identity mapping
+		}
+		if !e.valid {
+			victim = i
+		} else if t.entries[victim].valid && e.lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	t.Stats.Misses++
+	t.Stats.Refills++
+	if t.entries[victim].valid {
+		t.Stats.Evictions++
+	}
+	t.entries[victim] = line{tag: vpn, valid: true, lru: t.clock}
+	return vpn, t.WalkLat
+}
+
+// Probe reports whether the translation is cached, without side effects.
+func (t *TLB) Probe(addr uint64) bool {
+	vpn := addr >> isa.PageBits
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].tag == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll empties the TLB.
+func (t *TLB) InvalidateAll() {
+	for i := range t.entries {
+		t.entries[i] = line{}
+	}
+}

@@ -1,0 +1,658 @@
+package pipeline
+
+import (
+	"sort"
+
+	"conspec/internal/branch"
+	"conspec/internal/core"
+	"conspec/internal/isa"
+	"conspec/internal/mem"
+)
+
+func (c *CPU) fuLimit(f isa.FU) int {
+	switch f {
+	case isa.FUAlu:
+		return c.cfg.ALUs
+	case isa.FUMul:
+		return c.cfg.MulUnits
+	case isa.FUDiv:
+		return c.cfg.DivUnits
+	case isa.FUMem:
+		return c.cfg.MemPorts
+	case isa.FUBranch:
+		return c.cfg.BranchUnits
+	default:
+		return 0
+	}
+}
+
+func (c *CPU) srcReady(p int) bool { return p < 0 || c.physReady[p] }
+
+func (c *CPU) srcVal(p int) uint64 {
+	if p < 0 {
+		return 0
+	}
+	return c.physVal[p]
+}
+
+// issueStage performs wakeup-select: the oldest ready instructions issue up
+// to IssueWidth per cycle, respecting functional-unit ports, an active
+// FENCE, and — this is the paper's mechanism — the security hazard check.
+func (c *CPU) issueStage() {
+	tried := make(map[*uop]bool)
+	issued := 0
+	var violation *uop // oldest memory-order-violating load this cycle
+
+	for issued < c.cfg.IssueWidth {
+		var best *uop
+		for _, u := range c.iq {
+			if u == nil || tried[u] {
+				continue
+			}
+			if !c.eligible(u) {
+				continue
+			}
+			if best == nil || u.seq < best.seq {
+				best = u
+			}
+		}
+		if best == nil {
+			break
+		}
+		tried[best] = true
+		fu := best.inst.Op.Unit()
+		c.fuUsed[fu]++
+		if v := c.tryIssue(best); v != nil {
+			if violation == nil || v.seq < violation.seq {
+				violation = v
+			}
+		}
+		if best.iqIdx == -1 {
+			issued++ // accepted (slot released)
+		}
+	}
+
+	if violation != nil {
+		c.stats.MemViolations++
+		if c.storeSets != nil && violation.violStorePC != 0 {
+			// Train the predictor: this load/store PC pair conflicted.
+			c.storeSets.merge(violation.pc, violation.violStorePC)
+		}
+		c.squashFrom(violation.seq, violation.pc, nil)
+	}
+}
+
+// eligible applies operand readiness, FU ports, FENCE serialization, and
+// the Baseline security block. Stores issue on address readiness alone —
+// the data operand is delivered to the STQ entry whenever it arrives, the
+// standard split-store design (and the reason a store's column in the
+// security matrix clears as soon as its address resolves).
+func (c *CPU) eligible(u *uop) bool {
+	if !c.srcReady(u.psrc1) {
+		return false
+	}
+	if (c.cfg.FusedStores || !u.inst.Op.IsStore()) && !c.srcReady(u.psrc2) {
+		return false
+	}
+	if c.fenceSeq != 0 && u.seq > c.fenceSeq {
+		return false
+	}
+	if c.fuUsed[u.inst.Op.Unit()] >= c.fuLimit(u.inst.Op.Unit()) {
+		return false
+	}
+	if u.inst.Op.IsLoad() && c.loadMustWait(u) {
+		return false
+	}
+	if c.sec.SSBD && u.inst.Op.IsLoad() {
+		for _, st := range c.stq {
+			if st != nil && st.seq < u.seq && !st.addrReady {
+				return false // SSBD: no speculative store bypass at all
+			}
+		}
+	}
+	if c.secmat != nil && u.class() == core.ClassMem {
+		if u.blockedSec {
+			// Previously blocked by a filter: wait for dependence clearance.
+			if c.secmat.Peek(u.iqIdx) {
+				return false
+			}
+			u.blockedSec = false
+			u.suspect = false
+		}
+		if c.sec.Mechanism.BlocksSuspectAtIssue() && c.secmat.Peek(u.iqIdx) {
+			// Baseline: suspect memory instructions do not issue at all.
+			if !u.blockedSec {
+				u.blockedSec = true
+				u.wasBlocked = true
+				c.stats.Filter.BlockedEvents++
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// tryIssue executes the issue attempt for u. On acceptance the IQ slot is
+// released (u.iqIdx becomes -1). Loads blocked by a hazard filter, or
+// replaying behind a store, keep their slot and retry on a later cycle.
+// The returned uop, when non-nil, is a load that must be squashed because
+// the issuing store exposed a memory-order violation.
+func (c *CPU) tryIssue(u *uop) *uop {
+	op := u.inst.Op
+	a, b := c.srcVal(u.psrc1), c.srcVal(u.psrc2)
+
+	// Security hazard detection (3rd select stage of Fig. 2): the issuing
+	// memory instruction is tagged with the suspect speculation flag when
+	// its matrix row is non-empty. Baseline never reaches here suspect.
+	if c.secmat != nil && u.class() == core.ClassMem && !c.sec.Mechanism.BlocksSuspectAtIssue() {
+		u.suspect = c.secmat.HasHazard(u.iqIdx)
+	}
+
+	switch {
+	case op.IsLoad():
+		return c.issueLoad(u, a)
+	case op.IsStore():
+		return c.issueStore(u, a)
+	case op == isa.OpClflush:
+		u.memAddr = a + uint64(int64(u.inst.Imm))
+		u.addrReady = true
+		// CLFLUSH of a present line takes longer than of an absent one,
+		// exactly the timing difference the Flush+Flush side channel reads.
+		// The invalidation itself happens non-speculatively at commit.
+		lat := 2
+		if c.hier.ProbeL1D(u.memAddr) {
+			lat = 6
+		}
+		c.acceptIssue(u, lat, 0)
+		return nil
+	case op.IsCondBranch():
+		taken := isa.BranchTaken(op, a, b)
+		target := u.pc + isa.InstBytes
+		if taken {
+			target = u.pc + uint64(int64(u.inst.Imm))
+		}
+		u.result = 0
+		c.acceptIssue(u, 1, 0)
+		u.memAddr = target // stash actual target for writeback resolve
+		u.addrReady = taken
+		return nil
+	case op == isa.OpJalr:
+		target := a + uint64(int64(u.inst.Imm))
+		u.result = u.pc + isa.InstBytes // link value
+		c.acceptIssue(u, 1, 0)
+		u.memAddr = target
+		u.addrReady = true
+		return nil
+	case op == isa.OpJal:
+		u.result = u.pc + isa.InstBytes
+		c.acceptIssue(u, 1, 0)
+		return nil
+	default:
+		lat := 1
+		switch op.Unit() {
+		case isa.FUMul:
+			lat = c.cfg.MulLat
+		case isa.FUDiv:
+			lat = c.cfg.DivLat
+		}
+		u.result = isa.EvalALU(u.inst, a, b, c.cycle)
+		c.acceptIssue(u, lat, 0)
+		return nil
+	}
+}
+
+// acceptIssue releases u's issue-queue slot, clears its security column via
+// the update vector register, and schedules completion after lat cycles.
+func (c *CPU) acceptIssue(u *uop, lat int, extra int) {
+	if c.secmat != nil && u.iqIdx >= 0 {
+		c.secmat.OnIssue(u.iqIdx)
+	}
+	if u.iqIdx >= 0 {
+		c.iq[u.iqIdx] = nil
+		u.iqIdx = -1
+	}
+	u.issued = true
+	c.traceEvent("ISSUE", u)
+	c.inflight = append(c.inflight, pendingExec{u: u, done: c.cycle + uint64(lat+extra)})
+}
+
+type fwdAction int
+
+const (
+	fwdNone    fwdAction = iota // go to the cache
+	fwdForward                  // value forwarded from an older store
+	fwdWait                     // must replay later (store data conflict)
+)
+
+// scanSTQ implements store-to-load disambiguation for a load whose address
+// just resolved. Older stores with unknown addresses are speculatively
+// bypassed (load speculation — the Spectre V4 ingredient).
+func (c *CPU) scanSTQ(u *uop) (fwdAction, *uop) {
+	var youngest *uop
+	bypassed := false
+	for _, s := range c.stq {
+		if s == nil || s.seq >= u.seq {
+			continue
+		}
+		if !s.addrReady {
+			bypassed = true
+			continue
+		}
+		if !overlap(s.memAddr, s.inst.Op.MemBytes(), u.memAddr, u.inst.Op.MemBytes()) {
+			continue
+		}
+		if youngest == nil || s.seq > youngest.seq {
+			youngest = s
+		}
+	}
+	u.bypassedStore = bypassed
+	if youngest == nil {
+		return fwdNone, nil
+	}
+	if contains(youngest.memAddr, youngest.inst.Op.MemBytes(), u.memAddr, u.inst.Op.MemBytes()) &&
+		youngest.dataReady {
+		return fwdForward, youngest
+	}
+	// Partial overlap, or a covering store whose data has not arrived yet:
+	// replay until it drains or the data shows up.
+	return fwdWait, youngest
+}
+
+func overlap(aAddr uint64, aSize int, bAddr uint64, bSize int) bool {
+	return aAddr < bAddr+uint64(bSize) && bAddr < aAddr+uint64(aSize)
+}
+
+func contains(sAddr uint64, sSize int, lAddr uint64, lSize int) bool {
+	return sAddr <= lAddr && lAddr+uint64(lSize) <= sAddr+uint64(sSize)
+}
+
+// tpTag returns the TPBuf comparison tag for an access: the physical page
+// number under the paper's design, the line address under the line-granular
+// ablation variant.
+func (c *CPU) tpTag(addr, ppn uint64) uint64 {
+	if c.sec.TPBufVariant == core.VariantLine {
+		return addr >> 6
+	}
+	return ppn
+}
+
+// issueLoad runs the full load path: AGU, disambiguation, and the
+// Conditional Speculation filters at the L1D boundary.
+func (c *CPU) issueLoad(u *uop, base uint64) *uop {
+	u.memAddr = base + uint64(int64(u.inst.Imm))
+	u.addrReady = true
+	size := u.inst.Op.MemBytes()
+	tp := u.ldqIdx
+
+	action, st := c.scanSTQ(u)
+	switch action {
+	case fwdWait:
+		// Partial overlap or unforwardable: replay after the store drains.
+		return nil
+	case fwdForward:
+		shift := (u.memAddr - st.memAddr) * 8
+		v := st.result >> shift
+		if size < 8 {
+			v &= (1 << (8 * size)) - 1
+		}
+		u.result = v
+		u.fwdFromSeq = st.seq
+		ppn, tlbLat := c.hier.DTLB.Translate(u.memAddr)
+		c.tpbuf.SetPPN(tp, c.tpTag(u.memAddr, ppn))
+		c.tpbuf.SetSuspect(tp, u.suspect)
+		// Forwarded loads never touch the cache: always safe.
+		c.acceptIssue(u, 1+c.hier.L1D.HitLat, tlbLat)
+		return nil
+	}
+
+	// Cache path: this is where Conditional Speculation decides.
+	mechanism := c.sec.Mechanism
+	if mechanism.InvisibleLoads() {
+		// InvisiSpec comparator: fetch the data without touching any cache
+		// level; the visible (refilling) access happens at commit.
+		res := c.hier.AccessDataNoRefill(u.memAddr)
+		c.tpbuf.SetPPN(tp, c.tpTag(u.memAddr, res.PPN))
+		u.result = c.hier.ReadData(u.memAddr, size)
+		c.acceptIssue(u, 1+res.Latency, 0)
+		return nil
+	}
+	if u.suspect {
+		if u.inst.Op.IsLoad() {
+			c.stats.Filter.SuspectIssued++
+		}
+		if c.sec.DTLBFilter && !c.hier.DTLB.Probe(u.memAddr) {
+			// TLB-hit filter: the walk itself would be an observable refill.
+			// Discard the request before translating; re-issue after the
+			// security dependences clear, like the cache-hit filter does.
+			c.stats.DTLBFilterBlocks++
+			u.blockedSec = true
+			u.wasBlocked = true
+			c.stats.Filter.BlockedEvents++
+			return nil
+		}
+		res, hit := c.hier.AccessL1DHitOnly(u.memAddr, true)
+		c.tpbuf.SetPPN(tp, c.tpTag(u.memAddr, res.PPN))
+		if hit {
+			c.stats.Filter.SuspectL1Hits++
+			c.tpbuf.SetSuspect(tp, true)
+			u.pendingTouch = res.PendingTouch
+			u.result = c.hier.ReadData(u.memAddr, size)
+			c.acceptIssue(u, 1+res.Latency, 0)
+			return nil
+		}
+		c.stats.Filter.SuspectL1Misses++
+		if mechanism.UsesTPBuf() && c.tpbuf.QuerySafe(tp, c.tpTag(u.memAddr, res.PPN)) {
+			// The miss does not complete an S-Pattern: allowed to refill.
+			if !c.mshrAvailable(u.memAddr) {
+				return nil
+			}
+			full := c.hier.AccessData(u.memAddr, true)
+			c.tpbuf.SetSuspect(tp, true)
+			u.result = c.hier.ReadData(u.memAddr, size)
+			c.claimMSHR(u, full.Level)
+			c.acceptIssue(u, 1+full.Latency, 0)
+			return nil
+		}
+		// Unsafe: the miss request is discarded; the load waits in the
+		// issue queue for its security dependences to clear (§V.C).
+		u.blockedSec = true
+		u.wasBlocked = true
+		c.stats.Filter.BlockedEvents++
+		return nil
+	}
+
+	if !c.mshrAvailable(u.memAddr) {
+		return nil // all MSHRs busy: replay on a later cycle
+	}
+	res := c.hier.AccessData(u.memAddr, false)
+	c.tpbuf.SetPPN(tp, c.tpTag(u.memAddr, res.PPN))
+	c.tpbuf.SetSuspect(tp, false)
+	u.result = c.hier.ReadData(u.memAddr, size)
+	c.claimMSHR(u, res.Level)
+	c.acceptIssue(u, 1+res.Latency, 0)
+	return nil
+}
+
+// mshrAvailable reports whether a new L1D miss may start. Hits never need
+// an MSHR, but availability is checked before the access since the lookup
+// itself decides hit/miss; a resident line always passes.
+func (c *CPU) mshrAvailable(addr uint64) bool {
+	if c.cfg.MaxMSHRs <= 0 || c.hier.ProbeL1D(addr) {
+		return true
+	}
+	return c.outstandingMisses < c.cfg.MaxMSHRs
+}
+
+// claimMSHR accounts an accepted load against the MSHR pool if it missed.
+func (c *CPU) claimMSHR(u *uop, level mem.Level) {
+	if c.cfg.MaxMSHRs > 0 && level != mem.LevelL1 {
+		u.holdsMSHR = true
+		c.outstandingMisses++
+	}
+}
+
+// issueStore resolves a store's address, records it in the STQ entry, and
+// checks younger already-executed loads for memory-order violations (the
+// recovery path Spectre V4 abuses). The data operand may still be pending;
+// writeback parks such stores on the awaiting-data list.
+func (c *CPU) issueStore(u *uop, base uint64) *uop {
+	u.memAddr = base + uint64(int64(u.inst.Imm))
+	u.addrReady = true
+	if c.srcReady(u.psrc2) {
+		u.result = c.srcVal(u.psrc2)
+		u.dataReady = true
+	}
+	ppn, tlbLat := c.hier.DTLB.Translate(u.memAddr)
+	c.tpbuf.SetPPN(c.cfg.LDQ+u.stqIdx, c.tpTag(u.memAddr, ppn))
+	c.tpbuf.SetSuspect(c.cfg.LDQ+u.stqIdx, u.suspect)
+	c.acceptIssue(u, 1, tlbLat)
+
+	// Violation scan: any younger load that already obtained a value from
+	// an overlapping address without forwarding from this store read stale
+	// data and must be squashed (along with everything after it).
+	var oldest *uop
+	for _, l := range c.ldq {
+		if l == nil || l.seq <= u.seq || !l.addrReady || !l.issued {
+			continue
+		}
+		if !overlap(u.memAddr, u.inst.Op.MemBytes(), l.memAddr, l.inst.Op.MemBytes()) {
+			continue
+		}
+		if l.fwdFromSeq == u.seq {
+			continue
+		}
+		if oldest == nil || l.seq < oldest.seq {
+			oldest = l
+			l.violStorePC = u.pc
+		}
+	}
+	return oldest
+}
+
+// writebackStage completes in-flight executions whose latency elapsed:
+// results become visible to the issue queue, loads mark their TPBuf W bit,
+// and branches resolve (possibly squashing and re-steering fetch). It also
+// delivers late store data to STQ entries whose address already issued.
+func (c *CPU) writebackStage() {
+	if len(c.awaitingData) > 0 {
+		rest := c.awaitingData[:0]
+		for _, st := range c.awaitingData {
+			switch {
+			case st.squashed:
+			case c.srcReady(st.psrc2):
+				st.result = c.srcVal(st.psrc2)
+				st.dataReady = true
+				st.completed = true
+			default:
+				rest = append(rest, st)
+			}
+		}
+		c.awaitingData = rest
+	}
+	var done []*uop
+	rest := c.inflight[:0]
+	for _, pe := range c.inflight {
+		if pe.u.squashed {
+			continue
+		}
+		if pe.done <= c.cycle {
+			done = append(done, pe.u)
+		} else {
+			rest = append(rest, pe)
+		}
+	}
+	c.inflight = rest
+	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+
+	for _, u := range done {
+		if u.squashed { // squashed by an older uop's resolution this cycle
+			continue
+		}
+		if u.pdst >= 0 {
+			c.physVal[u.pdst] = u.result
+			c.physReady[u.pdst] = true
+		}
+		if u.inst.Op.IsStore() && !u.dataReady {
+			// Address part done; the store completes when data arrives.
+			c.awaitingData = append(c.awaitingData, u)
+			continue
+		}
+		if u.holdsMSHR {
+			u.holdsMSHR = false
+			c.outstandingMisses--
+		}
+		u.completed = true
+		c.traceEvent("WB", u)
+		if u.inst.Op.IsLoad() && u.ldqIdx >= 0 {
+			c.tpbuf.SetWriteback(u.ldqIdx)
+		}
+		if u.isBranch {
+			c.resolveBranch(u)
+		}
+	}
+}
+
+// resolveBranch trains the predictor and recovers from mispredictions.
+func (c *CPU) resolveBranch(u *uop) {
+	if u.inst.Op.IsCondBranch() {
+		actualTaken := u.addrReady // stashed at issue
+		actualTarget := u.memAddr
+		if !actualTaken {
+			actualTarget = u.pc + isa.InstBytes
+		}
+		mispredicted := actualTaken != u.predTaken
+		c.bp.ResolveCond(u.pc, actualTaken, mispredicted, u.ghrAtPred)
+		if mispredicted {
+			cp := u.bpCP
+			c.squashFrom(u.seq+1, actualTarget, &cp)
+			c.bp.CorrectGHRAfterRestore(actualTaken)
+		}
+		return
+	}
+	// Indirect jump.
+	actualTarget := u.memAddr
+	mispredicted := actualTarget != u.predTarget
+	c.bp.ResolveTarget(u.pc, actualTarget, mispredicted)
+	if mispredicted {
+		cp := u.bpCP
+		c.squashFrom(u.seq+1, actualTarget, &cp)
+	}
+}
+
+// squashFrom removes every uop with seq >= fromSeq from the machine,
+// restores the rename map, clears the security structures, and re-steers
+// fetch to redirectPC. cp, when non-nil, restores predictor state (branch
+// mispredictions; memory-order violations skip it).
+func (c *CPU) squashFrom(fromSeq uint64, redirectPC uint64, cp *branch.Checkpoint) {
+	c.trace("%8d SQUASH   from seq=%d, redirect pc=%#x\n", c.cycle, fromSeq, redirectPC)
+	c.stats.Squashes++
+	for c.robCount > 0 {
+		u := c.robAt(c.robCount - 1)
+		if u.seq < fromSeq {
+			break
+		}
+		u.squashed = true
+		if u.pdst >= 0 {
+			c.renameMap[u.archRd] = u.oldPdst
+			c.freeList = append(c.freeList, u.pdst)
+		}
+		if u.iqIdx >= 0 {
+			if c.secmat != nil {
+				c.secmat.OnSquash(u.iqIdx)
+			}
+			c.iq[u.iqIdx] = nil
+			u.iqIdx = -1
+		}
+		if u.ldqIdx >= 0 {
+			c.ldq[u.ldqIdx] = nil
+			c.tpbuf.Free(u.ldqIdx)
+			u.ldqIdx = -1
+		}
+		if u.stqIdx >= 0 {
+			c.stq[u.stqIdx] = nil
+			c.tpbuf.Free(c.cfg.LDQ + u.stqIdx)
+			u.stqIdx = -1
+		}
+		c.robCount--
+	}
+	// Drop squashed in-flight work and the entire fetch queue (everything
+	// in it is younger than anything in the ROB).
+	rest := c.inflight[:0]
+	for _, pe := range c.inflight {
+		if !pe.u.squashed {
+			rest = append(rest, pe)
+			continue
+		}
+		if pe.u.holdsMSHR {
+			pe.u.holdsMSHR = false
+			c.outstandingMisses--
+		}
+	}
+	c.inflight = rest
+	c.fetchQ = c.fetchQ[:0]
+	if cp != nil {
+		c.bp.Restore(*cp)
+	}
+	c.fetchPC = redirectPC
+	c.fetchHalted = false
+	if c.fetchStallUntil < c.cycle+1 {
+		c.fetchStallUntil = c.cycle + 1 // one-cycle re-steer bubble
+	}
+	c.rescanFence()
+}
+
+func (c *CPU) rescanFence() {
+	c.fenceSeq = 0
+	for i := 0; i < c.robCount; i++ {
+		u := c.robAt(i)
+		if u.inst.Op == isa.OpFence && !u.completed {
+			c.fenceSeq = u.seq
+			return
+		}
+	}
+}
+
+// commitStage retires completed instructions in order, performing the
+// non-speculative side effects: store writes, CLFLUSH invalidations,
+// deferred LRU touches, and the HALT that ends simulation.
+func (c *CPU) commitStage() {
+	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
+		u := c.robAt(0)
+		if u.inst.Op == isa.OpFence && !u.completed {
+			// A fence completes when it reaches the ROB head: everything
+			// older has committed.
+			u.completed = true
+			c.fenceSeq = 0
+			c.rescanFence()
+		}
+		if !u.completed {
+			return
+		}
+		op := u.inst.Op
+		switch {
+		case op.IsStore():
+			c.hier.WriteData(u.memAddr, op.MemBytes(), u.result)
+			c.hier.AccessData(u.memAddr, false) // non-speculative fill
+			c.hier.StoreCommitted(u.memAddr)    // invalidate peer L1 copies
+		case op == isa.OpClflush:
+			c.hier.Flush(u.memAddr)
+		case op.IsLoad():
+			if c.sec.Mechanism.InvisibleLoads() {
+				// InvisiSpec exposure: the load becomes architecturally
+				// visible, refilling the hierarchy like a normal access.
+				c.hier.AccessData(u.memAddr, false)
+			}
+			if u.pendingTouch {
+				c.hier.TouchL1D(u.memAddr) // §VII.A delayed LRU update
+			}
+		}
+		if u.class() == core.ClassMem && op != isa.OpClflush {
+			c.stats.Filter.CommittedMemInsts++
+			if u.wasBlocked {
+				c.stats.Filter.BlockedInsts++
+			}
+		}
+		if u.pdst >= 0 {
+			c.freeList = append(c.freeList, u.oldPdst)
+		}
+		if u.ldqIdx >= 0 {
+			c.ldq[u.ldqIdx] = nil
+			c.tpbuf.Free(u.ldqIdx)
+		}
+		if u.stqIdx >= 0 {
+			c.stq[u.stqIdx] = nil
+			c.tpbuf.Free(c.cfg.LDQ + u.stqIdx)
+		}
+		c.traceEvent("COMMIT", u)
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+		c.stats.Committed++
+		if op == isa.OpHalt {
+			c.halted = true
+			return
+		}
+		if c.stats.Committed >= c.committedTarget {
+			return
+		}
+	}
+}

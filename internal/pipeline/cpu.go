@@ -1,0 +1,410 @@
+// Package pipeline implements the cycle-driven out-of-order core the paper
+// evaluates on: speculative fetch with branch prediction, register renaming,
+// an issue queue with data/age/security-dependence selection, a load/store
+// queue with store-to-load forwarding and memory-order violation recovery,
+// and in-order commit. Wrong-path execution is modelled for real — loads on
+// a mis-speculated path genuinely access and refill the caches, which is
+// precisely the side channel Conditional Speculation exists to close.
+//
+// The security machinery from internal/core hooks in at three points:
+//
+//	dispatch — security dependence matrix row initialization (§V.B)
+//	issue    — row-OR hazard detection assigns the suspect flag; Baseline
+//	           refuses to select suspect memory instructions at all
+//	L1D      — the Cache-hit filter (§V.C) discards suspect miss requests;
+//	           the TPBuf filter (§V.D) rescues misses that do not complete
+//	           an S-Pattern
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"conspec/internal/branch"
+	"conspec/internal/config"
+	"conspec/internal/core"
+	"conspec/internal/isa"
+	"conspec/internal/mem"
+)
+
+// SecurityConfig selects the defense configuration under evaluation.
+type SecurityConfig struct {
+	Mechanism core.Mechanism
+	Scope     core.Scope
+	// ICacheFilter enables the §VII.B extension: next-PC fetch requests are
+	// unsafe while an unresolved branch is in flight, and unsafe L1I misses
+	// stall fetch instead of refilling.
+	ICacheFilter bool
+	// TPBufVariant selects the S-Pattern matching rule (design-space
+	// ablation; VariantPaper is eq. (1)).
+	TPBufVariant core.TPBufVariant
+	// SSBD (speculative store bypass disable) is the V4 software/firmware
+	// mitigation §VIII discusses: loads may not issue while any older store
+	// in the store queue still has an unresolved address. It kills V4 at
+	// the cost of all load-over-store reordering.
+	SSBD bool
+	// DTLBFilter enables this reproduction's own §VII.B-style extension:
+	// a suspect data access whose translation MISSES the DTLB is blocked
+	// before the page walk, closing the TLB-refill side channel that the
+	// cache filters leave open (a discarded suspect miss still translates,
+	// and a page-granular prober can time the saved walk — see DESIGN.md §8).
+	DTLBFilter bool
+}
+
+// uop is one dynamic instruction flowing through the pipeline.
+type uop struct {
+	seq  uint64
+	pc   uint64
+	inst isa.Inst
+
+	// Rename state. Physical register -1 means "none"/"not needed".
+	pdst, psrc1, psrc2 int
+	oldPdst            int
+	archRd             uint8
+
+	// Structure indices; -1 when not allocated.
+	iqIdx  int
+	ldqIdx int
+	stqIdx int
+
+	// Execution state.
+	dispatched bool
+	issued     bool
+	completed  bool
+	squashed   bool
+	readyAt    uint64 // frontend: earliest dispatch cycle
+
+	// Branch state.
+	isBranch   bool
+	predTaken  bool
+	predTarget uint64
+	bpCP       branch.Checkpoint
+	ghrAtPred  uint64
+
+	// Memory state.
+	holdsMSHR     bool // this in-flight load occupies an MSHR
+	memAddr       uint64
+	addrReady     bool
+	dataReady     bool   // stores: data operand delivered to the STQ entry
+	fwdFromSeq    uint64 // seq of the store this load forwarded from (0 none)
+	bypassedStore bool   // load issued past an older store with unknown address
+	violStorePC   uint64 // PC of the store that exposed this load's violation
+
+	// Security state.
+	suspect      bool
+	blockedSec   bool // currently blocked waiting for dependence clearance
+	wasBlocked   bool // blocked at least once (Table V blocked-rate numerator)
+	pendingTouch bool // deferred LRU update owed at commit (§VII.A delayed)
+
+	result uint64
+}
+
+func (u *uop) class() core.Class {
+	switch {
+	case u.inst.Op.IsMem():
+		return core.ClassMem
+	case u.inst.Op.IsBranch():
+		return core.ClassBranch
+	default:
+		return core.ClassOther
+	}
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Cycles    uint64
+	Committed uint64
+	Halted    bool
+
+	Branch branch.Stats
+	Filter core.FilterStats
+	SecMat core.SecMatrixStats
+	TPBuf  core.TPBufStats
+
+	L1I, L1D, L2, L3 mem.CacheStats
+
+	Squashes      uint64
+	MemViolations uint64
+	// UnresolvedBranchAtDispatch counts instructions dispatched while at
+	// least one unresolved branch was in flight (§VI.C(1) analysis).
+	UnresolvedBranchAtDispatch uint64
+	// StoreSetStalls counts load issues deferred by the Store Sets
+	// predictor (zero unless Core.StoreSets is enabled).
+	StoreSetStalls uint64
+	// FetchStallsICacheFilter counts cycles the §VII.B ICache-hit filter
+	// stalled fetch.
+	FetchStallsICacheFilter uint64
+	// DTLBFilterBlocks counts suspect accesses blocked by the DTLB-hit
+	// filter before their page walk (zero unless DTLBFilter is enabled).
+	DTLBFilterBlocks uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// CPU is one simulated core.
+type CPU struct {
+	cfg  config.Core
+	sec  SecurityConfig
+	hier *mem.Hierarchy
+	bp   *branch.Predictor
+
+	secmat *core.SecMatrix
+	tpbuf  *core.TPBuf
+
+	cycle uint64
+	seq   uint64
+
+	// Fetch.
+	fetchPC         uint64
+	fetchHalted     bool
+	fetchStallUntil uint64
+	fetchQ          []*uop
+	fetchQCap       int
+
+	// Rename.
+	renameMap [isa.NumRegs]int
+	physVal   []uint64
+	physReady []bool
+	freeList  []int
+
+	// Reorder buffer (circular).
+	rob      []*uop
+	robHead  int
+	robCount int
+
+	// Issue queue: fixed slots, nil = free.
+	iq []*uop
+
+	// Load/store queues: fixed slots, nil = free. TPBuf entry i maps to
+	// LDQ slot i; entry LDQ+j maps to STQ slot j.
+	ldq []*uop
+	stq []*uop
+
+	// In-flight executions waiting for their completion cycle.
+	inflight []pendingExec
+	// Stores whose address issued but whose data operand is still pending.
+	awaitingData []*uop
+
+	// Per-cycle functional unit usage (reset each cycle).
+	fuUsed [isa.FUCount]int
+
+	// Active FENCE tracking: the oldest uncommitted fence's seq (0 = none).
+	fenceSeq uint64
+
+	// Optional Store Sets memory-dependence predictor (ablation).
+	storeSets *storeSets
+
+	// outstandingMisses tracks in-flight L1D load misses for the MSHR cap.
+	outstandingMisses int
+
+	halted bool
+
+	// tracer, when non-nil, receives one line per pipeline event.
+	tracer io.Writer
+
+	stats Result
+	// committedTarget lets RunFor stop exactly at an instruction budget.
+	committedTarget uint64
+}
+
+type pendingExec struct {
+	u    *uop
+	done uint64
+}
+
+// New builds a CPU over the given hierarchy. The hierarchy must have been
+// created with the same mem configuration as cfg.Mem (callers typically use
+// NewWithMemory or build both from the same config).
+func New(cfg config.Core, sec SecurityConfig, hier *mem.Hierarchy) *CPU {
+	if cfg.PhysRegs < isa.NumRegs+cfg.ROB {
+		panic(fmt.Sprintf("pipeline: %d physical registers cannot cover %d arch + %d ROB",
+			cfg.PhysRegs, isa.NumRegs, cfg.ROB))
+	}
+	c := &CPU{
+		cfg:       cfg,
+		sec:       sec,
+		hier:      hier,
+		bp:        branch.New(cfg.Predictor),
+		physVal:   make([]uint64, cfg.PhysRegs),
+		physReady: make([]bool, cfg.PhysRegs),
+		rob:       make([]*uop, cfg.ROB),
+		iq:        make([]*uop, cfg.IQ),
+		ldq:       make([]*uop, cfg.LDQ),
+		stq:       make([]*uop, cfg.STQ),
+		fetchQCap: cfg.FetchWidth * (cfg.FrontendDepth + 2),
+	}
+	if sec.Mechanism.TracksDependence() {
+		c.secmat = core.NewSecMatrix(cfg.IQ, sec.Scope)
+	}
+	if cfg.StoreSets {
+		entries := cfg.StoreSetEntries
+		if entries == 0 {
+			entries = 1024
+		}
+		c.storeSets = newStoreSets(entries)
+	}
+	c.tpbuf = core.NewTPBuf(cfg.LDQ + cfg.STQ).SetVariant(sec.TPBufVariant)
+	c.committedTarget = ^uint64(0)
+	// Registers x0..x31 start mapped to physical 0..31; all ready. Physical
+	// register 0 is pinned to zero for x0.
+	for r := 0; r < isa.NumRegs; r++ {
+		c.renameMap[r] = r
+		c.physReady[r] = true
+	}
+	for p := isa.NumRegs; p < cfg.PhysRegs; p++ {
+		c.freeList = append(c.freeList, p)
+		c.physReady[p] = true
+	}
+	return c
+}
+
+// NewWithMemory builds a fresh hierarchy from cfg.Mem over backing and a CPU
+// on top of it.
+func NewWithMemory(cfg config.Core, sec SecurityConfig, backing *isa.FlatMem) *CPU {
+	return New(cfg, sec, mem.NewHierarchy(cfg.Mem, backing))
+}
+
+// Hierarchy returns the memory system (attack harnesses probe it directly).
+func (c *CPU) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Predictor exposes the branch predictor (attack harnesses train it).
+func (c *CPU) Predictor() *branch.Predictor { return c.bp }
+
+// Cycle returns the current cycle count.
+func (c *CPU) Cycle() uint64 { return c.cycle }
+
+// Halted reports whether a HALT has committed.
+func (c *CPU) Halted() bool { return c.halted }
+
+// SetPC steers fetch; call before running or after a drain.
+func (c *CPU) SetPC(pc uint64) {
+	c.fetchPC = pc
+	c.fetchHalted = false
+	c.halted = false
+}
+
+// ArchReg reads architectural register r through the rename map. The value
+// is the committed state only when the pipeline is drained (after Run
+// returns with Halted), which is how tests use it.
+func (c *CPU) ArchReg(r int) uint64 {
+	if r == 0 {
+		return 0
+	}
+	return c.physVal[c.renameMap[r]]
+}
+
+// ResetStats zeroes all statistics counters (after cache warmup) without
+// touching microarchitectural state.
+func (c *CPU) ResetStats() {
+	c.stats = Result{}
+	c.bp.Stats = branch.Stats{}
+	if c.secmat != nil {
+		c.secmat.Stats = core.SecMatrixStats{}
+	}
+	c.tpbuf.Stats = core.TPBufStats{}
+	c.hier.L1I.Stats = mem.CacheStats{}
+	c.hier.L1D.Stats = mem.CacheStats{}
+	c.hier.L2.Stats = mem.CacheStats{}
+	c.hier.L3.Stats = mem.CacheStats{}
+}
+
+func (c *CPU) snapshotResult() Result {
+	r := c.stats
+	if c.storeSets != nil {
+		r.StoreSetStalls = c.storeSets.Stalls
+	}
+	r.Branch = c.bp.Stats
+	if c.secmat != nil {
+		r.SecMat = c.secmat.Stats
+	}
+	r.TPBuf = c.tpbuf.Stats
+	r.L1I = c.hier.L1I.Stats
+	r.L1D = c.hier.L1D.Stats
+	r.L2 = c.hier.L2.Stats
+	r.L3 = c.hier.L3.Stats
+	return r
+}
+
+// Run executes until HALT commits or maxCycles elapse, and returns the
+// accumulated statistics since the last ResetStats.
+func (c *CPU) Run(maxCycles uint64) Result {
+	return c.RunFor(^uint64(0), maxCycles)
+}
+
+// RunFor executes until `insts` more instructions commit, HALT commits, or
+// maxCycles elapse.
+func (c *CPU) RunFor(insts, maxCycles uint64) Result {
+	c.committedTarget = c.stats.Committed + insts
+	if c.committedTarget < c.stats.Committed { // overflow: no limit
+		c.committedTarget = ^uint64(0)
+	}
+	start := c.cycle
+	for !c.halted && c.cycle-start < maxCycles && c.stats.Committed < c.committedTarget {
+		c.step()
+	}
+	return c.snapshotResult()
+}
+
+// StepCycle advances the machine by exactly one cycle; multi-core harnesses
+// (Duo) interleave cores with it. Single-core users should prefer Run.
+func (c *CPU) StepCycle() {
+	if !c.halted {
+		c.step()
+	}
+}
+
+// Result returns the statistics accumulated since the last ResetStats.
+func (c *CPU) Result() Result { return c.snapshotResult() }
+
+// step advances the machine by one cycle. Stages run back-to-front so that
+// same-cycle structural hazards resolve the way real pipelines do.
+func (c *CPU) step() {
+	c.cycle++
+	c.stats.Cycles++
+	for i := range c.fuUsed {
+		c.fuUsed[i] = 0
+	}
+	c.commitStage()
+	if c.halted {
+		return
+	}
+	c.writebackStage()
+	c.issueStage()
+	c.dispatchStage()
+	c.fetchStage()
+	if c.secmat != nil {
+		c.secmat.ClockEdge()
+	}
+}
+
+// robAt returns the uop at ROB position (head+i)%size.
+func (c *CPU) robAt(i int) *uop {
+	return c.rob[(c.robHead+i)%len(c.rob)]
+}
+
+// robFull reports whether the ROB has no free entry.
+func (c *CPU) robFull() bool { return c.robCount == len(c.rob) }
+
+func (c *CPU) robPush(u *uop) {
+	c.rob[(c.robHead+c.robCount)%len(c.rob)] = u
+	c.robCount++
+}
+
+// unresolvedBranchInFlight reports whether any dispatched branch has not
+// completed — the §VII.B ICache filter's "unsafe NPC" condition and the
+// §VI.C(1) unresolved-branch statistic.
+func (c *CPU) unresolvedBranchInFlight() bool {
+	for i := 0; i < c.robCount; i++ {
+		u := c.robAt(i)
+		if u.isBranch && !u.completed {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+package pipeline
+
+import (
+	"conspec/internal/config"
+	"conspec/internal/isa"
+	"conspec/internal/mem"
+)
+
+// Duo couples two cores over a shared L2/L3 and backing store with
+// write-invalidate coherence between their private L1s — the paper's threat
+// model setting where attacker and victim are separate processes on the
+// same machine. Each core carries its own security configuration, so a
+// defended victim can face an undefended attacker.
+type Duo struct {
+	A, B    *CPU
+	Backing *isa.FlatMem
+}
+
+// NewDuo builds two cores from the same core configuration. secA/secB are
+// the per-core defense settings (the attacker typically runs Origin — the
+// defense protects the victim, not the adversary).
+func NewDuo(cfg config.Core, secA, secB SecurityConfig, backing *isa.FlatMem) *Duo {
+	hierA := mem.NewHierarchy(cfg.Mem, backing)
+	hierB := mem.NewSharedHierarchy(cfg.Mem, hierA)
+	return &Duo{
+		A:       New(cfg, secA, hierA),
+		B:       New(cfg, secB, hierB),
+		Backing: backing,
+	}
+}
+
+// Run interleaves the two cores cycle by cycle until the predicate returns
+// true or the cycle budget runs out; it returns the cycles consumed. The
+// usual predicate is "the attacker halted" — victims are service loops that
+// never halt.
+func (d *Duo) Run(maxCycles uint64, done func(*Duo) bool) uint64 {
+	for i := uint64(0); i < maxCycles; i++ {
+		d.A.StepCycle()
+		d.B.StepCycle()
+		if done(d) {
+			return i + 1
+		}
+	}
+	return maxCycles
+}

@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"testing"
+
+	"conspec/internal/asm"
+	"conspec/internal/core"
+	"conspec/internal/isa"
+)
+
+// TestDuoMailboxCoherence: core A stores a value; core B spin-reads it and
+// echoes value+1 into a reply slot; A waits for the reply. This only works
+// if store-commit invalidation makes each side's polling loads observe the
+// other's writes.
+func TestDuoMailboxCoherence(t *testing.T) {
+	const mbox, reply = 0x50000, 0x50100 // distinct lines
+
+	a := asm.New()
+	a.Li(asm.A0, mbox)
+	a.Li(asm.A1, reply)
+	a.Li(asm.T0, 41)
+	a.St(asm.T0, asm.A0, 0)
+	a.Bind("wait")
+	a.Ld(asm.T1, asm.A1, 0)
+	a.Beq(asm.T1, asm.Zero, "wait")
+	a.Halt()
+	progA := a.MustAssemble(0x1000)
+
+	b := asm.New()
+	b.Li(asm.A0, mbox)
+	b.Li(asm.A1, reply)
+	b.Bind("poll")
+	b.Ld(asm.T0, asm.A0, 0)
+	b.Beq(asm.T0, asm.Zero, "poll")
+	b.Addi(asm.T0, asm.T0, 1)
+	b.St(asm.T0, asm.A1, 0)
+	b.Halt()
+	progB := b.MustAssemble(0x8000)
+
+	backing := isa.NewFlatMem()
+	progA.Load(backing)
+	progB.Load(backing)
+	duo := NewDuo(smallCore(),
+		SecurityConfig{Mechanism: core.Origin},
+		SecurityConfig{Mechanism: core.CacheHitTPBuf},
+		backing)
+	duo.A.SetPC(progA.Base)
+	duo.B.SetPC(progB.Base)
+	duo.Run(1_000_000, func(d *Duo) bool { return d.A.Halted() && d.B.Halted() })
+	if !duo.A.Halted() || !duo.B.Halted() {
+		t.Fatal("handshake did not complete (coherence broken?)")
+	}
+	if got := duo.A.ArchReg(int(asm.T1)); got != 42 {
+		t.Fatalf("A read reply %d, want 42", got)
+	}
+}
+
+// TestDuoPeerInvalidation: after B warms a shared line, A's committed store
+// must evict it from B's private L1 (while the shared L2 keeps a copy).
+func TestDuoPeerInvalidation(t *testing.T) {
+	backing := isa.NewFlatMem()
+	duo := NewDuo(smallCore(),
+		SecurityConfig{Mechanism: core.Origin},
+		SecurityConfig{Mechanism: core.Origin},
+		backing)
+	const addr = 0x60000
+	duo.B.Hierarchy().AccessData(addr, false)
+	if !duo.B.Hierarchy().L1D.Probe(addr) {
+		t.Fatal("precondition: line warm in B's L1")
+	}
+	duo.A.Hierarchy().StoreCommitted(addr)
+	if duo.B.Hierarchy().L1D.Probe(addr) {
+		t.Fatal("peer store must invalidate B's private copy")
+	}
+	if !duo.B.Hierarchy().L2.Probe(addr) {
+		t.Fatal("shared L2 copy must survive peer invalidation")
+	}
+}
+
+// TestDuoGlobalClflush: a CLFLUSH on core A must also remove the line from
+// core B's private L1 (the instruction is architecturally global).
+func TestDuoGlobalClflush(t *testing.T) {
+	backing := isa.NewFlatMem()
+	duo := NewDuo(smallCore(),
+		SecurityConfig{Mechanism: core.Origin},
+		SecurityConfig{Mechanism: core.Origin},
+		backing)
+	const addr = 0x61000
+	duo.B.Hierarchy().AccessData(addr, false)
+	duo.A.Hierarchy().Flush(addr)
+	if duo.B.Hierarchy().L1D.Probe(addr) || duo.B.Hierarchy().L2.Probe(addr) {
+		t.Fatal("global flush must clear the peer L1 and the shared levels")
+	}
+}

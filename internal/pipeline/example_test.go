@@ -1,0 +1,30 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"conspec/internal/asm"
+	"conspec/internal/config"
+	"conspec/internal/core"
+	"conspec/internal/isa"
+	"conspec/internal/pipeline"
+)
+
+// Run a program on the out-of-order core under the full Conditional
+// Speculation mechanism and read back architectural state.
+func ExampleCPU() {
+	b := asm.New()
+	b.Li(asm.A0, 21)
+	b.Add(asm.A0, asm.A0, asm.A0)
+	b.Halt()
+	prog := b.MustAssemble(0x1000)
+
+	backing := isa.NewFlatMem()
+	prog.Load(backing)
+	cpu := pipeline.NewWithMemory(config.PaperCore(),
+		pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}, backing)
+	cpu.SetPC(prog.Base)
+	cpu.Run(10_000)
+	fmt.Println("a0:", cpu.ArchReg(int(asm.A0)), "halted:", cpu.Halted())
+	// Output: a0: 42 halted: true
+}

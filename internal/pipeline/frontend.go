@@ -1,0 +1,239 @@
+package pipeline
+
+import (
+	"conspec/internal/core"
+	"conspec/internal/isa"
+	"conspec/internal/mem"
+)
+
+// fetchStage fetches up to FetchWidth instructions along the predicted path,
+// predecodes control flow, and enqueues decoded uops for dispatch after the
+// front-end pipeline delay. L1I misses stall fetch for the miss latency.
+// With the §VII.B ICache-hit filter enabled, an L1I miss whose next-PC is
+// unsafe (an unresolved branch is in flight) stalls WITHOUT refilling.
+func (c *CPU) fetchStage() {
+	if c.fetchHalted || c.cycle < c.fetchStallUntil {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.fetchQ) >= c.fetchQCap {
+			return
+		}
+		pc := c.fetchPC
+
+		if c.sec.ICacheFilter && !c.hier.ProbeL1I(pc) && c.unresolvedBranchInFlight() {
+			// Unsafe NPC missing L1I: the fetch request is not issued at
+			// all; retry when the branches have resolved.
+			c.stats.FetchStallsICacheFilter++
+			return
+		}
+		r := c.hier.AccessInst(pc)
+		if r.Level != mem.LevelL1 {
+			// Miss: charge the full fill latency before instructions from
+			// this line can enter the pipeline.
+			c.fetchStallUntil = c.cycle + uint64(r.Latency)
+			return
+		}
+
+		in := isa.Decode(c.hier.Backing.Read(pc, isa.InstBytes))
+		if !in.Valid() {
+			// Fetch ran off the program (almost always down a wrong path).
+			// Stop fetching until a squash redirects.
+			c.fetchHalted = true
+			return
+		}
+
+		c.seq++
+		u := &uop{
+			seq:   c.seq,
+			pc:    pc,
+			inst:  in,
+			iqIdx: -1, ldqIdx: -1, stqIdx: -1,
+			pdst: -1, psrc1: -1, psrc2: -1, oldPdst: -1,
+			readyAt: c.cycle + uint64(c.cfg.FrontendDepth),
+		}
+
+		next := pc + isa.InstBytes
+		endGroup := false
+		switch {
+		case in.Op == isa.OpHalt:
+			c.fetchQ = append(c.fetchQ, u)
+			c.fetchHalted = true
+			return
+		case in.Op == isa.OpJal:
+			// Direct jump: resolved at predecode, never speculated.
+			next = pc + uint64(int64(in.Imm))
+			if in.Rd != 0 {
+				c.bp.PushRAS(pc + isa.InstBytes)
+			}
+			endGroup = true
+		case in.Op == isa.OpJalr:
+			u.isBranch = true
+			u.bpCP = c.bp.Checkpoint()
+			u.ghrAtPred = u.bpCP.GHR
+			var target uint64
+			var ok bool
+			if in.Rd == 0 && in.Rs1 == 1 { // return: jalr x0, 0(ra)
+				target, ok = c.bp.PopRAS()
+			} else {
+				target, ok = c.bp.PredictTarget(pc)
+			}
+			if in.Rd != 0 {
+				c.bp.PushRAS(pc + isa.InstBytes)
+			}
+			if !ok {
+				target = pc + isa.InstBytes // cold: guess fall-through
+			}
+			u.predTaken = true
+			u.predTarget = target
+			next = target
+			endGroup = true
+		case in.Op.IsCondBranch():
+			u.isBranch = true
+			u.bpCP = c.bp.Checkpoint()
+			u.ghrAtPred = u.bpCP.GHR
+			taken := c.bp.PredictCond(pc)
+			u.predTaken = taken
+			if taken {
+				u.predTarget = pc + uint64(int64(in.Imm))
+				next = u.predTarget
+				endGroup = true
+			} else {
+				u.predTarget = pc + isa.InstBytes
+			}
+		}
+
+		c.traceEvent("FETCH", u)
+		c.fetchQ = append(c.fetchQ, u)
+		c.fetchPC = next
+		if endGroup {
+			return // taken control flow ends the fetch group
+		}
+	}
+}
+
+// dispatchStage renames and dispatches fetched uops in order, allocating
+// ROB, issue-queue and LSQ entries, and initializes the security dependence
+// matrix row for memory instructions.
+func (c *CPU) dispatchStage() {
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.fetchQ) == 0 {
+			return
+		}
+		u := c.fetchQ[0]
+		if u.readyAt > c.cycle || c.robFull() {
+			return
+		}
+		op := u.inst.Op
+
+		needsIQ := op != isa.OpNop && op != isa.OpHalt && op != isa.OpFence
+		var iqSlot, ldqSlot, stqSlot = -1, -1, -1
+		if needsIQ {
+			iqSlot = c.freeIQSlot()
+			if iqSlot < 0 {
+				return
+			}
+		}
+		if op.IsLoad() {
+			ldqSlot = freeSlot(c.ldq)
+			if ldqSlot < 0 {
+				return
+			}
+		}
+		if op.IsStore() {
+			stqSlot = freeSlot(c.stq)
+			if stqSlot < 0 {
+				return
+			}
+		}
+		useRs1, useRs2 := u.inst.Sources()
+		if u.inst.HasDest() && len(c.freeList) == 0 {
+			return
+		}
+
+		// All resources available: commit to dispatching this uop.
+		c.fetchQ = c.fetchQ[1:]
+		if useRs1 {
+			u.psrc1 = c.renameMap[u.inst.Rs1]
+		}
+		if useRs2 {
+			u.psrc2 = c.renameMap[u.inst.Rs2]
+		}
+		if u.inst.HasDest() {
+			u.archRd = u.inst.Rd
+			u.oldPdst = c.renameMap[u.inst.Rd]
+			p := c.freeList[len(c.freeList)-1]
+			c.freeList = c.freeList[:len(c.freeList)-1]
+			u.pdst = p
+			c.physReady[p] = false
+			c.renameMap[u.inst.Rd] = p
+		}
+
+		if c.unresolvedBranchInFlight() {
+			c.stats.UnresolvedBranchAtDispatch++
+		}
+
+		c.traceEvent("DISPATCH", u)
+		c.robPush(u)
+		u.dispatched = true
+
+		switch op {
+		case isa.OpNop, isa.OpHalt:
+			u.completed = true
+		case isa.OpFence:
+			if c.fenceSeq == 0 {
+				c.fenceSeq = u.seq
+			}
+		}
+
+		if iqSlot >= 0 {
+			c.iq[iqSlot] = u
+			u.iqIdx = iqSlot
+			if c.secmat != nil {
+				c.secmat.OnDispatch(iqSlot, u.class(), c.iqSnapshot(iqSlot))
+			}
+		}
+		if ldqSlot >= 0 {
+			c.ldq[ldqSlot] = u
+			u.ldqIdx = ldqSlot
+			c.tpbuf.Allocate(ldqSlot)
+		}
+		if stqSlot >= 0 {
+			c.stq[stqSlot] = u
+			u.stqIdx = stqSlot
+			c.tpbuf.Allocate(c.cfg.LDQ + stqSlot)
+		}
+	}
+}
+
+func (c *CPU) freeIQSlot() int {
+	for i, u := range c.iq {
+		if u == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+func freeSlot(q []*uop) int {
+	for i, u := range q {
+		if u == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// iqSnapshot builds the EntryState view the security matrix formula
+// consumes at dispatch. Occupied slots are valid and (in this core) always
+// unissued: entries leave the queue the moment they successfully issue.
+func (c *CPU) iqSnapshot(exclude int) []core.EntryState {
+	es := make([]core.EntryState, len(c.iq))
+	for i, u := range c.iq {
+		if u == nil || i == exclude {
+			continue
+		}
+		es[i] = core.EntryState{Valid: true, Issued: false, Class: u.class()}
+	}
+	return es
+}

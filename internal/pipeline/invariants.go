@@ -1,0 +1,101 @@
+package pipeline
+
+import "fmt"
+
+// CheckInvariants validates the machine's internal bookkeeping and returns
+// the first violation found (nil if consistent). Tests call it between and
+// after runs; it is not called on the hot path.
+//
+// Invariants checked:
+//
+//   - register accounting: the free list, the rename map and in-flight
+//     destinations partition the physical register file (no leaks, no
+//     double allocation);
+//   - the rename map holds distinct, in-range registers, with x0 pinned
+//     to physical register 0;
+//   - every issue-queue / LDQ / STQ slot points at a uop that agrees about
+//     its own position;
+//   - the MSHR counter equals the number of in-flight loads holding one.
+func (c *CPU) CheckInvariants() error {
+	// Rename map: in range, x0 pinned, no duplicates.
+	seen := make(map[int]int)
+	for r, p := range c.renameMap {
+		if p < 0 || p >= len(c.physVal) {
+			return fmt.Errorf("renameMap[x%d] = %d out of range", r, p)
+		}
+		if prev, dup := seen[p]; dup {
+			return fmt.Errorf("renameMap: x%d and x%d both map to p%d", prev, r, p)
+		}
+		seen[p] = r
+	}
+	if c.renameMap[0] != 0 {
+		return fmt.Errorf("x0 must stay mapped to p0, got p%d", c.renameMap[0])
+	}
+
+	// Register accounting: mapped + free + (pdst or oldPdst of live ROB
+	// entries, whichever is not the mapped one) must cover the file exactly.
+	used := make(map[int]string)
+	for r, p := range c.renameMap {
+		used[p] = fmt.Sprintf("renameMap[x%d]", r)
+	}
+	for i, p := range c.freeList {
+		if p < 0 || p >= len(c.physVal) {
+			return fmt.Errorf("freeList[%d] = %d out of range", i, p)
+		}
+		if who, dup := used[p]; dup {
+			return fmt.Errorf("p%d on the free list but also %s", p, who)
+		}
+		used[p] = "freeList"
+	}
+	for i := 0; i < c.robCount; i++ {
+		u := c.robAt(i)
+		if u.pdst >= 0 {
+			// A live entry owns its oldPdst (it will be freed at commit);
+			// its pdst is the current mapping (already counted) unless a
+			// younger entry re-renamed the register, in which case the
+			// pdst is owned here.
+			for _, p := range []int{u.pdst, u.oldPdst} {
+				if _, counted := used[p]; !counted {
+					used[p] = fmt.Sprintf("ROB seq %d", u.seq)
+				}
+			}
+		}
+	}
+	for p := 0; p < len(c.physVal); p++ {
+		if _, counted := used[p]; !counted {
+			return fmt.Errorf("physical register p%d leaked (not mapped, free, or ROB-owned)", p)
+		}
+	}
+
+	// Structure back-pointers.
+	for i, u := range c.iq {
+		if u != nil && u.iqIdx != i {
+			return fmt.Errorf("iq[%d] holds uop with iqIdx=%d", i, u.iqIdx)
+		}
+	}
+	for i, u := range c.ldq {
+		if u != nil && u.ldqIdx != i {
+			return fmt.Errorf("ldq[%d] holds uop with ldqIdx=%d", i, u.ldqIdx)
+		}
+	}
+	for i, u := range c.stq {
+		if u != nil && u.stqIdx != i {
+			return fmt.Errorf("stq[%d] holds uop with stqIdx=%d", i, u.stqIdx)
+		}
+	}
+
+	// MSHR accounting.
+	holding := 0
+	for _, pe := range c.inflight {
+		if pe.u.holdsMSHR {
+			holding++
+		}
+	}
+	if c.cfg.MaxMSHRs > 0 && holding != c.outstandingMisses {
+		return fmt.Errorf("MSHR count %d but %d in-flight holders", c.outstandingMisses, holding)
+	}
+	if c.outstandingMisses < 0 {
+		return fmt.Errorf("negative outstanding misses: %d", c.outstandingMisses)
+	}
+	return nil
+}

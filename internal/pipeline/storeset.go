@@ -1,0 +1,82 @@
+package pipeline
+
+// storeSets is a simplified Store Sets memory-dependence predictor
+// (Chrysos & Emer, ISCA 1998), the structure gem5's O3 core uses to stop
+// loads from repeatedly speculating past stores they have conflicted with
+// before. It is an ABLATION feature here (Core.StoreSets, default off):
+//
+//   - off reproduces the paper's evaluation machine, where load speculation
+//     is unconditional and memory-order violations squash;
+//   - on demonstrates two things worth measuring: the violation-recovery
+//     cost disappears from violation-heavy code, and the naive Spectre V4
+//     PoC stops working after its first training round (the load is made
+//     to wait), which is why real V4 attacks must defeat the predictor too.
+//
+// Implementation: a PC-indexed store-set ID table (SSIT). When a store
+// exposes a violation, the load PC and store PC are merged into one set.
+// A load whose PC has a set ID is not eligible to issue while any OLDER
+// store in the store queue with the same set ID has not yet issued.
+type storeSets struct {
+	ssit   []uint16 // (pc>>3) & mask -> set ID; 0 means "no set"
+	mask   uint64
+	nextID uint16
+	// Merges counts violation-driven set assignments; Stalls counts
+	// eligibility denials (diagnostics).
+	Merges uint64
+	Stalls uint64
+}
+
+// newStoreSets builds an SSIT with entries slots (power of two).
+func newStoreSets(entries int) *storeSets {
+	if entries&(entries-1) != 0 || entries <= 0 {
+		panic("pipeline: store-set entries must be a power of two")
+	}
+	return &storeSets{ssit: make([]uint16, entries), mask: uint64(entries - 1), nextID: 1}
+}
+
+func (ss *storeSets) index(pc uint64) uint64 { return (pc >> 3) & ss.mask }
+
+// id returns the store-set ID for pc (0 = none).
+func (ss *storeSets) id(pc uint64) uint16 { return ss.ssit[ss.index(pc)] }
+
+// merge records a violation between a load and a store, placing both PCs
+// in the same set (allocating one if neither has one).
+func (ss *storeSets) merge(loadPC, storePC uint64) {
+	li, si := ss.index(loadPC), ss.index(storePC)
+	switch {
+	case ss.ssit[li] != 0:
+		ss.ssit[si] = ss.ssit[li]
+	case ss.ssit[si] != 0:
+		ss.ssit[li] = ss.ssit[si]
+	default:
+		ss.ssit[li] = ss.nextID
+		ss.ssit[si] = ss.nextID
+		ss.nextID++
+		if ss.nextID == 0 {
+			ss.nextID = 1
+		}
+	}
+	ss.Merges++
+}
+
+// loadMustWait reports whether the load (by PC and age) must hold its issue
+// because an older same-set store has not resolved its address yet.
+func (c *CPU) loadMustWait(u *uop) bool {
+	if c.storeSets == nil {
+		return false
+	}
+	id := c.storeSets.id(u.pc)
+	if id == 0 {
+		return false
+	}
+	for _, st := range c.stq {
+		if st == nil || st.seq >= u.seq || st.addrReady {
+			continue
+		}
+		if c.storeSets.id(st.pc) == id {
+			c.storeSets.Stalls++
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"testing"
+
+	"conspec/internal/asm"
+	"conspec/internal/core"
+	"conspec/internal/isa"
+)
+
+// violationProgram makes the same load/store pair conflict every iteration:
+// the store's address depends on a long multiply chain, and the younger
+// load reads the same slot speculatively.
+func violationProgram(iters int32) *asm.Program {
+	b := asm.New()
+	b.Li(asm.A0, 0x30000)
+	b.Li(asm.S0, 0)
+	b.Li(asm.S1, iters)
+	b.Bind("loop")
+	b.Li(asm.T0, 1)
+	for i := 0; i < 8; i++ {
+		b.Mul(asm.T0, asm.T0, asm.T0) // delay the store address
+	}
+	b.Add(asm.T1, asm.A0, asm.T0)
+	b.Addi(asm.T1, asm.T1, -1) // == A0
+	b.Addi(asm.T2, asm.S0, 7)
+	b.St(asm.T2, asm.T1, 0) // store, address late
+	b.Ld(asm.T3, asm.A0, 0) // same address, speculates past the store
+	b.Add(asm.S2, asm.S2, asm.T3)
+	b.Addi(asm.S0, asm.S0, 1)
+	b.Blt(asm.S0, asm.S1, "loop")
+	b.Halt()
+	return b.MustAssemble(testBase)
+}
+
+func TestStoreSetsEliminateRepeatViolations(t *testing.T) {
+	prog := violationProgram(50)
+	run := func(storeSets bool) Result {
+		cfg := smallCore()
+		cfg.StoreSets = storeSets
+		backing := isa.NewFlatMem()
+		prog.Load(backing)
+		cpu := NewWithMemory(cfg, SecurityConfig{Mechanism: core.Origin}, backing)
+		cpu.SetPC(prog.Base)
+		res := cpu.Run(3_000_000)
+		if !cpu.Halted() {
+			t.Fatal("no halt")
+		}
+		// Architectural result must be identical either way.
+		if got := cpu.ArchReg(int(asm.S2)); got != 50*7+(49*50/2) {
+			t.Fatalf("storeSets=%v: checksum %d", storeSets, got)
+		}
+		return res
+	}
+	without := run(false)
+	with := run(true)
+	if without.MemViolations < 40 {
+		t.Fatalf("expected ~50 violations without the predictor, got %d", without.MemViolations)
+	}
+	if with.MemViolations > 5 {
+		t.Fatalf("store sets should eliminate repeat violations, got %d", with.MemViolations)
+	}
+	if with.StoreSetStalls == 0 {
+		t.Fatal("predictor should have deferred load issues")
+	}
+	if with.Cycles >= without.Cycles {
+		t.Fatalf("eliminating squashes should be faster: %d vs %d cycles",
+			with.Cycles, without.Cycles)
+	}
+}
+
+func TestStoreSetsOffByDefault(t *testing.T) {
+	prog := violationProgram(5)
+	backing := isa.NewFlatMem()
+	prog.Load(backing)
+	cpu := NewWithMemory(smallCore(), SecurityConfig{Mechanism: core.Origin}, backing)
+	cpu.SetPC(prog.Base)
+	res := cpu.Run(1_000_000)
+	if res.StoreSetStalls != 0 {
+		t.Fatal("store sets must be disabled by default (paper machine)")
+	}
+}

@@ -1,0 +1,26 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+)
+
+// AttachTracer streams a line per pipeline event (fetch, dispatch, issue,
+// writeback, commit, squash) to w. Intended for debugging guest programs
+// and for teaching: `conspec-asm -trace` uses it. A nil w detaches.
+func (c *CPU) AttachTracer(w io.Writer) { c.tracer = w }
+
+func (c *CPU) trace(format string, args ...any) {
+	if c.tracer == nil {
+		return
+	}
+	fmt.Fprintf(c.tracer, format, args...)
+}
+
+func (c *CPU) traceEvent(ev string, u *uop) {
+	if c.tracer == nil {
+		return
+	}
+	fmt.Fprintf(c.tracer, "%8d %-8s seq=%-6d pc=%#x  %v\n",
+		c.cycle, ev, u.seq, u.pc, u.inst)
+}
