@@ -1,0 +1,29 @@
+# conspec build/verify targets.
+#
+#   make tier1   — the PR gate: build, vet, full test suite, plus the race
+#                  detector over the experiment engine's worker pool.
+
+GO ?= go
+
+.PHONY: all build vet test race tier1 bench
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The engine schedules simulations on a bounded worker pool with a shared
+# memo cache; run it under the race detector on every PR.
+race:
+	$(GO) test -race ./internal/exp
+
+tier1: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -16,6 +16,7 @@
 package conspec
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -45,9 +46,13 @@ func benchSpec() exp.RunSpec {
 // pass -benchtime=1x and use cmd/conspec-bench for all 22.
 var benchNames = []string{"astar", "hmmer", "lbm", "libquantum", "zeusmp", "GemsFDTD"}
 
+// benchRunner builds a fresh experiment engine per iteration so benchmark
+// timings measure real simulations, not the memo cache.
+func benchRunner() *exp.Runner { return exp.NewRunner(exp.RunnerOptions{}) }
+
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ev, err := exp.RunEvaluation(benchSpec(), benchNames, nil)
+		ev, err := benchRunner().Evaluation(context.Background(), benchSpec(), benchNames)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +67,10 @@ func BenchmarkTable4(b *testing.B) {
 	cfg.Mem.L2Size = 256 * 1024
 	cfg.Mem.L3Size = 1024 * 1024
 	for i := 0; i < b.N; i++ {
-		outcomes := exp.RunTable4(cfg, nil)
+		outcomes, err := benchRunner().Table4(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		matches := 0
 		for _, o := range outcomes {
 			shared := o.Scenario != "v1-samepage/prime+probe" && o.Scenario != "v1-samepage/evict+time"
@@ -77,7 +85,7 @@ func BenchmarkTable4(b *testing.B) {
 
 func BenchmarkTable5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ev, err := exp.RunEvaluation(benchSpec(), benchNames, nil)
+		ev, err := benchRunner().Evaluation(context.Background(), benchSpec(), benchNames)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +102,7 @@ func BenchmarkTable5(b *testing.B) {
 
 func BenchmarkTable6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cores, err := exp.RunTable6(benchSpec(), []string{"astar", "hmmer", "lbm"}, nil)
+		cores, err := benchRunner().Table6(context.Background(), benchSpec(), []string{"astar", "hmmer", "lbm"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +114,7 @@ func BenchmarkTable6(b *testing.B) {
 
 func BenchmarkMatrixScope(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.RunScope(benchSpec(), []string{"astar", "hmmer", "lbm"}, nil)
+		r, err := benchRunner().Scope(context.Background(), benchSpec(), []string{"astar", "hmmer", "lbm"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +125,7 @@ func BenchmarkMatrixScope(b *testing.B) {
 
 func BenchmarkLRUPolicies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.RunLRU(benchSpec(), []string{"astar", "bzip2"}, nil)
+		r, err := benchRunner().LRU(context.Background(), benchSpec(), []string{"astar", "bzip2"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +136,7 @@ func BenchmarkLRUPolicies(b *testing.B) {
 
 func BenchmarkICacheFilter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.RunICache(benchSpec(), []string{"astar", "gobmk"}, nil)
+		r, err := benchRunner().ICache(context.Background(), benchSpec(), []string{"astar", "gobmk"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -330,7 +338,7 @@ func BenchmarkAblationPrefetcher(b *testing.B) {
 // BenchmarkDefenseComparison reports the three-way defense comparison.
 func BenchmarkDefenseComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.RunComparison(benchSpec(), []string{"astar", "lbm", "libquantum"}, nil)
+		r, err := benchRunner().Compare(context.Background(), benchSpec(), []string{"astar", "lbm", "libquantum"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -385,7 +393,7 @@ func BenchmarkAblationMSHR(b *testing.B) {
 // BenchmarkAblationDTLBFilter reports the translation-channel filter's cost.
 func BenchmarkAblationDTLBFilter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.RunDTLBFilter(benchSpec(), []string{"astar", "milc", "zeusmp"}, nil)
+		r, err := benchRunner().DTLB(context.Background(), benchSpec(), []string{"astar", "milc", "zeusmp"})
 		if err != nil {
 			b.Fatal(err)
 		}

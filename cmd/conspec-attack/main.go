@@ -13,10 +13,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"conspec/internal/attack"
 	"conspec/internal/config"
@@ -38,6 +42,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT cancels the run: whatever outcomes completed are already
+	// printed, and the process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// A slimmed hierarchy keeps PoC runs quick without changing L1 geometry
 	// (the receivers' set arithmetic depends only on the L1).
 	cfg := config.PaperCore()
@@ -51,10 +60,20 @@ func main() {
 		return
 	}
 
+	// checkCancelled exits non-zero once the context is cancelled; the
+	// outcomes printed so far are the flushed partial results.
+	checkCancelled := func() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(1)
+		}
+	}
+
 	if *lru {
 		h := attack.LRUSideChannel(cfg)
 		fmt.Printf("scenario: %s — suspect L1D HITS leak through replacement state\n\n", h.Name)
 		for _, pol := range []mem.UpdatePolicy{mem.UpdateAlways, mem.UpdateNoSpec, mem.UpdateDelayed} {
+			checkCancelled()
 			c := cfg
 			c.Mem.L1DUpdate = pol
 			o := h.Run(c, pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf})
@@ -74,6 +93,7 @@ func main() {
 		}
 		for _, tc := range []cse{{core.Origin, false}, {core.Baseline, false},
 			{core.CacheHitTPBuf, false}, {core.CacheHitTPBuf, true}} {
+			checkCancelled()
 			o := h.Run(cfg, pipeline.SecurityConfig{Mechanism: tc.m, DTLBFilter: tc.f})
 			status := "DEFENDED"
 			if o.Leaked {
@@ -89,6 +109,7 @@ func main() {
 		fmt.Println("victim service on core B, shared L2/L3, mailbox IPC")
 		fmt.Println()
 		for _, m := range core.Mechanisms {
+			checkCancelled()
 			o := attack.RunCrossCore(cfg, m)
 			status := "DEFENDED"
 			if o.Leaked {
@@ -101,9 +122,21 @@ func main() {
 	}
 
 	if *all {
-		outcomes := exp.RunTable4(cfg, func(line string) {
-			fmt.Println(line)
-		})
+		runner := exp.NewRunner(exp.RunnerOptions{OnEvent: func(ev exp.ProgressEvent) {
+			if ev.Line != "" {
+				fmt.Println(ev.Line)
+			}
+		}})
+		outcomes, err := runner.Table4(ctx, cfg)
+		if err != nil {
+			// Flush the outcomes that completed before cancellation.
+			if errors.Is(err, context.Canceled) && len(outcomes) > 0 {
+				fmt.Println()
+				fmt.Println(exp.Table4Text(outcomes))
+			}
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Println()
 		fmt.Println(exp.Table4Text(outcomes))
 		return
@@ -131,6 +164,7 @@ func main() {
 		}
 	}
 	for _, m := range mechs {
+		checkCancelled()
 		o := h.Run(cfg, pipeline.SecurityConfig{Mechanism: m})
 		fmt.Println(o)
 		fmt.Printf("    secret %x, recovered %x (%d cycles)\n", o.Secret, o.Recovered, o.Cycles)

@@ -8,6 +8,7 @@ import (
 	"conspec/internal/attack"
 	"conspec/internal/core"
 	"conspec/internal/exp"
+	"conspec/internal/workload"
 )
 
 // jsonFig5Row is one benchmark's normalized runtimes.
@@ -39,11 +40,85 @@ type jsonAttackRow struct {
 	Leaked    bool   `json:"leaked"`
 }
 
-// jsonReport aggregates whatever suites ran.
+// jsonTable6Row is one benchmark's overheads on one sensitivity core.
+type jsonTable6Row struct {
+	Benchmark string  `json:"benchmark"`
+	Baseline  float64 `json:"baseline_overhead"`
+	CacheHit  float64 `json:"cachehit_overhead"`
+	TPBuf     float64 `json:"tpbuf_overhead"`
+}
+
+// jsonTable6Core is Table VI for one core.
+type jsonTable6Core struct {
+	Core    string          `json:"core"`
+	Rows    []jsonTable6Row `json:"rows"`
+	Average jsonTable6Row   `json:"average"`
+}
+
+// jsonScopeRow is one benchmark's §VI.C(1) decomposition.
+type jsonScopeRow struct {
+	Benchmark            string  `json:"benchmark"`
+	BranchOnly           float64 `json:"branch_only_overhead"`
+	Full                 float64 `json:"full_matrix_overhead"`
+	UnresolvedBranchFrac float64 `json:"unresolved_branch_frac"`
+}
+
+// jsonScope is the §VI.C(1) suite.
+type jsonScope struct {
+	Rows          []jsonScopeRow `json:"rows"`
+	BranchOnlyAvg float64        `json:"branch_only_avg"`
+	FullAvg       float64        `json:"full_matrix_avg"`
+}
+
+// jsonLRU is the §VII.A replacement-update study.
+type jsonLRU struct {
+	Always   float64 `json:"conventional_update_overhead"`
+	NoUpdate float64 `json:"no_update_overhead"`
+	Delayed  float64 `json:"delayed_update_overhead"`
+}
+
+// jsonICache is the §VII.B filter study.
+type jsonICache struct {
+	Without     float64           `json:"overhead_without"`
+	With        float64           `json:"overhead_with"`
+	FetchStalls map[string]uint64 `json:"fetch_stalls"`
+}
+
+// jsonDTLB is the DTLB-filter study.
+type jsonDTLB struct {
+	Without float64           `json:"overhead_without"`
+	With    float64           `json:"overhead_with"`
+	Blocks  map[string]uint64 `json:"filter_blocks"`
+}
+
+// jsonCompareRow is one benchmark's defense-comparison overheads.
+type jsonCompareRow struct {
+	Benchmark string  `json:"benchmark"`
+	TPBuf     float64 `json:"chtpbuf_overhead"`
+	Invisi    float64 `json:"invisispec_overhead"`
+	SWFence   float64 `json:"sw_fence_overhead"`
+}
+
+// jsonCompare is the defense comparison suite.
+type jsonCompare struct {
+	Rows    []jsonCompareRow `json:"rows"`
+	Average jsonCompareRow   `json:"average"`
+}
+
+// jsonReport aggregates whatever suites ran. The fig5/table5/table4 fields
+// keep their original names and positions so single-suite JSON output is
+// unchanged; the remaining suites follow in -suite all order.
 type jsonReport struct {
-	Fig5   []jsonFig5Row   `json:"fig5,omitempty"`
-	Table5 []jsonTable5Row `json:"table5,omitempty"`
-	Table4 []jsonAttackRow `json:"table4,omitempty"`
+	Fig5     []jsonFig5Row    `json:"fig5,omitempty"`
+	Table5   []jsonTable5Row  `json:"table5,omitempty"`
+	Table4   []jsonAttackRow  `json:"table4,omitempty"`
+	Table6   []jsonTable6Core `json:"table6,omitempty"`
+	Scope    *jsonScope       `json:"scope,omitempty"`
+	LRU      *jsonLRU         `json:"lru,omitempty"`
+	ICache   *jsonICache      `json:"icache,omitempty"`
+	DTLB     *jsonDTLB        `json:"dtlb,omitempty"`
+	Compare  *jsonCompare     `json:"compare,omitempty"`
+	Overhead string           `json:"overhead_text,omitempty"`
 }
 
 func fig5JSON(ev *exp.Evaluation) []jsonFig5Row {
@@ -87,6 +162,78 @@ func table4JSON(outcomes []attack.Outcome) []jsonAttackRow {
 		})
 	}
 	return rows
+}
+
+func table6JSON(cores []exp.Table6Core) []jsonTable6Core {
+	out := make([]jsonTable6Core, 0, len(cores))
+	for _, tc := range cores {
+		jc := jsonTable6Core{
+			Core: tc.Core,
+			Average: jsonTable6Row{
+				Benchmark: tc.Avg.Benchmark,
+				Baseline:  tc.Avg.Baseline,
+				CacheHit:  tc.Avg.CacheHit,
+				TPBuf:     tc.Avg.TPBuf,
+			},
+		}
+		for _, r := range tc.Rows {
+			jc.Rows = append(jc.Rows, jsonTable6Row{
+				Benchmark: r.Benchmark,
+				Baseline:  r.Baseline,
+				CacheHit:  r.CacheHit,
+				TPBuf:     r.TPBuf,
+			})
+		}
+		out = append(out, jc)
+	}
+	return out
+}
+
+func scopeJSON(r *exp.ScopeResult) *jsonScope {
+	out := &jsonScope{BranchOnlyAvg: r.BranchOnlyAvg, FullAvg: r.FullAvg}
+	for _, name := range workload.Names() {
+		v, ok := r.PerBench[name]
+		if !ok {
+			continue
+		}
+		out.Rows = append(out.Rows, jsonScopeRow{
+			Benchmark:            name,
+			BranchOnly:           v[0],
+			Full:                 v[1],
+			UnresolvedBranchFrac: r.UnresolvedBranchFrac[name],
+		})
+	}
+	return out
+}
+
+func lruJSON(r *exp.LRUResult) *jsonLRU {
+	return &jsonLRU{Always: r.Always, NoUpdate: r.NoUpdate, Delayed: r.Delayed}
+}
+
+func icacheJSON(r *exp.ICacheResult) *jsonICache {
+	return &jsonICache{Without: r.Without, With: r.With, FetchStalls: r.Stalls}
+}
+
+func dtlbJSON(r *exp.DTLBResult) *jsonDTLB {
+	return &jsonDTLB{Without: r.Without, With: r.With, Blocks: r.Blocks}
+}
+
+func compareJSON(r *exp.CompareResult) *jsonCompare {
+	out := &jsonCompare{Average: jsonCompareRow{
+		Benchmark: r.Avg.Benchmark,
+		TPBuf:     r.Avg.TPBuf,
+		Invisi:    r.Avg.Invisi,
+		SWFence:   r.Avg.SWFence,
+	}}
+	for _, row := range r.Rows {
+		out.Rows = append(out.Rows, jsonCompareRow{
+			Benchmark: row.Benchmark,
+			TPBuf:     row.TPBuf,
+			Invisi:    row.Invisi,
+			SWFence:   row.SWFence,
+		})
+	}
+	return out
 }
 
 func emitJSON(r jsonReport) {

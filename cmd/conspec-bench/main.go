@@ -7,6 +7,7 @@
 //	-suite scope    §VI.C(1)  (branch-only vs branch+memory matrix)
 //	-suite lru      §VII.A    (secure replacement-update policies)
 //	-suite icache   §VII.B    (ICache-hit filter extension)
+//	-suite dtlb     extension (DTLB-hit filter)
 //	-suite compare  extension (CH+TPBuf vs InvisiSpec-like vs LFENCE baseline)
 //	-suite overhead §VI.E     (area/timing model)
 //	-suite all      everything above
@@ -14,16 +15,25 @@
 // Figure 5 and Table V come from the same runs and are always printed
 // together. Use -benches to restrict to a comma-separated subset and
 // -measure to change the per-run instruction budget.
+//
+// All suites submit their runs to one exp.Runner, which deduplicates
+// identical (core, security, policy, workload, budget) simulations across
+// suites — `-suite all` executes each unique run exactly once. SIGINT
+// cancels the engine: completed suite results are flushed and the process
+// exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"conspec/internal/config"
 	"conspec/internal/exp"
 )
 
@@ -33,8 +43,9 @@ func main() {
 		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all 22)")
 		warmup  = flag.Uint64("warmup", 20_000, "warmup instructions per run")
 		measure = flag.Uint64("measure", 120_000, "measured instructions per run")
+		workers = flag.Int("workers", 0, "max concurrent simulations (0 = NumCPU)")
 		verbose = flag.Bool("v", false, "print per-run progress")
-		asJSON  = flag.Bool("json", false, "emit fig5/table5/table4 results as JSON instead of text")
+		asJSON  = flag.Bool("json", false, "emit results as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -46,19 +57,44 @@ func main() {
 	spec.Warmup = *warmup
 	spec.Measure = *measure
 
-	progress := func(string) {}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var onEvent func(exp.ProgressEvent)
 	if *verbose {
-		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		onEvent = func(ev exp.ProgressEvent) {
+			if ev.Line != "" {
+				fmt.Fprintln(os.Stderr, ev.Line)
+			}
+		}
 	}
+	runner := exp.NewRunner(exp.RunnerOptions{Workers: *workers, OnEvent: onEvent})
+	opts := exp.Options{Spec: spec, Benches: names}
+
 	want := func(s string) bool { return *suite == "all" || *suite == s }
 	start := time.Now()
 
 	var report jsonReport
-	if want("fig5") || want("table5") {
-		ev, err := exp.RunEvaluation(spec, names, progress)
-		if err != nil {
-			fatal(err)
+	// fail flushes whatever completed and exits. On SIGINT the JSON
+	// document holds every suite that finished before cancellation.
+	fail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted: flushing completed suite results")
+			if *asJSON {
+				emitJSON(report)
+			}
+			printEngineStats(runner, start)
+			os.Exit(1)
 		}
+		fatal(err)
+	}
+
+	if want("fig5") || want("table5") {
+		res, err := runner.RunSuite(ctx, exp.SuiteFig5, opts)
+		if err != nil {
+			fail(err)
+		}
+		ev := res.Evaluation()
 		if *asJSON {
 			report.Fig5 = fig5JSON(ev)
 			report.Table5 = table5JSON(ev)
@@ -70,71 +106,110 @@ func main() {
 		}
 	}
 	if want("table4") {
-		cfg := config.PaperCore()
-		cfg.Mem.L2Size = 256 * 1024
-		cfg.Mem.L3Size = 1024 * 1024
-		outcomes := exp.RunTable4(cfg, progress)
+		res, err := runner.RunSuite(ctx, exp.SuiteTable4, opts)
+		if err != nil {
+			fail(err)
+		}
 		if *asJSON {
-			report.Table4 = table4JSON(outcomes)
+			report.Table4 = table4JSON(res.Table4())
 		} else {
 			fmt.Println("=== Table IV: security analysis ===")
-			fmt.Println(exp.Table4Text(outcomes))
+			fmt.Println(exp.Table4Text(res.Table4()))
 		}
 	}
 	if want("table6") {
-		cores, err := exp.RunTable6(spec, names, progress)
+		res, err := runner.RunSuite(ctx, exp.SuiteTable6, opts)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
-		fmt.Println("=== Table VI: core sensitivity ===")
-		fmt.Println(exp.Table6Text(cores))
+		if *asJSON {
+			report.Table6 = table6JSON(res.Table6())
+		} else {
+			fmt.Println("=== Table VI: core sensitivity ===")
+			fmt.Println(exp.Table6Text(res.Table6()))
+		}
 	}
 	if want("scope") {
-		r, err := exp.RunScope(spec, names, progress)
+		res, err := runner.RunSuite(ctx, exp.SuiteScope, opts)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
-		fmt.Println("=== §VI.C(1): matrix scope decomposition ===")
-		fmt.Println(exp.ScopeText(r))
+		if *asJSON {
+			report.Scope = scopeJSON(res.Scope())
+		} else {
+			fmt.Println("=== §VI.C(1): matrix scope decomposition ===")
+			fmt.Println(exp.ScopeText(res.Scope()))
+		}
 	}
 	if want("lru") {
-		r, err := exp.RunLRU(spec, names, progress)
+		res, err := runner.RunSuite(ctx, exp.SuiteLRU, opts)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
-		fmt.Println("=== §VII.A: secure replacement-update policies ===")
-		fmt.Println(exp.LRUText(r))
+		if *asJSON {
+			report.LRU = lruJSON(res.LRU())
+		} else {
+			fmt.Println("=== §VII.A: secure replacement-update policies ===")
+			fmt.Println(exp.LRUText(res.LRU()))
+		}
 	}
 	if want("icache") {
-		r, err := exp.RunICache(spec, names, progress)
+		res, err := runner.RunSuite(ctx, exp.SuiteICache, opts)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
-		fmt.Println("=== §VII.B: ICache-hit filter extension ===")
-		fmt.Println(exp.ICacheText(r))
+		if *asJSON {
+			report.ICache = icacheJSON(res.ICache())
+		} else {
+			fmt.Println("=== §VII.B: ICache-hit filter extension ===")
+			fmt.Println(exp.ICacheText(res.ICache()))
+		}
 	}
 	if want("dtlb") {
-		r, err := exp.RunDTLBFilter(spec, names, progress)
+		res, err := runner.RunSuite(ctx, exp.SuiteDTLB, opts)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
-		fmt.Println("=== DTLB-hit filter extension ===")
-		fmt.Println(exp.DTLBText(r))
+		if *asJSON {
+			report.DTLB = dtlbJSON(res.DTLB())
+		} else {
+			fmt.Println("=== DTLB-hit filter extension ===")
+			fmt.Println(exp.DTLBText(res.DTLB()))
+		}
 	}
 	if want("compare") {
-		r, err := exp.RunComparison(spec, names, progress)
+		res, err := runner.RunSuite(ctx, exp.SuiteCompare, opts)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
-		fmt.Println("=== Defense comparison: CH+TPBuf vs InvisiSpec vs SW fence ===")
-		fmt.Println(exp.CompareText(r))
+		if *asJSON {
+			report.Compare = compareJSON(res.Compare())
+		} else {
+			fmt.Println("=== Defense comparison: CH+TPBuf vs InvisiSpec vs SW fence ===")
+			fmt.Println(exp.CompareText(res.Compare()))
+		}
 	}
 	if want("overhead") {
-		fmt.Println("=== §VI.E: hardware overhead model ===")
-		fmt.Println(exp.OverheadText())
+		if *asJSON {
+			report.Overhead = exp.OverheadText()
+		} else {
+			fmt.Println("=== §VI.E: hardware overhead model ===")
+			fmt.Println(exp.OverheadText())
+		}
 	}
 	if *asJSON {
 		emitJSON(report)
+	}
+	printEngineStats(runner, start)
+}
+
+// printEngineStats reports the scheduler's deduplication work and the wall
+// time on stderr, next to the timing line the tool has always printed.
+func printEngineStats(runner *exp.Runner, start time.Time) {
+	st := runner.Stats()
+	if st.Submitted() > 0 {
+		fmt.Fprintf(os.Stderr, "engine: %d unique simulations, %d cache hits (%d submitted)\n",
+			st.Executed, st.Hits, st.Submitted())
 	}
 	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start))
 }

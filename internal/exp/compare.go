@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -26,39 +27,50 @@ type CompareResult struct {
 	Avg  CompareRow
 }
 
-// RunComparison measures the three defenses across the benchmarks.
-func RunComparison(spec RunSpec, names []string, progress func(string)) (*CompareResult, error) {
-	if names == nil {
-		names = workload.Names()
+// Compare measures the three defenses across the benchmarks. The Origin
+// and CacheHit+TPBuf runs share cache keys with the fig5 evaluation; the
+// fence-recompiled kernel is a distinct workload (the full profile, not
+// just its name, feeds the cache key) and is simulated separately.
+func (r *Runner) Compare(ctx context.Context, spec RunSpec, names []string) (*CompareResult, error) {
+	profiles, err := resolveProfiles(names)
+	if err != nil {
+		return nil, err
 	}
 	out := &CompareResult{}
 	var mu sync.Mutex
 	rows := make(map[string]CompareRow)
-	n := float64(len(names))
-	err := forEachBench(names, func(p workload.Profile) error {
+	n := float64(len(profiles))
+	err = r.eachProfile(ctx, profiles, func(p workload.Profile) error {
 		name := p.Name
-		w, err := workload.Generate(p)
+		s := spec
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
+		origin, err := r.run(ctx, SuiteCompare, p, s)
 		if err != nil {
 			return err
 		}
-		s := spec
-		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
-		origin := RunWorkload(w, s)
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
-		tp := Overhead(origin, RunWorkload(w, s))
+		tpRes, err := r.run(ctx, SuiteCompare, p, s)
+		if err != nil {
+			return err
+		}
+		tp := Overhead(origin, tpRes)
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.InvisiSpec}
-		inv := Overhead(origin, RunWorkload(w, s))
+		invRes, err := r.run(ctx, SuiteCompare, p, s)
+		if err != nil {
+			return err
+		}
+		inv := Overhead(origin, invRes)
 
 		// Software mitigation: the same kernel recompiled with a fence
 		// after every conditional branch, run on the UNPROTECTED core.
 		pf := p
 		pf.FenceAfterBranches = true
-		wf, err := workload.Generate(pf)
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
+		swRes, err := r.run(ctx, SuiteCompare, pf, s)
 		if err != nil {
 			return err
 		}
-		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
-		sw := Overhead(origin, RunWorkload(wf, s))
+		sw := Overhead(origin, swRes)
 
 		mu.Lock()
 		rows[name] = CompareRow{Benchmark: name, TPBuf: tp, Invisi: inv, SWFence: sw}
@@ -66,20 +78,16 @@ func RunComparison(spec RunSpec, names []string, progress func(string)) (*Compar
 		out.Avg.Invisi += inv / n
 		out.Avg.SWFence += sw / n
 		mu.Unlock()
-		if progress != nil {
-			progress(fmt.Sprintf("%-12s tpbuf %+6.1f%%  invisispec %+6.1f%%  sw-fence %+6.1f%%",
-				name, 100*tp, 100*inv, 100*sw))
-		}
+		r.emit(ProgressEvent{Suite: SuiteCompare, Benchmark: name, Phase: PhaseBenchDone,
+			Line: fmt.Sprintf("%-12s tpbuf %+6.1f%%  invisispec %+6.1f%%  sw-fence %+6.1f%%",
+				name, 100*tp, 100*inv, 100*sw)})
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	if names == nil {
-		names = workload.Names()
-	}
-	for _, name := range names {
-		if row, ok := rows[name]; ok {
+	for _, p := range profiles {
+		if row, ok := rows[p.Name]; ok {
 			out.Rows = append(out.Rows, row)
 		}
 	}

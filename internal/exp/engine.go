@@ -1,0 +1,468 @@
+package exp
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"conspec/internal/attack"
+	"conspec/internal/config"
+	"conspec/internal/core"
+	"conspec/internal/mem"
+	"conspec/internal/pipeline"
+	"conspec/internal/workload"
+)
+
+// SuiteID names one experiment suite, matching cmd/conspec-bench's -suite
+// flag values.
+type SuiteID string
+
+const (
+	SuiteFig5     SuiteID = "fig5"
+	SuiteTable4   SuiteID = "table4"
+	SuiteTable5   SuiteID = "table5"
+	SuiteTable6   SuiteID = "table6"
+	SuiteScope    SuiteID = "scope"
+	SuiteLRU      SuiteID = "lru"
+	SuiteICache   SuiteID = "icache"
+	SuiteDTLB     SuiteID = "dtlb"
+	SuiteCompare  SuiteID = "compare"
+	SuiteOverhead SuiteID = "overhead"
+)
+
+// Suites lists every suite in cmd/conspec-bench's "-suite all" order.
+var Suites = []SuiteID{SuiteFig5, SuiteTable4, SuiteTable5, SuiteTable6,
+	SuiteScope, SuiteLRU, SuiteICache, SuiteDTLB, SuiteCompare, SuiteOverhead}
+
+// EventPhase classifies a ProgressEvent.
+type EventPhase string
+
+const (
+	// PhaseRunStart fires when a unique simulation begins executing.
+	PhaseRunStart EventPhase = "run-start"
+	// PhaseRunDone fires when a unique simulation finishes; Cycles and
+	// Wall are populated.
+	PhaseRunDone EventPhase = "run-done"
+	// PhaseCached fires when a submitted run is served from the memo
+	// cache (or coalesced onto an identical in-flight run).
+	PhaseCached EventPhase = "cached"
+	// PhaseBenchDone fires once per benchmark per suite after all of its
+	// runs complete; Line carries the human-readable summary.
+	PhaseBenchDone EventPhase = "bench-done"
+	// PhaseError fires when a run fails or panics; Err is populated.
+	PhaseError EventPhase = "error"
+)
+
+// ProgressEvent is the typed progress stream that replaces the old
+// func(string) callbacks. Engine-level events (run-start/run-done/cached)
+// describe individual simulations; suites additionally emit bench-done
+// events whose Line field preserves the legacy per-benchmark text.
+type ProgressEvent struct {
+	Suite     SuiteID
+	Benchmark string
+	Mechanism string
+	Phase     EventPhase
+	CacheHit  bool
+	Cycles    uint64
+	Wall      time.Duration
+	Err       error
+	// Line is the pre-rendered human-readable form (bench-done events
+	// only); legacy func(string) adapters forward exactly these lines.
+	Line string
+}
+
+// String renders the event for verbose logs.
+func (e ProgressEvent) String() string {
+	if e.Line != "" {
+		return e.Line
+	}
+	switch e.Phase {
+	case PhaseCached:
+		return fmt.Sprintf("[%s] %s / %s: cache hit", e.Suite, e.Benchmark, e.Mechanism)
+	case PhaseRunDone:
+		return fmt.Sprintf("[%s] %s / %s: %d cycles in %v", e.Suite, e.Benchmark, e.Mechanism, e.Cycles, e.Wall)
+	case PhaseError:
+		return fmt.Sprintf("[%s] %s / %s: error: %v", e.Suite, e.Benchmark, e.Mechanism, e.Err)
+	default:
+		return fmt.Sprintf("[%s] %s / %s: %s", e.Suite, e.Benchmark, e.Mechanism, e.Phase)
+	}
+}
+
+// Stats counts what the Runner's scheduler did.
+type Stats struct {
+	// Executed is the number of unique simulations actually run.
+	Executed uint64
+	// Hits is the number of submitted runs served from the cache,
+	// including duplicates coalesced onto an in-flight execution.
+	Hits uint64
+	// Panics counts runs whose goroutine panicked (isolated into errors).
+	Panics uint64
+}
+
+// Submitted returns the total number of runs requested from the Runner.
+func (s Stats) Submitted() uint64 { return s.Executed + s.Hits }
+
+// RunnerOptions configures a Runner.
+type RunnerOptions struct {
+	// Workers bounds concurrently executing simulations
+	// (default: runtime.NumCPU()).
+	Workers int
+	// OnEvent, when non-nil, receives every ProgressEvent. Calls are
+	// serialized; the callback must not call back into the Runner.
+	OnEvent func(ProgressEvent)
+}
+
+// Runner is the unified experiment engine: every suite submits
+// RunSpec-keyed jobs to it, identical runs across suites are deduplicated
+// through a memoization cache, and unique runs execute once on a bounded
+// worker pool.
+type Runner struct {
+	workers int
+	onEvent func(ProgressEvent)
+	sem     chan struct{}
+
+	evMu sync.Mutex // serializes onEvent
+
+	mu    sync.Mutex
+	cache map[runKey]*cacheEntry
+	stats Stats
+
+	// testExec, when non-nil, replaces RunWorkload (test hook for panic
+	// and determinism tests).
+	testExec func(w *workload.Workload, spec RunSpec) pipeline.Result
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed when res/err are final
+	res  pipeline.Result
+	err  error
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opts RunnerOptions) *Runner {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Runner{
+		workers: workers,
+		onEvent: opts.OnEvent,
+		sem:     make(chan struct{}, workers),
+		cache:   make(map[runKey]*cacheEntry),
+	}
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *Runner) emit(ev ProgressEvent) {
+	if r.onEvent == nil {
+		return
+	}
+	r.evMu.Lock()
+	r.onEvent(ev)
+	r.evMu.Unlock()
+}
+
+// runKey is the deterministic memoization key: a hash over every input that
+// determines a simulation's result.
+type runKey [sha256.Size]byte
+
+// keyOf canonicalizes (core config, security config, L1D update policy,
+// workload profile, instruction budgets) into the cache key. The full
+// Profile — not just its name — participates, because suites derive
+// variants that share a name (e.g. the fence-recompiled kernels in the
+// defense comparison).
+func keyOf(p workload.Profile, spec RunSpec) runKey {
+	h := sha256.New()
+	fmt.Fprintf(h, "core=%#v\nsec=%#v\nl1d=%d\nwarmup=%d\nmeasure=%d\nmaxcycles=%d\nworkload=%#v\n",
+		spec.Core, spec.Sec, spec.L1DUpdate, spec.Warmup, spec.Measure, spec.MaxCycles, p)
+	var k runKey
+	h.Sum(k[:0])
+	return k
+}
+
+// mechLabel renders the run's security configuration for progress events.
+func mechLabel(spec RunSpec) string {
+	l := spec.Sec.Mechanism.String()
+	if spec.Sec.Scope == core.ScopeBranchOnly {
+		l += " (branch-only)"
+	}
+	if spec.Sec.ICacheFilter {
+		l += " +icache-filter"
+	}
+	if spec.Sec.DTLBFilter {
+		l += " +dtlb-filter"
+	}
+	switch spec.L1DUpdate {
+	case mem.UpdateNoSpec:
+		l += " [no-update]"
+	case mem.UpdateDelayed:
+		l += " [delayed-update]"
+	}
+	return l
+}
+
+// run executes (or recalls) one simulation. Identical submissions share a
+// single execution: the first caller runs it, concurrent duplicates wait on
+// the same entry, later duplicates return instantly from the cache. Failed
+// or cancelled runs are not memoized.
+func (r *Runner) run(ctx context.Context, suite SuiteID, p workload.Profile, spec RunSpec) (pipeline.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return pipeline.Result{}, err
+	}
+	key := keyOf(p, spec)
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.stats.Hits++
+		r.mu.Unlock()
+		r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
+			Mechanism: mechLabel(spec), Phase: PhaseCached, CacheHit: true})
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return pipeline.Result{}, ctx.Err()
+		}
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+
+	e.res, e.err = r.execute(ctx, suite, p, spec)
+
+	r.mu.Lock()
+	if e.err != nil {
+		delete(r.cache, key)
+	} else {
+		r.stats.Executed++
+	}
+	r.mu.Unlock()
+	close(e.done)
+	return e.res, e.err
+}
+
+// execute performs one unique simulation on the worker pool, isolating
+// panics into errors.
+func (r *Runner) execute(ctx context.Context, suite SuiteID, p workload.Profile, spec RunSpec) (res pipeline.Result, err error) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return pipeline.Result{}, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.mu.Lock()
+			r.stats.Panics++
+			r.mu.Unlock()
+			err = fmt.Errorf("exp: run %s / %s panicked: %v", p.Name, mechLabel(spec), rec)
+			r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
+				Mechanism: mechLabel(spec), Phase: PhaseError, Err: err})
+		}
+	}()
+	r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
+		Mechanism: mechLabel(spec), Phase: PhaseRunStart})
+	start := time.Now()
+	w, err := workload.Generate(p)
+	if err != nil {
+		r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
+			Mechanism: mechLabel(spec), Phase: PhaseError, Err: err})
+		return pipeline.Result{}, err
+	}
+	if r.testExec != nil {
+		res = r.testExec(w, spec)
+	} else {
+		res = RunWorkload(w, spec)
+	}
+	r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
+		Mechanism: mechLabel(spec), Phase: PhaseRunDone,
+		Cycles: res.Cycles, Wall: time.Since(start)})
+	return res, nil
+}
+
+// resolveProfiles maps benchmark names (all 22 when nil) to profiles.
+func resolveProfiles(names []string) ([]workload.Profile, error) {
+	if names == nil {
+		names = workload.Names()
+	}
+	profiles := make([]workload.Profile, len(names))
+	for i, name := range names {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown benchmark %q", name)
+		}
+		profiles[i] = p
+	}
+	return profiles, nil
+}
+
+// eachProfile fans fn out across profiles, one goroutine per profile (the
+// Runner's worker pool bounds actual simulation concurrency), joins them
+// all, and returns ctx.Err() on cancellation or the first fn error
+// otherwise. All goroutines have exited by the time it returns.
+func (r *Runner) eachProfile(ctx context.Context, profiles []workload.Profile, fn func(p workload.Profile) error) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, p := range profiles {
+		wg.Add(1)
+		go func(p workload.Profile) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			if err := fn(p); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// Options parameterizes RunSuite.
+type Options struct {
+	// Spec is the per-run budget and machine; the zero value means
+	// DefaultSpec().
+	Spec RunSpec
+	// Benches restricts suites to a benchmark subset (nil = all 22).
+	Benches []string
+	// AttackCore overrides the machine used by the table4 attack suite
+	// (zero Name = PaperCore with the slimmed L2/L3 the PoCs use).
+	AttackCore config.Core
+}
+
+func (o Options) spec() RunSpec {
+	if o.Spec == (RunSpec{}) {
+		return DefaultSpec()
+	}
+	return o.Spec
+}
+
+func (o Options) attackCore() config.Core {
+	if o.AttackCore.Name != "" {
+		return o.AttackCore
+	}
+	cfg := config.PaperCore()
+	cfg.Mem.L2Size = 256 * 1024
+	cfg.Mem.L3Size = 1024 * 1024
+	return cfg
+}
+
+// SuiteResult holds the typed result of one suite run; exactly one getter
+// returns non-zero data, matching the suite that produced it.
+type SuiteResult struct {
+	Suite SuiteID
+
+	evaluation *Evaluation
+	table6     []Table6Core
+	scope      *ScopeResult
+	lru        *LRUResult
+	icache     *ICacheResult
+	dtlb       *DTLBResult
+	compare    *CompareResult
+	table4     []attack.Outcome
+	overhead   string
+}
+
+// Evaluation returns the fig5/table5 dataset (nil for other suites).
+func (s *SuiteResult) Evaluation() *Evaluation { return s.evaluation }
+
+// Table6 returns the core-sensitivity results (nil for other suites).
+func (s *SuiteResult) Table6() []Table6Core { return s.table6 }
+
+// Scope returns the §VI.C(1) decomposition (nil for other suites).
+func (s *SuiteResult) Scope() *ScopeResult { return s.scope }
+
+// LRU returns the §VII.A policy study (nil for other suites).
+func (s *SuiteResult) LRU() *LRUResult { return s.lru }
+
+// ICache returns the §VII.B filter study (nil for other suites).
+func (s *SuiteResult) ICache() *ICacheResult { return s.icache }
+
+// DTLB returns the DTLB-filter study (nil for other suites).
+func (s *SuiteResult) DTLB() *DTLBResult { return s.dtlb }
+
+// Compare returns the defense comparison (nil for other suites).
+func (s *SuiteResult) Compare() *CompareResult { return s.compare }
+
+// Table4 returns the attack outcomes (nil for other suites). On
+// cancellation RunSuite returns the outcomes completed so far alongside
+// ctx.Err().
+func (s *SuiteResult) Table4() []attack.Outcome { return s.table4 }
+
+// Text renders the suite's result in the standard text form.
+func (s *SuiteResult) Text() string {
+	switch s.Suite {
+	case SuiteFig5:
+		return s.evaluation.Fig5Text()
+	case SuiteTable5:
+		return s.evaluation.Table5Text()
+	case SuiteTable4:
+		return Table4Text(s.table4)
+	case SuiteTable6:
+		return Table6Text(s.table6)
+	case SuiteScope:
+		return ScopeText(s.scope)
+	case SuiteLRU:
+		return LRUText(s.lru)
+	case SuiteICache:
+		return ICacheText(s.icache)
+	case SuiteDTLB:
+		return DTLBText(s.dtlb)
+	case SuiteCompare:
+		return CompareText(s.compare)
+	case SuiteOverhead:
+		return s.overhead
+	}
+	return ""
+}
+
+// RunSuite runs one suite to completion (or cancellation) and returns its
+// typed result. Fig5 and Table5 share the same underlying Evaluation; run
+// either and read both renderings from the result.
+func (r *Runner) RunSuite(ctx context.Context, id SuiteID, opts Options) (*SuiteResult, error) {
+	out := &SuiteResult{Suite: id}
+	var err error
+	switch id {
+	case SuiteFig5, SuiteTable5:
+		out.evaluation, err = r.Evaluation(ctx, opts.spec(), opts.Benches)
+	case SuiteTable4:
+		out.table4, err = r.Table4(ctx, opts.attackCore())
+	case SuiteTable6:
+		out.table6, err = r.Table6(ctx, opts.spec(), opts.Benches)
+	case SuiteScope:
+		out.scope, err = r.Scope(ctx, opts.spec(), opts.Benches)
+	case SuiteLRU:
+		out.lru, err = r.LRU(ctx, opts.spec(), opts.Benches)
+	case SuiteICache:
+		out.icache, err = r.ICache(ctx, opts.spec(), opts.Benches)
+	case SuiteDTLB:
+		out.dtlb, err = r.DTLB(ctx, opts.spec(), opts.Benches)
+	case SuiteCompare:
+		out.compare, err = r.Compare(ctx, opts.spec(), opts.Benches)
+	case SuiteOverhead:
+		out.overhead = OverheadText()
+	default:
+		return nil, fmt.Errorf("exp: unknown suite %q", id)
+	}
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}

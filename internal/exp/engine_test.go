@@ -1,0 +1,229 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"conspec/internal/core"
+	"conspec/internal/mem"
+	"conspec/internal/pipeline"
+	"conspec/internal/workload"
+)
+
+// tinySpec is the smallest budget that still exercises the whole path;
+// engine tests assert scheduling behavior, not statistical shape.
+func tinySpec() RunSpec {
+	s := DefaultSpec()
+	s.Warmup = 2_000
+	s.Measure = 8_000
+	return s
+}
+
+func TestCacheKeyDeterminism(t *testing.T) {
+	p, _ := workload.ByName("astar")
+	spec := tinySpec()
+	base := keyOf(p, spec)
+	if base != keyOf(p, spec) {
+		t.Fatal("identical inputs must produce identical keys")
+	}
+
+	mutations := map[string]func(*workload.Profile, *RunSpec){
+		"core":        func(_ *workload.Profile, s *RunSpec) { s.Core.ROB++ },
+		"mechanism":   func(_ *workload.Profile, s *RunSpec) { s.Sec.Mechanism = core.Baseline },
+		"scope":       func(_ *workload.Profile, s *RunSpec) { s.Sec.Scope = core.ScopeBranchOnly },
+		"icache":      func(_ *workload.Profile, s *RunSpec) { s.Sec.ICacheFilter = true },
+		"dtlb":        func(_ *workload.Profile, s *RunSpec) { s.Sec.DTLBFilter = true },
+		"l1d-policy":  func(_ *workload.Profile, s *RunSpec) { s.L1DUpdate = mem.UpdateNoSpec },
+		"warmup":      func(_ *workload.Profile, s *RunSpec) { s.Warmup++ },
+		"measure":     func(_ *workload.Profile, s *RunSpec) { s.Measure++ },
+		"max-cycles":  func(_ *workload.Profile, s *RunSpec) { s.MaxCycles = 123 },
+		"bench-name":  func(p *workload.Profile, _ *RunSpec) { p.Name = "astar2" },
+		"bench-shape": func(p *workload.Profile, _ *RunSpec) { p.FenceAfterBranches = true },
+	}
+	for name, mutate := range mutations {
+		mp, ms := p, spec
+		mutate(&mp, &ms)
+		if keyOf(mp, ms) == base {
+			t.Errorf("%s: single-field change must change the cache key", name)
+		}
+	}
+}
+
+// TestCrossSuiteDedup submits overlapping work from three suites to one
+// Runner and checks the scheduler executed each unique simulation once.
+func TestCrossSuiteDedup(t *testing.T) {
+	r := NewRunner(RunnerOptions{})
+	ctx := context.Background()
+	spec := tinySpec()
+	names := []string{"astar"}
+
+	// fig5/table5: 4 mechanisms, all unique.
+	if _, err := r.Evaluation(ctx, spec, names); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Executed != 4 || st.Hits != 0 {
+		t.Fatalf("after evaluation: %+v, want 4 executed / 0 hits", st)
+	}
+
+	// lru: Origin and CacheHitTPBuf+conventional-update are cache hits;
+	// the no-update and delayed-update runs are new.
+	if _, err := r.LRU(ctx, spec, names); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Executed != 6 || st.Hits != 2 {
+		t.Fatalf("after lru: %+v, want 6 executed / 2 hits", st)
+	}
+
+	// scope: Origin and the full-matrix Baseline are cache hits (the full
+	// matrix is the default scope); branch-only is new.
+	if _, err := r.Scope(ctx, spec, names); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Executed != 7 || st.Hits != 4 {
+		t.Fatalf("after scope: %+v, want 7 executed / 4 hits", st)
+	}
+
+	// Re-running a whole suite costs zero simulations.
+	if _, err := r.Evaluation(ctx, spec, names); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Executed != 7 || st.Hits != 8 {
+		t.Fatalf("after re-evaluation: %+v, want 7 executed / 8 hits", st)
+	}
+}
+
+// TestGoldenCachedMatchesUncached renders fig5 from a cold engine, a warm
+// engine, and the deprecated wrapper; all three must be byte-identical.
+func TestGoldenCachedMatchesUncached(t *testing.T) {
+	spec := tinySpec()
+	names := []string{"astar", "lbm"}
+
+	r := NewRunner(RunnerOptions{})
+	cold, err := r.Evaluation(context.Background(), spec, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := r.Stats().Executed
+	warm, err := r.Evaluation(context.Background(), spec, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().Executed != executed {
+		t.Fatalf("warm evaluation executed %d new runs", r.Stats().Executed-executed)
+	}
+	if cold.Fig5Text() != warm.Fig5Text() {
+		t.Error("cached fig5 text differs from uncached")
+	}
+	if cold.Table5Text() != warm.Table5Text() {
+		t.Error("cached table5 text differs from uncached")
+	}
+
+	legacy, err := RunEvaluation(spec, names, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Fig5Text() != cold.Fig5Text() {
+		t.Error("deprecated wrapper fig5 text differs from Runner output")
+	}
+}
+
+func TestCancellationMidSuite(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := NewRunner(RunnerOptions{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int32
+	r.onEvent = func(ev ProgressEvent) {
+		if ev.Phase == PhaseRunDone && done.Add(1) == 1 {
+			cancel()
+		}
+	}
+	_, err := r.Evaluation(ctx, tinySpec(), []string{"astar", "lbm", "hmmer"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := r.Stats(); st.Submitted() >= 12 {
+		t.Errorf("cancellation did not stop the suite: %+v", st)
+	}
+	// All suite goroutines are joined before Evaluation returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before+1 {
+		t.Errorf("goroutines leaked: %d before, %d after", before, got)
+	}
+}
+
+func TestCancellationBeforeStart(t *testing.T) {
+	r := NewRunner(RunnerOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []SuiteID{SuiteFig5, SuiteTable4, SuiteTable6, SuiteScope,
+		SuiteLRU, SuiteICache, SuiteDTLB, SuiteCompare} {
+		if _, err := r.RunSuite(ctx, id, Options{Spec: tinySpec(), Benches: []string{"astar"}}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", id, err)
+		}
+	}
+	if st := r.Stats(); st.Executed != 0 {
+		t.Errorf("cancelled-before-start engine still executed %d runs", st.Executed)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	r := NewRunner(RunnerOptions{})
+	r.testExec = func(w *workload.Workload, spec RunSpec) pipeline.Result {
+		panic("boom")
+	}
+	_, err := r.Evaluation(context.Background(), tinySpec(), []string{"astar"})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+	if st := r.Stats(); st.Panics == 0 {
+		t.Error("panic not counted")
+	}
+	// Failed runs are not memoized: with the fault cleared the same spec
+	// executes for real.
+	r.testExec = nil
+	if _, err := r.Evaluation(context.Background(), tinySpec(), []string{"astar"}); err != nil {
+		t.Fatalf("engine did not recover after panic: %v", err)
+	}
+}
+
+func TestRunSuiteUnknown(t *testing.T) {
+	r := NewRunner(RunnerOptions{})
+	if _, err := r.RunSuite(context.Background(), SuiteID("nope"), Options{}); err == nil {
+		t.Fatal("unknown suite must error")
+	}
+}
+
+// TestRunSuiteTypedGetters checks each suite routes to its typed result.
+func TestRunSuiteTypedGetters(t *testing.T) {
+	r := NewRunner(RunnerOptions{})
+	opts := Options{Spec: tinySpec(), Benches: []string{"astar"}}
+	ctx := context.Background()
+
+	res, err := r.RunSuite(ctx, SuiteFig5, opts)
+	if err != nil || res.Evaluation() == nil {
+		t.Fatalf("fig5: %v / %v", err, res)
+	}
+	if res.Text() == "" || !strings.Contains(res.Text(), "Average") {
+		t.Error("fig5 text rendering empty")
+	}
+	res, err = r.RunSuite(ctx, SuiteLRU, opts)
+	if err != nil || res.LRU() == nil {
+		t.Fatalf("lru: %v / %v", err, res)
+	}
+	res, err = r.RunSuite(ctx, SuiteOverhead, opts)
+	if err != nil || !strings.Contains(res.Text(), "TPBuf") {
+		t.Fatalf("overhead: %v", err)
+	}
+	// fig5 + lru on one runner share the Origin and CacheHitTPBuf runs.
+	if st := r.Stats(); st.Hits < 2 {
+		t.Errorf("expected cross-suite cache hits, got %+v", st)
+	}
+}

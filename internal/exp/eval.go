@@ -1,15 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
 	"conspec/internal/core"
 	"conspec/internal/pipeline"
-	"conspec/internal/workload"
 )
 
 // BenchResult holds one benchmark's runs under every mechanism.
@@ -31,26 +30,30 @@ type Evaluation struct {
 	Benches []BenchResult
 }
 
-// RunEvaluation measures the named benchmarks (all 22 when names is nil)
-// under all four mechanisms. Runs execute in parallel across CPUs; progress
-// (when non-nil) receives one line per completed run.
-func RunEvaluation(spec RunSpec, names []string, progress func(string)) (*Evaluation, error) {
-	if names == nil {
-		names = workload.Names()
+// Evaluation measures the named benchmarks (all 22 when names is nil)
+// under all four mechanisms through the engine's memo cache. Runs execute
+// in parallel on the worker pool; each completed run emits a bench-done
+// event carrying the legacy progress line.
+func (r *Runner) Evaluation(ctx context.Context, spec RunSpec, names []string) (*Evaluation, error) {
+	return r.evaluation(ctx, SuiteFig5, spec, names)
+}
+
+// evaluation is Evaluation with the suite attribution parameterized, so
+// table6's embedded evaluations tag their events as table6.
+func (r *Runner) evaluation(ctx context.Context, suite SuiteID, spec RunSpec, names []string) (*Evaluation, error) {
+	profiles, err := resolveProfiles(names)
+	if err != nil {
+		return nil, err
 	}
+	ev := &Evaluation{Spec: spec, Benches: make([]BenchResult, len(profiles))}
 	type job struct {
 		bench int
 		mech  core.Mechanism
 	}
-	ev := &Evaluation{Spec: spec, Benches: make([]BenchResult, len(names))}
 	var jobs []job
-	for i, name := range names {
-		p, ok := workload.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("exp: unknown benchmark %q", name)
-		}
+	for i, p := range profiles {
 		ev.Benches[i] = BenchResult{
-			Name:           name,
+			Name:           p.Name,
 			PaperL1HitRate: p.PaperL1HitRate,
 			Results:        make(map[core.Mechanism]pipeline.Result),
 		}
@@ -61,16 +64,18 @@ func RunEvaluation(spec RunSpec, names []string, progress func(string)) (*Evalua
 
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
 	var firstErr error
 	for _, j := range jobs {
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p, _ := workload.ByName(ev.Benches[j.bench].Name)
-			w, err := workload.Generate(p)
+			if ctx.Err() != nil {
+				return
+			}
+			p := profiles[j.bench]
+			s := spec
+			s.Sec.Mechanism = j.mech
+			res, err := r.run(ctx, suite, p, s)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -79,19 +84,19 @@ func RunEvaluation(spec RunSpec, names []string, progress func(string)) (*Evalua
 				mu.Unlock()
 				return
 			}
-			s := spec
-			s.Sec.Mechanism = j.mech
-			res := RunWorkload(w, s)
 			mu.Lock()
 			ev.Benches[j.bench].Results[j.mech] = res
 			mu.Unlock()
-			if progress != nil {
-				progress(fmt.Sprintf("%-12s %-34s %8d cycles (IPC %.2f)",
-					p.Name, j.mech, res.Cycles, res.IPC()))
-			}
+			r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
+				Mechanism: j.mech.String(), Phase: PhaseBenchDone, Cycles: res.Cycles,
+				Line: fmt.Sprintf("%-12s %-34s %8d cycles (IPC %.2f)",
+					p.Name, j.mech, res.Cycles, res.IPC())})
 		}(j)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return ev, err
+	}
 	return ev, firstErr
 }
 

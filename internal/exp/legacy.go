@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"context"
+
+	"conspec/internal/attack"
+	"conspec/internal/config"
+)
+
+// legacyEvents adapts the old func(string) progress callbacks onto the
+// typed event stream: it forwards exactly the bench-done lines the old
+// Run* drivers used to emit.
+func legacyEvents(progress func(string)) func(ProgressEvent) {
+	if progress == nil {
+		return nil
+	}
+	return func(ev ProgressEvent) {
+		if ev.Line != "" {
+			progress(ev.Line)
+		}
+	}
+}
+
+// legacyRunner builds a one-shot Runner for the deprecated wrappers.
+func legacyRunner(progress func(string)) *Runner {
+	return NewRunner(RunnerOptions{OnEvent: legacyEvents(progress)})
+}
+
+// RunEvaluation measures the named benchmarks under all four mechanisms.
+//
+// Deprecated: build a Runner and call [Runner.Evaluation]; a shared Runner
+// deduplicates identical runs across suites and supports cancellation.
+func RunEvaluation(spec RunSpec, names []string, progress func(string)) (*Evaluation, error) {
+	return legacyRunner(progress).Evaluation(context.Background(), spec, names)
+}
+
+// RunTable6 regenerates Table VI on the three sensitivity cores.
+//
+// Deprecated: build a Runner and call [Runner.Table6].
+func RunTable6(spec RunSpec, names []string, progress func(string)) ([]Table6Core, error) {
+	return legacyRunner(progress).Table6(context.Background(), spec, names)
+}
+
+// RunScope measures Baseline overheads under the two matrix scopes.
+//
+// Deprecated: build a Runner and call [Runner.Scope].
+func RunScope(spec RunSpec, names []string, progress func(string)) (*ScopeResult, error) {
+	return legacyRunner(progress).Scope(context.Background(), spec, names)
+}
+
+// RunLRU measures the three §VII.A policies under CacheHit+TPBuf.
+//
+// Deprecated: build a Runner and call [Runner.LRU].
+func RunLRU(spec RunSpec, names []string, progress func(string)) (*LRUResult, error) {
+	return legacyRunner(progress).LRU(context.Background(), spec, names)
+}
+
+// RunICache measures the ICache-hit filter's additional cost.
+//
+// Deprecated: build a Runner and call [Runner.ICache].
+func RunICache(spec RunSpec, names []string, progress func(string)) (*ICacheResult, error) {
+	return legacyRunner(progress).ICache(context.Background(), spec, names)
+}
+
+// RunDTLBFilter measures the DTLB-hit filter's additional cost.
+//
+// Deprecated: build a Runner and call [Runner.DTLB].
+func RunDTLBFilter(spec RunSpec, names []string, progress func(string)) (*DTLBResult, error) {
+	return legacyRunner(progress).DTLB(context.Background(), spec, names)
+}
+
+// RunComparison measures the three defenses across the benchmarks.
+//
+// Deprecated: build a Runner and call [Runner.Compare].
+func RunComparison(spec RunSpec, names []string, progress func(string)) (*CompareResult, error) {
+	return legacyRunner(progress).Compare(context.Background(), spec, names)
+}
+
+// RunTable4 regenerates Table IV by running every attack scenario under
+// every mechanism.
+//
+// Deprecated: build a Runner and call [Runner.Table4].
+func RunTable4(cfg config.Core, progress func(string)) []attack.Outcome {
+	out, _ := legacyRunner(progress).Table4(context.Background(), cfg)
+	return out
+}

@@ -6,10 +6,6 @@
 package exp
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
 	"conspec/internal/config"
 	"conspec/internal/isa"
 	"conspec/internal/mem"
@@ -59,44 +55,6 @@ func RunWorkload(w *workload.Workload, spec RunSpec) pipeline.Result {
 	cpu.RunFor(spec.Warmup, maxCycles)
 	cpu.ResetStats()
 	return cpu.RunFor(spec.Measure, maxCycles)
-}
-
-// forEachBench resolves the named profiles (all 22 when names is nil) and
-// applies fn to each in parallel, bounded by GOMAXPROCS. fn receives the
-// profile; results are aggregated by the callers under their own locks.
-func forEachBench(names []string, fn func(p workload.Profile) error) error {
-	if names == nil {
-		names = workload.Names()
-	}
-	profiles := make([]workload.Profile, len(names))
-	for i, name := range names {
-		p, ok := workload.ByName(name)
-		if !ok {
-			return fmt.Errorf("exp: unknown benchmark %q", name)
-		}
-		profiles[i] = p
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	var mu sync.Mutex
-	var firstErr error
-	for _, p := range profiles {
-		wg.Add(1)
-		go func(p workload.Profile) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := fn(p); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(p)
-	}
-	wg.Wait()
-	return firstErr
 }
 
 // Overhead returns the runtime overhead of res relative to origin runs of

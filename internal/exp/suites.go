@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -29,14 +30,15 @@ type Table6Core struct {
 	Avg  Table6Row
 }
 
-// RunTable6 regenerates Table VI: the three defense mechanisms on the
-// A57-like, I7-like and Xeon-like cores.
-func RunTable6(spec RunSpec, names []string, progress func(string)) ([]Table6Core, error) {
+// Table6 regenerates Table VI: the three defense mechanisms on the
+// A57-like, I7-like and Xeon-like cores. Each core's evaluation shares the
+// engine cache, so a repeated core/spec combination simulates nothing new.
+func (r *Runner) Table6(ctx context.Context, spec RunSpec, names []string) ([]Table6Core, error) {
 	var out []Table6Core
 	for _, cfg := range config.SensitivityCores() {
 		s := spec
 		s.Core = cfg
-		ev, err := RunEvaluation(s, names, progress)
+		ev, err := r.evaluation(ctx, SuiteTable6, s, names)
 		if err != nil {
 			return nil, err
 		}
@@ -101,35 +103,39 @@ type ScopeResult struct {
 	UnresolvedBranchFrac map[string]float64
 }
 
-// RunScope measures Baseline overheads under the two matrix scopes.
-func RunScope(spec RunSpec, names []string, progress func(string)) (*ScopeResult, error) {
-	if names == nil {
-		names = workload.Names()
-	}
-	if names == nil {
-		names = workload.Names()
+// Scope measures Baseline overheads under the two matrix scopes. The
+// Origin and full-matrix Baseline runs share cache keys with the fig5
+// evaluation.
+func (r *Runner) Scope(ctx context.Context, spec RunSpec, names []string) (*ScopeResult, error) {
+	profiles, err := resolveProfiles(names)
+	if err != nil {
+		return nil, err
 	}
 	out := &ScopeResult{
 		PerBench:             make(map[string][2]float64),
 		UnresolvedBranchFrac: make(map[string]float64),
 	}
 	var mu sync.Mutex
-	n := float64(len(names))
-	err := forEachBench(names, func(p workload.Profile) error {
-		w, err := workload.Generate(p)
+	n := float64(len(profiles))
+	err = r.eachProfile(ctx, profiles, func(p workload.Profile) error {
+		s := spec
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
+		origin, err := r.run(ctx, SuiteScope, p, s)
 		if err != nil {
 			return err
 		}
-		s := spec
-		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
-		origin := RunWorkload(w, s)
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.Baseline, Scope: core.ScopeBranchOnly}
-		bo := RunWorkload(w, s)
+		bo, err := r.run(ctx, SuiteScope, p, s)
+		if err != nil {
+			return err
+		}
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.Baseline, Scope: core.ScopeBranchMem}
-		full := RunWorkload(w, s)
+		full, err := r.run(ctx, SuiteScope, p, s)
+		if err != nil {
+			return err
+		}
 		ovBO, ovFull := Overhead(origin, bo), Overhead(origin, full)
 		mu.Lock()
-		defer mu.Unlock()
 		out.PerBench[p.Name] = [2]float64{ovBO, ovFull}
 		out.BranchOnlyAvg += ovBO / n
 		out.FullAvg += ovFull / n
@@ -137,10 +143,10 @@ func RunScope(spec RunSpec, names []string, progress func(string)) (*ScopeResult
 			out.UnresolvedBranchFrac[p.Name] =
 				float64(full.UnresolvedBranchAtDispatch) / float64(full.Committed)
 		}
-		if progress != nil {
-			progress(fmt.Sprintf("%-12s branch-only %+6.1f%%  full %+6.1f%%",
-				p.Name, 100*ovBO, 100*ovFull))
-		}
+		mu.Unlock()
+		r.emit(ProgressEvent{Suite: SuiteScope, Benchmark: p.Name, Phase: PhaseBenchDone,
+			Line: fmt.Sprintf("%-12s branch-only %+6.1f%%  full %+6.1f%%",
+				p.Name, 100*ovBO, 100*ovFull)})
 		return nil
 	})
 	return out, err
@@ -178,39 +184,40 @@ type LRUResult struct {
 	Always, NoUpdate, Delayed float64
 }
 
-// RunLRU measures the three §VII.A policies under CacheHit+TPBuf.
-func RunLRU(spec RunSpec, names []string, progress func(string)) (*LRUResult, error) {
-	if names == nil {
-		names = workload.Names()
-	}
-	if names == nil {
-		names = workload.Names()
+// LRU measures the three §VII.A policies under CacheHit+TPBuf. The Origin
+// and conventional-update runs share cache keys with the fig5 evaluation.
+func (r *Runner) LRU(ctx context.Context, spec RunSpec, names []string) (*LRUResult, error) {
+	profiles, err := resolveProfiles(names)
+	if err != nil {
+		return nil, err
 	}
 	var out LRUResult
 	var mu sync.Mutex
-	n := float64(len(names))
-	err := forEachBench(names, func(p workload.Profile) error {
-		w, err := workload.Generate(p)
+	n := float64(len(profiles))
+	err = r.eachProfile(ctx, profiles, func(p workload.Profile) error {
+		s := spec
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
+		origin, err := r.run(ctx, SuiteLRU, p, s)
 		if err != nil {
 			return err
 		}
-		s := spec
-		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
-		origin := RunWorkload(w, s)
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
 		var deltas [3]float64
 		for i, pol := range []mem.UpdatePolicy{mem.UpdateAlways, mem.UpdateNoSpec, mem.UpdateDelayed} {
 			s.L1DUpdate = pol
-			deltas[i] = Overhead(origin, RunWorkload(w, s))
+			res, err := r.run(ctx, SuiteLRU, p, s)
+			if err != nil {
+				return err
+			}
+			deltas[i] = Overhead(origin, res)
 		}
 		mu.Lock()
 		out.Always += deltas[0] / n
 		out.NoUpdate += deltas[1] / n
 		out.Delayed += deltas[2] / n
 		mu.Unlock()
-		if progress != nil {
-			progress("lru: " + p.Name)
-		}
+		r.emit(ProgressEvent{Suite: SuiteLRU, Benchmark: p.Name, Phase: PhaseBenchDone,
+			Line: "lru: " + p.Name})
 		return nil
 	})
 	return &out, err
@@ -236,60 +243,47 @@ type ICacheResult struct {
 	Stalls map[string]uint64
 }
 
-// RunICache measures the ICache-hit filter's additional cost. Beyond the
+// ICache measures the ICache-hit filter's additional cost. Beyond the
 // requested benchmarks it always includes the dedicated icache-stress
 // kernel, because loop-resident SPEC-shaped kernels never miss the L1I and
 // would report the filter as free by construction.
-func RunICache(spec RunSpec, names []string, progress func(string)) (*ICacheResult, error) {
-	if names == nil {
-		names = workload.Names()
-	}
-	profiles := make([]workload.Profile, 0, len(names)+1)
-	for _, name := range names {
-		p, ok := workload.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("exp: unknown benchmark %q", name)
-		}
-		profiles = append(profiles, p)
+func (r *Runner) ICache(ctx context.Context, spec RunSpec, names []string) (*ICacheResult, error) {
+	profiles, err := resolveProfiles(names)
+	if err != nil {
+		return nil, err
 	}
 	profiles = append(profiles, workload.ICacheStress())
 	out := &ICacheResult{Stalls: make(map[string]uint64)}
 	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
 	n := float64(len(profiles))
-	for _, p := range profiles {
-		wg.Add(1)
-		go func(p workload.Profile) {
-			defer wg.Done()
-			w, err := workload.Generate(p)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			s := spec
-			s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
-			origin := RunWorkload(w, s)
-			s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
-			without := Overhead(origin, RunWorkload(w, s))
-			s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf, ICacheFilter: true}
-			res := RunWorkload(w, s)
-			mu.Lock()
-			out.Without += without / n
-			out.With += Overhead(origin, res) / n
-			out.Stalls[p.Name] = res.FetchStallsICacheFilter
-			mu.Unlock()
-			if progress != nil {
-				progress("icache: " + p.Name)
-			}
-		}(p)
-	}
-	wg.Wait()
-	return out, firstErr
+	err = r.eachProfile(ctx, profiles, func(p workload.Profile) error {
+		s := spec
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
+		origin, err := r.run(ctx, SuiteICache, p, s)
+		if err != nil {
+			return err
+		}
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
+		base, err := r.run(ctx, SuiteICache, p, s)
+		if err != nil {
+			return err
+		}
+		without := Overhead(origin, base)
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf, ICacheFilter: true}
+		res, err := r.run(ctx, SuiteICache, p, s)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		out.Without += without / n
+		out.With += Overhead(origin, res) / n
+		out.Stalls[p.Name] = res.FetchStallsICacheFilter
+		mu.Unlock()
+		r.emit(ProgressEvent{Suite: SuiteICache, Benchmark: p.Name, Phase: PhaseBenchDone,
+			Line: "icache: " + p.Name})
+		return nil
+	})
+	return out, err
 }
 
 // ICacheText renders the §VII.B study.
@@ -302,20 +296,24 @@ func ICacheText(r *ICacheResult) string {
 	return sb.String()
 }
 
-// RunTable4 regenerates Table IV by running every attack scenario under
-// every mechanism.
-func RunTable4(cfg config.Core, progress func(string)) []attack.Outcome {
+// Table4 regenerates Table IV by running every attack scenario under every
+// mechanism. Attack runs are not RunSpec-shaped and bypass the memo cache,
+// but they honor cancellation: on ctx expiry the outcomes completed so far
+// are returned alongside ctx.Err().
+func (r *Runner) Table4(ctx context.Context, cfg config.Core) ([]attack.Outcome, error) {
 	var out []attack.Outcome
 	for _, h := range attack.Scenarios(cfg) {
 		for _, m := range core.Mechanisms {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			o := h.Run(cfg, pipeline.SecurityConfig{Mechanism: m})
 			out = append(out, o)
-			if progress != nil {
-				progress(o.String())
-			}
+			r.emit(ProgressEvent{Suite: SuiteTable4, Benchmark: o.Scenario,
+				Mechanism: o.Mechanism, Phase: PhaseBenchDone, Line: o.String()})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Table4Text renders the attack matrix with the paper's expectations.
@@ -365,34 +363,40 @@ type DTLBResult struct {
 	Blocks map[string]uint64
 }
 
-// RunDTLBFilter measures the DTLB-hit filter's additional cost.
-func RunDTLBFilter(spec RunSpec, names []string, progress func(string)) (*DTLBResult, error) {
-	if names == nil {
-		names = workload.Names()
+// DTLB measures the DTLB-hit filter's additional cost.
+func (r *Runner) DTLB(ctx context.Context, spec RunSpec, names []string) (*DTLBResult, error) {
+	profiles, err := resolveProfiles(names)
+	if err != nil {
+		return nil, err
 	}
 	out := &DTLBResult{Blocks: make(map[string]uint64)}
 	var mu sync.Mutex
-	n := float64(len(names))
-	err := forEachBench(names, func(p workload.Profile) error {
-		w, err := workload.Generate(p)
+	n := float64(len(profiles))
+	err = r.eachProfile(ctx, profiles, func(p workload.Profile) error {
+		s := spec
+		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
+		origin, err := r.run(ctx, SuiteDTLB, p, s)
 		if err != nil {
 			return err
 		}
-		s := spec
-		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
-		origin := RunWorkload(w, s)
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
-		without := Overhead(origin, RunWorkload(w, s))
+		base, err := r.run(ctx, SuiteDTLB, p, s)
+		if err != nil {
+			return err
+		}
+		without := Overhead(origin, base)
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf, DTLBFilter: true}
-		res := RunWorkload(w, s)
+		res, err := r.run(ctx, SuiteDTLB, p, s)
+		if err != nil {
+			return err
+		}
 		mu.Lock()
 		out.Without += without / n
 		out.With += Overhead(origin, res) / n
 		out.Blocks[p.Name] = res.DTLBFilterBlocks
 		mu.Unlock()
-		if progress != nil {
-			progress("dtlb: " + p.Name)
-		}
+		r.emit(ProgressEvent{Suite: SuiteDTLB, Benchmark: p.Name, Phase: PhaseBenchDone,
+			Line: "dtlb: " + p.Name})
 		return nil
 	})
 	return out, err
