@@ -39,14 +39,13 @@ func (c *CPU) srcVal(p int) uint64 {
 // to IssueWidth per cycle, respecting functional-unit ports, an active
 // FENCE, and — this is the paper's mechanism — the security hazard check.
 func (c *CPU) issueStage() {
-	tried := make(map[*uop]bool)
 	issued := 0
 	var violation *uop // oldest memory-order-violating load this cycle
 
 	for issued < c.cfg.IssueWidth {
 		var best *uop
 		for _, u := range c.iq {
-			if u == nil || tried[u] {
+			if u == nil || u.triedCycle == c.cycle {
 				continue
 			}
 			if !c.eligible(u) {
@@ -59,7 +58,7 @@ func (c *CPU) issueStage() {
 		if best == nil {
 			break
 		}
-		tried[best] = true
+		best.triedCycle = c.cycle
 		fu := best.inst.Op.Unit()
 		c.fuUsed[fu]++
 		if v := c.tryIssue(best); v != nil {

@@ -73,6 +73,10 @@ type uop struct {
 	completed  bool
 	squashed   bool
 	readyAt    uint64 // frontend: earliest dispatch cycle
+	// triedCycle stamps the last cycle the select logic attempted this
+	// entry, replacing a per-cycle "tried" set (cycle numbers start at 1,
+	// so the zero value never matches a live cycle).
+	triedCycle uint64
 
 	// Branch state.
 	isBranch   bool
