@@ -1,11 +1,19 @@
 # conspec build/verify targets.
 #
-#   make tier1   — the PR gate: build, vet, full test suite, plus the race
-#                  detector over the experiment engine's worker pool.
+#   make tier1          — the PR gate: build, vet, full test suite, the race
+#                         detector over the experiment engine's worker pool,
+#                         and a one-iteration BenchmarkFig5 smoke run.
+#   make bench-snapshot — run the tracked benchmark set and write
+#                         BENCH_<sha>.json via cmd/conspec-benchstat.
+#   make bench-compare  — diff the two most recent BENCH_*.json snapshots.
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench
+# The benchmarks whose numbers are tracked across PRs in BENCH_*.json:
+# the end-to-end Figure 5 evaluation plus the per-component microbenches.
+TRACKED_BENCHES = ^(BenchmarkFig5|BenchmarkSimulatorThroughput|BenchmarkSecMatrixDispatch|BenchmarkSecMatrixHazardCheck|BenchmarkTPBufQuery|BenchmarkCacheAccess)$$
+
+.PHONY: all build vet test race benchsmoke tier1 bench bench-snapshot bench-compare
 
 all: tier1
 
@@ -23,7 +31,25 @@ test:
 race:
 	$(GO) test -race ./internal/exp
 
-tier1: build vet test race
+# One iteration of the Figure 5 evaluation: catches benchmark-harness rot
+# (renamed suites, broken specs) without paying for a full measurement.
+benchsmoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkFig5$$' -benchtime 1x .
+
+tier1: build vet test race benchsmoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
+
+bench-snapshot:
+	$(GO) test -run '^$$' -bench '$(TRACKED_BENCHES)' -benchmem . \
+	    | $(GO) run ./cmd/conspec-benchstat -snapshot \
+	        -sha $$(git rev-parse --short HEAD) \
+	        -out BENCH_$$(git rev-parse --short HEAD).json
+	@echo wrote BENCH_$$(git rev-parse --short HEAD).json
+
+# Compare the two most recently modified snapshots (older as the base).
+bench-compare:
+	@set -- $$(ls -1t BENCH_*.json | head -2); \
+	if [ $$# -lt 2 ]; then echo "need two BENCH_*.json snapshots"; exit 1; fi; \
+	$(GO) run ./cmd/conspec-benchstat -compare "$$2" "$$1"

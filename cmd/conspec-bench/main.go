@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"conspec/internal/exp"
+	"conspec/internal/profutil"
 )
 
 func main() {
@@ -43,11 +44,18 @@ func main() {
 		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all 22)")
 		warmup  = flag.Uint64("warmup", 20_000, "warmup instructions per run")
 		measure = flag.Uint64("measure", 120_000, "measured instructions per run")
-		workers = flag.Int("workers", 0, "max concurrent simulations (0 = NumCPU)")
+		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS); values below GOMAXPROCS also cap GOMAXPROCS so -workers 1 -cpuprofile profiles a single attributable thread")
 		verbose = flag.Bool("v", false, "print per-run progress")
 		asJSON  = flag.Bool("json", false, "emit results as JSON instead of text")
 	)
+	prof := profutil.Register()
 	flag.Parse()
+	profStop, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer profStop()
+	*workers = profutil.CapProcs(*workers)
 
 	var names []string
 	if *benches != "" {
@@ -78,6 +86,7 @@ func main() {
 	// fail flushes whatever completed and exits. On SIGINT the JSON
 	// document holds every suite that finished before cancellation.
 	fail := func(err error) {
+		profStop() // os.Exit skips deferred handlers: flush profiles first
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "interrupted: flushing completed suite results")
 			if *asJSON {

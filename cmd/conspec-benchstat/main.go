@@ -1,0 +1,267 @@
+// Command conspec-benchstat turns `go test -bench -benchmem` output into
+// committed JSON snapshots and diffs two snapshots, so benchmark
+// regressions show up in review instead of months later.
+//
+// Snapshot mode parses benchmark result lines from stdin and writes one
+// JSON document (optionally tagged with the git sha it was measured at):
+//
+//	go test -run '^$' -bench '^BenchmarkFig5$' -benchmem . |
+//	    conspec-benchstat -snapshot -sha $(git rev-parse --short HEAD) -out BENCH_abc1234.json
+//
+// Compare mode reads two snapshot files and prints a per-benchmark,
+// per-metric delta table (negative ns/op and allocs/op deltas are
+// improvements):
+//
+//	conspec-benchstat -compare BENCH_old.json BENCH_new.json
+//
+// The parser keeps every metric a benchmark reports — the standard
+// ns/op, B/op, allocs/op triple as well as custom b.ReportMetric units
+// like baseline-ovh-% — and derives ops/sec from ns/op so throughput
+// deltas read naturally. Metrics present on only one side of a compare
+// are listed but not diffed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line: the name with the -<procs>
+// suffix stripped, the iteration count, and every reported metric.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the committed document: where it was measured and what.
+type Snapshot struct {
+	SHA        string      `json:"sha,omitempty"`
+	GoVersion  string      `json:"go_version"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		snapshot = flag.Bool("snapshot", false, "parse `go test -bench` output on stdin into a JSON snapshot")
+		compare  = flag.Bool("compare", false, "diff two snapshot files: -compare old.json new.json")
+		sha      = flag.String("sha", "", "git sha to record in the snapshot")
+		out      = flag.String("out", "", "snapshot output file (default stdout)")
+	)
+	flag.Parse()
+
+	switch {
+	case *snapshot:
+		if err := runSnapshot(*sha, *out); err != nil {
+			fatal(err)
+		}
+	case *compare:
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two snapshot files, got %d", flag.NArg()))
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "conspec-benchstat:", err)
+	os.Exit(1)
+}
+
+// parseBench parses one benchmark result line, e.g.
+//
+//	BenchmarkFig5-8  3  4553412271 ns/op  12.34 baseline-ovh-%  1150589658 B/op  5643406 allocs/op
+//
+// Lines that don't start with "Benchmark" or don't follow the
+// name/iterations/value-unit-pair shape return ok=false.
+func parseBench(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
+		b.Metrics["ops/sec"] = 1e9 / ns
+	}
+	return b, true
+}
+
+func runSnapshot(sha, out string) error {
+	snap := Snapshot{SHA: sha, GoVersion: runtime.Version()}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseBench(strings.TrimSpace(sc.Text())); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name
+	})
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+func readSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// lowerIsBetter marks metrics where a negative delta is an improvement;
+// everything else (ops/sec, hit rates) is treated as higher-is-better,
+// and pure observations (overhead percentages) just get their sign.
+func lowerIsBetter(unit string) bool {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return true
+	}
+	return false
+}
+
+func runCompare(oldPath, newPath string) error {
+	oldS, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newS, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldS.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	fmt.Printf("old: %s (%s)\nnew: %s (%s)\n\n",
+		oldPath, orDash(oldS.SHA), newPath, orDash(newS.SHA))
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, nb := range newS.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		fmt.Fprintf(w, "%s\n", nb.Name)
+		if !ok {
+			fmt.Fprintf(w, "  (new benchmark, no old data)\n")
+			continue
+		}
+		delete(oldBy, nb.Name)
+		units := make([]string, 0, len(nb.Metrics))
+		for u := range nb.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			nv := nb.Metrics[u]
+			ov, has := ob.Metrics[u]
+			if !has {
+				fmt.Fprintf(w, "  %-18s %14s -> %14s\n", u, "-", fmtVal(nv))
+				continue
+			}
+			fmt.Fprintf(w, "  %-18s %14s -> %14s  %s\n", u, fmtVal(ov), fmtVal(nv), describeDelta(u, ov, nv))
+		}
+		for u, ov := range ob.Metrics {
+			if _, has := nb.Metrics[u]; !has {
+				fmt.Fprintf(w, "  %-18s %14s -> %14s\n", u, fmtVal(ov), "-")
+			}
+		}
+	}
+	for _, ob := range oldS.Benchmarks {
+		if _, gone := oldBy[ob.Name]; gone {
+			fmt.Fprintf(w, "%s\n  (removed, no new data)\n", ob.Name)
+		}
+	}
+	return nil
+}
+
+func describeDelta(unit string, old, new float64) string {
+	if old == new {
+		return "(=)"
+	}
+	if old == 0 {
+		return "(from zero)"
+	}
+	pct := 100 * (new - old) / old
+	s := fmt.Sprintf("%+.1f%%", pct)
+	if lowerIsBetter(unit) {
+		if new == 0 {
+			return s + " (better, eliminated)"
+		}
+		if new < old {
+			return s + " (better, " + fmt.Sprintf("%.2fx", old/new) + ")"
+		}
+		return s + " (worse)"
+	}
+	if unit == "ops/sec" {
+		if new > old {
+			return s + " (better, " + fmt.Sprintf("%.2fx", new/old) + ")"
+		}
+		return s + " (worse)"
+	}
+	return s
+}
+
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

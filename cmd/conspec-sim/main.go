@@ -21,6 +21,7 @@ import (
 	"conspec/internal/exp"
 	"conspec/internal/mem"
 	"conspec/internal/pipeline"
+	"conspec/internal/profutil"
 	"conspec/internal/workload"
 )
 
@@ -77,8 +78,16 @@ func main() {
 		dtlbF   = flag.Bool("dtlbfilter", false, "enable the DTLB-hit filter extension")
 		warmup  = flag.Uint64("warmup", 20_000, "warmup instructions")
 		measure = flag.Uint64("measure", 120_000, "measured instructions")
+		stages  = flag.Bool("stages", false, "print per-stage cycle-accounting counters")
 	)
+	pflags := profutil.Register()
 	flag.Parse()
+	profStop, err := pflags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer profStop()
 
 	if *list {
 		for _, p := range workload.Profiles() {
@@ -150,4 +159,28 @@ func main() {
 		fmt.Printf("icache-stall: %d fetch stalls from the ICache-hit filter\n",
 			res.FetchStallsICacheFilter)
 	}
+	if *stages {
+		printStages(res)
+	}
+}
+
+// printStages renders the per-stage cycle-accounting counters: average
+// structure occupancies plus the stall breakdown, the first place to look
+// when asking where a configuration's cycles go.
+func printStages(res pipeline.Result) {
+	cyc := float64(res.Cycles)
+	if cyc == 0 {
+		cyc = 1
+	}
+	st := res.Stages
+	fmt.Println("--- stage cycle accounting ---")
+	fmt.Printf("fetchq occ  : %.2f avg entries\n", float64(st.FetchQOccupancy)/cyc)
+	fmt.Printf("iq occ      : %.2f avg entries (%.2f data-ready)\n",
+		float64(st.IQOccupancy)/cyc, float64(st.ReadyOccupancy)/cyc)
+	fmt.Printf("rob occ     : %.2f avg entries\n", float64(st.ROBOccupancy)/cyc)
+	fmt.Printf("exec inflt  : %.2f avg in-flight ops\n", float64(st.ExecInflight)/cyc)
+	fmt.Printf("issue       : %.3f uops/cycle, %.1f%% idle cycles (IQ non-empty, nothing issued)\n",
+		float64(st.IssuedUops)/cyc, 100*float64(st.IssueIdleCycles)/cyc)
+	fmt.Printf("commit      : %.1f%% stall cycles (ROB non-empty, nothing committed)\n",
+		100*float64(st.CommitStalls)/cyc)
 }

@@ -22,10 +22,16 @@ const wordBits = 64
 // BitMatrix is a dense NxN bit matrix supporting the row and column
 // operations the security dependence matrix needs: per-row set at dispatch,
 // row-OR reduction at select, and column clear at dependence clearance.
+//
+// Each row keeps a set-bit count (rowCnt) maintained by every mutation, so
+// RowAny — the hazard reduction the select stage evaluates for every
+// candidate every cycle — is a single counter test instead of an O(words)
+// OR over the row.
 type BitMatrix struct {
-	n     int
-	words int // words per row
-	bits  []uint64
+	n      int
+	words  int // words per row
+	bits   []uint64
+	rowCnt []int // set bits per row (cached row-OR summary)
 }
 
 // NewBitMatrix returns an n x n zero matrix.
@@ -34,7 +40,7 @@ func NewBitMatrix(n int) *BitMatrix {
 		panic(fmt.Sprintf("core: bit matrix size %d", n))
 	}
 	w := (n + wordBits - 1) / wordBits
-	return &BitMatrix{n: n, words: w, bits: make([]uint64, n*w)}
+	return &BitMatrix{n: n, words: w, bits: make([]uint64, n*w), rowCnt: make([]int, n)}
 }
 
 // Size returns n.
@@ -50,14 +56,24 @@ func (m *BitMatrix) check(i int) {
 func (m *BitMatrix) Set(i, j int) {
 	m.check(i)
 	m.check(j)
-	m.bits[i*m.words+j/wordBits] |= 1 << (uint(j) % wordBits)
+	w := &m.bits[i*m.words+j/wordBits]
+	bit := uint64(1) << (uint(j) % wordBits)
+	if *w&bit == 0 {
+		*w |= bit
+		m.rowCnt[i]++
+	}
 }
 
 // Clear clears bit [i,j].
 func (m *BitMatrix) Clear(i, j int) {
 	m.check(i)
 	m.check(j)
-	m.bits[i*m.words+j/wordBits] &^= 1 << (uint(j) % wordBits)
+	w := &m.bits[i*m.words+j/wordBits]
+	bit := uint64(1) << (uint(j) % wordBits)
+	if *w&bit != 0 {
+		*w &^= bit
+		m.rowCnt[i]--
+	}
 }
 
 // Get reports bit [i,j].
@@ -69,23 +85,23 @@ func (m *BitMatrix) Get(i, j int) bool {
 
 // RowAny reports whether any bit in row i is set — the reduction-OR the
 // paper uses to detect a potential security hazard for the issuing entry.
+// O(1): it tests the maintained per-row set-bit count.
 func (m *BitMatrix) RowAny(i int) bool {
 	m.check(i)
-	row := m.bits[i*m.words : (i+1)*m.words]
-	var or uint64
-	for _, w := range row {
-		or |= w
-	}
-	return or != 0
+	return m.rowCnt[i] != 0
 }
 
 // ClearRow zeroes row i (entry deallocated or squashed).
 func (m *BitMatrix) ClearRow(i int) {
 	m.check(i)
+	if m.rowCnt[i] == 0 {
+		return // already empty: skip the word walk
+	}
 	row := m.bits[i*m.words : (i+1)*m.words]
 	for k := range row {
 		row[k] = 0
 	}
+	m.rowCnt[i] = 0
 }
 
 // ClearCol zeroes column j across all rows — the dependence clearance that
@@ -93,19 +109,20 @@ func (m *BitMatrix) ClearRow(i int) {
 func (m *BitMatrix) ClearCol(j int) {
 	m.check(j)
 	w, b := j/wordBits, uint(j)%wordBits
-	mask := ^(uint64(1) << b)
+	bit := uint64(1) << b
 	for i := 0; i < m.n; i++ {
-		m.bits[i*m.words+w] &= mask
+		if m.bits[i*m.words+w]&bit != 0 {
+			m.bits[i*m.words+w] &^= bit
+			m.rowCnt[i]--
+		}
 	}
 }
 
 // PopCount returns the number of set bits (diagnostics and area modelling).
 func (m *BitMatrix) PopCount() int {
 	n := 0
-	for _, w := range m.bits {
-		for ; w != 0; w &= w - 1 {
-			n++
-		}
+	for _, c := range m.rowCnt {
+		n += c
 	}
 	return n
 }
@@ -114,5 +131,8 @@ func (m *BitMatrix) PopCount() int {
 func (m *BitMatrix) Reset() {
 	for i := range m.bits {
 		m.bits[i] = 0
+	}
+	for i := range m.rowCnt {
+		m.rowCnt[i] = 0
 	}
 }

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveMatrix is the obvious bool-grid reference the cached-summary
+// BitMatrix is checked against.
+type naiveMatrix struct {
+	n int
+	b [][]bool
+}
+
+func newNaive(n int) *naiveMatrix {
+	m := &naiveMatrix{n: n, b: make([][]bool, n)}
+	for i := range m.b {
+		m.b[i] = make([]bool, n)
+	}
+	return m
+}
+
+func (m *naiveMatrix) set(i, j int)   { m.b[i][j] = true }
+func (m *naiveMatrix) clear(i, j int) { m.b[i][j] = false }
+func (m *naiveMatrix) clearRow(i int) {
+	for j := range m.b[i] {
+		m.b[i][j] = false
+	}
+}
+func (m *naiveMatrix) clearCol(j int) {
+	for i := range m.b {
+		m.b[i][j] = false
+	}
+}
+func (m *naiveMatrix) rowAny(i int) bool {
+	for _, v := range m.b[i] {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+func (m *naiveMatrix) popCount() int {
+	n := 0
+	for i := range m.b {
+		for _, v := range m.b[i] {
+			if v {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// applyOp drives one mutation on both implementations and cross-checks the
+// queryable state. op selects the operation, i/j the coordinates.
+func applyOp(t *testing.T, m *BitMatrix, ref *naiveMatrix, op, i, j int) {
+	t.Helper()
+	switch op % 6 {
+	case 0:
+		m.Set(i, j)
+		ref.set(i, j)
+	case 1:
+		m.Clear(i, j)
+		ref.clear(i, j)
+	case 2:
+		m.ClearRow(i)
+		ref.clearRow(i)
+	case 3:
+		m.ClearCol(j)
+		ref.clearCol(j)
+	case 4:
+		// Double-set then clear: exercises idempotent-set counting.
+		m.Set(i, j)
+		m.Set(i, j)
+		ref.set(i, j)
+	case 5:
+		m.Reset()
+		for r := 0; r < ref.n; r++ {
+			ref.clearRow(r)
+		}
+	}
+	if got, want := m.Get(i, j), ref.b[i][j]; got != want {
+		t.Fatalf("Get(%d,%d) = %v, reference %v", i, j, got, want)
+	}
+	if got, want := m.RowAny(i), ref.rowAny(i); got != want {
+		t.Fatalf("RowAny(%d) = %v, reference %v", i, got, want)
+	}
+	if got, want := m.PopCount(), ref.popCount(); got != want {
+		t.Fatalf("PopCount = %d, reference %d", got, want)
+	}
+}
+
+// checkAll verifies every queryable cell and row summary agrees.
+func checkAll(t *testing.T, m *BitMatrix, ref *naiveMatrix) {
+	t.Helper()
+	for i := 0; i < ref.n; i++ {
+		if got, want := m.RowAny(i), ref.rowAny(i); got != want {
+			t.Fatalf("RowAny(%d) = %v, reference %v", i, got, want)
+		}
+		for j := 0; j < ref.n; j++ {
+			if got, want := m.Get(i, j), ref.b[i][j]; got != want {
+				t.Fatalf("Get(%d,%d) = %v, reference %v", i, j, got, want)
+			}
+		}
+	}
+	if got, want := m.PopCount(), ref.popCount(); got != want {
+		t.Fatalf("PopCount = %d, reference %d", got, want)
+	}
+}
+
+// TestBitMatrixPropertyRandomOps runs long random operation sequences on
+// several sizes (crossing the 64-bit word boundary) against the reference.
+func TestBitMatrixPropertyRandomOps(t *testing.T) {
+	for _, n := range []int{1, 7, 63, 64, 65, 97, 128} {
+		rng := rand.New(rand.NewSource(int64(0xC0FFEE + n)))
+		m := NewBitMatrix(n)
+		ref := newNaive(n)
+		for step := 0; step < 4000; step++ {
+			applyOp(t, m, ref, rng.Intn(6), rng.Intn(n), rng.Intn(n))
+		}
+		checkAll(t, m, ref)
+	}
+}
+
+// FuzzBitMatrix interprets the fuzz input as an op script over a 40-entry
+// matrix (the paper's IQ size) and checks the cached row summaries against
+// the naive reference after every operation.
+func FuzzBitMatrix(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 3, 0, 0, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const n = 40
+		m := NewBitMatrix(n)
+		ref := newNaive(n)
+		for k := 0; k+2 < len(script); k += 3 {
+			applyOp(t, m, ref, int(script[k]), int(script[k+1])%n, int(script[k+2])%n)
+		}
+		checkAll(t, m, ref)
+	})
+}

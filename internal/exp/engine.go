@@ -107,8 +107,10 @@ func (s Stats) Submitted() uint64 { return s.Executed + s.Hits }
 
 // RunnerOptions configures a Runner.
 type RunnerOptions struct {
-	// Workers bounds concurrently executing simulations
-	// (default: runtime.NumCPU()).
+	// Workers bounds concurrently executing simulations (default:
+	// runtime.GOMAXPROCS(0), so a caller that lowers GOMAXPROCS — e.g. a
+	// single-threaded profiling run — gets a matching pool, unlike
+	// NumCPU which ignores the cap).
 	Workers int
 	// OnEvent, when non-nil, receives every ProgressEvent. Calls are
 	// serialized; the callback must not call back into the Runner.
@@ -145,7 +147,7 @@ type cacheEntry struct {
 func NewRunner(opts RunnerOptions) *Runner {
 	workers := opts.Workers
 	if workers <= 0 {
-		workers = runtime.NumCPU()
+		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Runner{
 		workers: workers,

@@ -99,6 +99,7 @@ type Cache struct {
 	sets     int
 	ways     int
 	lineBits uint
+	setBits  uint // log2(sets); sets is a power of two
 	setMask  uint64
 	lines    []line // sets*ways, set-major
 	clock    uint64 // LRU timestamp source
@@ -125,12 +126,17 @@ func NewCache(name string, size, ways, lineBytes, hitLat int) *Cache {
 	for 1<<lb < lineBytes {
 		lb++
 	}
+	sb := uint(0)
+	for 1<<sb < sets {
+		sb++
+	}
 	return &Cache{
 		Name:     name,
 		HitLat:   hitLat,
 		sets:     sets,
 		ways:     ways,
 		lineBits: lb,
+		setBits:  sb,
 		setMask:  uint64(sets - 1),
 		lines:    make([]line, sets*ways),
 		rng:      xorshift64(0x9E3779B97F4A7C15),
@@ -202,17 +208,20 @@ func (c *Cache) set(addr uint64) []line {
 	return c.lines[s*c.ways : (s+1)*c.ways]
 }
 
+// tag extracts the tag bits above the set index. sets is a power of two, so
+// the division the formula calls for is a shift.
 func (c *Cache) tag(addr uint64) uint64 {
-	return addr >> c.lineBits / uint64(c.sets)
+	return addr >> (c.lineBits + c.setBits)
 }
 
 // Probe reports whether addr's line is present, without touching any state
-// or statistics. Defense logic uses Probe to make block/allow decisions.
+// or statistics. Defense logic calls it on every suspect access decision,
+// so the set is resolved once up front rather than per way.
 func (c *Cache) Probe(addr uint64) bool {
 	tag := c.tag(addr)
-	for i := range c.set(addr) {
-		l := &c.set(addr)[i]
-		if l.valid && l.tag == tag {
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
 			return true
 		}
 	}

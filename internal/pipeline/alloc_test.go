@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"testing"
+
+	"conspec/internal/asm"
+	"conspec/internal/core"
+	"conspec/internal/isa"
+)
+
+// allocKernel builds a non-terminating kernel exercising every hot path:
+// dependent ALU chains, loads and stores over a strided buffer, a
+// data-dependent branch (mispredicts → squashes), and a multiply.
+func allocKernel() *asm.Program {
+	b := asm.New()
+	b.Li(asm.A0, 0x40000) // buffer
+	b.Li(asm.S0, 0)       // i
+	b.Li(asm.S1, 255)     // index mask
+	b.Li(asm.S3, 0)       // checksum
+	b.Bind("loop")
+	b.And(asm.T0, asm.S0, asm.S1)
+	b.Shli(asm.T0, asm.T0, 3)
+	b.Add(asm.T1, asm.A0, asm.T0)
+	b.St(asm.S3, asm.T1, 0)
+	b.Ld(asm.T2, asm.T1, 0)
+	b.Mul(asm.T3, asm.T2, asm.S1)
+	b.Add(asm.S3, asm.S3, asm.T3)
+	b.Addi(asm.S0, asm.S0, 1)
+	// Data-dependent branch: taken when the low checksum bit is set, which
+	// flips irregularly — a steady source of mispredictions and squashes.
+	b.Andi(asm.T4, asm.S3, 1)
+	b.Beq(asm.T4, asm.Zero, "skip")
+	b.Ld(asm.T5, asm.A0, 0)
+	b.Add(asm.S3, asm.S3, asm.T5)
+	b.Bind("skip")
+	b.Jmp("loop")
+	return b.MustAssemble(testBase)
+}
+
+// TestZeroAllocSteadyState pins the tentpole property: after warmup, the
+// cycle loop performs no heap allocations — the tried map, per-cycle
+// scratch slices, uop churn and sort closures are all gone.
+func TestZeroAllocSteadyState(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sec  SecurityConfig
+	}{
+		{"origin", SecurityConfig{Mechanism: core.Origin}},
+		{"cachehit-tpbuf", SecurityConfig{Mechanism: core.CacheHitTPBuf, Scope: core.ScopeBranchMem}},
+		{"ssbd", SecurityConfig{Mechanism: core.Origin, SSBD: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := allocKernel()
+			backing := isa.NewFlatMem()
+			prog.Load(backing)
+			cpu := NewWithMemory(smallCore(), tc.sec, backing)
+			cpu.SetPC(prog.Base)
+			// Warm up: let pools, waiter lists and scratch slices reach
+			// their steady-state capacities.
+			cpu.Run(30000)
+			if cpu.Halted() {
+				t.Fatal("kernel must not halt")
+			}
+			avg := testing.AllocsPerRun(20, func() {
+				cpu.Run(2000)
+			})
+			if cpu.Halted() {
+				t.Fatal("kernel must not halt during measurement")
+			}
+			if avg != 0 {
+				t.Fatalf("steady-state cycle loop allocates: %.2f allocs per 2000 cycles", avg)
+			}
+			if err := cpu.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after run: %v", err)
+			}
+		})
+	}
+}

@@ -1,8 +1,6 @@
 package pipeline
 
 import (
-	"sort"
-
 	"conspec/internal/branch"
 	"conspec/internal/core"
 	"conspec/internal/isa"
@@ -38,21 +36,26 @@ func (c *CPU) srcVal(p int) uint64 {
 // issueStage performs wakeup-select: the oldest ready instructions issue up
 // to IssueWidth per cycle, respecting functional-unit ports, an active
 // FENCE, and — this is the paper's mechanism — the security hazard check.
+//
+// Selection walks the incrementally maintained ready list (data-ready
+// issue-queue entries, sorted oldest-first; see ready.go) instead of
+// rescanning the whole queue. Every not-yet-tried candidate is still passed
+// through eligible() each select iteration — not just the winner — because
+// eligible() carries per-cycle side effects (security block events,
+// store-set stall accounting) that the full-queue scan used to apply; this
+// keeps Result values byte-identical to the pre-ready-list implementation.
 func (c *CPU) issueStage() {
 	issued := 0
 	var violation *uop // oldest memory-order-violating load this cycle
 
 	for issued < c.cfg.IssueWidth {
 		var best *uop
-		for _, u := range c.iq {
-			if u == nil || u.triedCycle == c.cycle {
+		for _, u := range c.readyList {
+			if u.triedCycle == c.cycle {
 				continue
 			}
-			if !c.eligible(u) {
-				continue
-			}
-			if best == nil || u.seq < best.seq {
-				best = u
+			if c.eligible(u) && best == nil {
+				best = u // list is seq-sorted: first eligible is oldest
 			}
 		}
 		if best == nil {
@@ -69,6 +72,11 @@ func (c *CPU) issueStage() {
 		if best.iqIdx == -1 {
 			issued++ // accepted (slot released)
 		}
+	}
+
+	c.stats.Stages.IssuedUops += uint64(issued)
+	if issued == 0 && c.iqCount > 0 {
+		c.stats.Stages.IssueIdleCycles++
 	}
 
 	if violation != nil {
@@ -102,12 +110,9 @@ func (c *CPU) eligible(u *uop) bool {
 	if u.inst.Op.IsLoad() && c.loadMustWait(u) {
 		return false
 	}
-	if c.sec.SSBD && u.inst.Op.IsLoad() {
-		for _, st := range c.stq {
-			if st != nil && st.seq < u.seq && !st.addrReady {
-				return false // SSBD: no speculative store bypass at all
-			}
-		}
+	if c.sec.SSBD && u.inst.Op.IsLoad() &&
+		c.unresolvedStoreSeq != 0 && c.unresolvedStoreSeq < u.seq {
+		return false // SSBD: no speculative store bypass at all
 	}
 	if c.secmat != nil && u.class() == core.ClassMem {
 		if u.blockedSec {
@@ -207,8 +212,10 @@ func (c *CPU) acceptIssue(u *uop, lat int, extra int) {
 		c.secmat.OnIssue(u.iqIdx)
 	}
 	if u.iqIdx >= 0 {
+		c.readyRemove(u)
 		c.iq[u.iqIdx] = nil
 		u.iqIdx = -1
+		c.iqCount--
 	}
 	u.issued = true
 	c.traceEvent("ISSUE", u)
@@ -397,6 +404,7 @@ func (c *CPU) claimMSHR(u *uop, level mem.Level) {
 func (c *CPU) issueStore(u *uop, base uint64) *uop {
 	u.memAddr = base + uint64(int64(u.inst.Imm))
 	u.addrReady = true
+	c.noteStoreResolved(u)
 	if c.srcReady(u.psrc2) {
 		u.result = c.srcVal(u.psrc2)
 		u.dataReady = true
@@ -448,7 +456,7 @@ func (c *CPU) writebackStage() {
 		}
 		c.awaitingData = rest
 	}
-	var done []*uop
+	done := c.wbScratch[:0]
 	rest := c.inflight[:0]
 	for _, pe := range c.inflight {
 		if pe.u.squashed {
@@ -461,7 +469,19 @@ func (c *CPU) writebackStage() {
 		}
 	}
 	c.inflight = rest
-	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
+	c.wbScratch = done
+	// Insertion sort by seq (unique): completions resolve oldest-first.
+	// Replaces sort.Slice, whose closure allocates on every cycle; the done
+	// set is small (bounded by what completes in one cycle).
+	for i := 1; i < len(done); i++ {
+		u := done[i]
+		j := i - 1
+		for j >= 0 && done[j].seq > u.seq {
+			done[j+1] = done[j]
+			j--
+		}
+		done[j+1] = u
+	}
 
 	for _, u := range done {
 		if u.squashed { // squashed by an older uop's resolution this cycle
@@ -470,6 +490,7 @@ func (c *CPU) writebackStage() {
 		if u.pdst >= 0 {
 			c.physVal[u.pdst] = u.result
 			c.physReady[u.pdst] = true
+			c.wake(u.pdst)
 		}
 		if u.inst.Op.IsStore() && !u.dataReady {
 			// Address part done; the store completes when data arrives.
@@ -523,7 +544,9 @@ func (c *CPU) resolveBranch(u *uop) {
 // fetch to redirectPC. cp, when non-nil, restores predictor state (branch
 // mispredictions; memory-order violations skip it).
 func (c *CPU) squashFrom(fromSeq uint64, redirectPC uint64, cp *branch.Checkpoint) {
-	c.trace("%8d SQUASH   from seq=%d, redirect pc=%#x\n", c.cycle, fromSeq, redirectPC)
+	if c.tracer != nil {
+		c.trace("%8d SQUASH   from seq=%d, redirect pc=%#x\n", c.cycle, fromSeq, redirectPC)
+	}
 	c.stats.Squashes++
 	for c.robCount > 0 {
 		u := c.robAt(c.robCount - 1)
@@ -539,8 +562,10 @@ func (c *CPU) squashFrom(fromSeq uint64, redirectPC uint64, cp *branch.Checkpoin
 			if c.secmat != nil {
 				c.secmat.OnSquash(u.iqIdx)
 			}
+			c.readyRemove(u)
 			c.iq[u.iqIdx] = nil
 			u.iqIdx = -1
+			c.iqCount--
 		}
 		if u.ldqIdx >= 0 {
 			c.ldq[u.ldqIdx] = nil
@@ -552,10 +577,17 @@ func (c *CPU) squashFrom(fromSeq uint64, redirectPC uint64, cp *branch.Checkpoin
 			c.tpbuf.Free(c.cfg.LDQ + u.stqIdx)
 			u.stqIdx = -1
 		}
+		c.rob[(c.robHead+c.robCount-1)%len(c.rob)] = nil
 		c.robCount--
+		// Back to the pool. Any stale wakeup registrations it leaves on
+		// regWaiters are neutralized by the wait1/wait2 match in wake()
+		// and truncated when the register is re-allocated; its `squashed`
+		// flag stays readable for same-cycle stage logic until recycled.
+		c.freeUop(u)
 	}
-	// Drop squashed in-flight work and the entire fetch queue (everything
-	// in it is younger than anything in the ROB).
+	// Drop squashed in-flight work, parked stores awaiting data, and the
+	// entire fetch queue (everything in it is younger than anything in
+	// the ROB).
 	rest := c.inflight[:0]
 	for _, pe := range c.inflight {
 		if !pe.u.squashed {
@@ -568,7 +600,20 @@ func (c *CPU) squashFrom(fromSeq uint64, redirectPC uint64, cp *branch.Checkpoin
 		}
 	}
 	c.inflight = rest
-	c.fetchQ = c.fetchQ[:0]
+	if len(c.awaitingData) > 0 {
+		keep := c.awaitingData[:0]
+		for _, st := range c.awaitingData {
+			if !st.squashed {
+				keep = append(keep, st)
+			}
+		}
+		for i := len(keep); i < len(c.awaitingData); i++ {
+			c.awaitingData[i] = nil
+		}
+		c.awaitingData = keep
+	}
+	c.fqFlush()
+	c.noteSquashWatermark(fromSeq)
 	if cp != nil {
 		c.bp.Restore(*cp)
 	}
@@ -643,9 +688,13 @@ func (c *CPU) commitStage() {
 			c.tpbuf.Free(c.cfg.LDQ + u.stqIdx)
 		}
 		c.traceEvent("COMMIT", u)
+		c.rob[c.robHead] = nil
 		c.robHead = (c.robHead + 1) % len(c.rob)
 		c.robCount--
 		c.stats.Committed++
+		// Retired: recycle. No structure references u past this point
+		// (LSQ slots and TPBuf entries were released above).
+		c.freeUop(u)
 		if op == isa.OpHalt {
 			c.halted = true
 			return

@@ -78,6 +78,13 @@ type uop struct {
 	// so the zero value never matches a live cycle).
 	triedCycle uint64
 
+	// Wakeup state (see ready.go). wait1/wait2 name the physical registers
+	// this issue-queue entry is registered on (-1 = none); waitCnt is how
+	// many are still pending; inReady marks ready-list membership.
+	wait1, wait2 int
+	waitCnt      int
+	inReady      bool
+
 	// Branch state.
 	isBranch   bool
 	predTaken  bool
@@ -141,6 +148,24 @@ type Result struct {
 	// DTLBFilterBlocks counts suspect accesses blocked by the DTLB-hit
 	// filter before their page walk (zero unless DTLBFilter is enabled).
 	DTLBFilterBlocks uint64
+
+	// Stages is the per-stage cycle-accounting counter set.
+	Stages StageStats
+}
+
+// StageStats is a per-stage cycle-accounting counter set: occupancy
+// integrals (divide by Cycles for an average) plus activity counts that
+// show where cycles go without attaching a tracer. Occupancies are sampled
+// at the end of each simulated cycle.
+type StageStats struct {
+	FetchQOccupancy uint64 // Σ fetch-queue entries per cycle
+	IQOccupancy     uint64 // Σ occupied issue-queue slots per cycle
+	ReadyOccupancy  uint64 // Σ ready-list (data-ready IQ) entries per cycle
+	ROBOccupancy    uint64 // Σ occupied ROB entries per cycle
+	ExecInflight    uint64 // Σ in-flight executions per cycle
+	IssuedUops      uint64 // accepted issues
+	IssueIdleCycles uint64 // cycles with a non-empty IQ and no accepted issue
+	CommitStalls    uint64 // cycles with a non-empty ROB and no commit
 }
 
 // IPC returns committed instructions per cycle.
@@ -164,11 +189,13 @@ type CPU struct {
 	cycle uint64
 	seq   uint64
 
-	// Fetch.
+	// Fetch. fetchQ is a fixed-capacity ring buffer (fqHead = oldest entry,
+	// fqLen = occupancy) so steady-state fetch/dispatch never reallocates.
 	fetchPC         uint64
 	fetchHalted     bool
 	fetchStallUntil uint64
 	fetchQ          []*uop
+	fqHead, fqLen   int
 	fetchQCap       int
 
 	// Rename.
@@ -182,8 +209,13 @@ type CPU struct {
 	robHead  int
 	robCount int
 
-	// Issue queue: fixed slots, nil = free.
-	iq []*uop
+	// Issue queue: fixed slots, nil = free. iqCount tracks occupancy;
+	// readyList holds the data-ready entries sorted by seq (see ready.go);
+	// regWaiters[p] lists entries waiting on physical register p.
+	iq         []*uop
+	iqCount    int
+	readyList  []*uop
+	regWaiters [][]*uop
 
 	// Load/store queues: fixed slots, nil = free. TPBuf entry i maps to
 	// LDQ slot i; entry LDQ+j maps to STQ slot j.
@@ -200,6 +232,18 @@ type CPU struct {
 
 	// Active FENCE tracking: the oldest uncommitted fence's seq (0 = none).
 	fenceSeq uint64
+
+	// SSBD watermark: seq of the oldest STQ entry with an unresolved
+	// address (0 = all resolved). Maintained in ready.go; replaces the
+	// per-eligibility-check STQ scan.
+	unresolvedStoreSeq uint64
+
+	// Steady-state allocation elision: retired/squashed uops are pooled
+	// and recycled at fetch; wbScratch is the writeback stage's completed
+	// list; esScratch backs iqSnapshot.
+	uopPool   []*uop
+	wbScratch []*uop
+	esScratch []core.EntryState
 
 	// Optional Store Sets memory-dependence predictor (ablation).
 	storeSets *storeSets
@@ -230,18 +274,27 @@ func New(cfg config.Core, sec SecurityConfig, hier *mem.Hierarchy) *CPU {
 		panic(fmt.Sprintf("pipeline: %d physical registers cannot cover %d arch + %d ROB",
 			cfg.PhysRegs, isa.NumRegs, cfg.ROB))
 	}
+	fetchQCap := cfg.FetchWidth * (cfg.FrontendDepth + 2)
 	c := &CPU{
-		cfg:       cfg,
-		sec:       sec,
-		hier:      hier,
-		bp:        branch.New(cfg.Predictor),
-		physVal:   make([]uint64, cfg.PhysRegs),
-		physReady: make([]bool, cfg.PhysRegs),
-		rob:       make([]*uop, cfg.ROB),
-		iq:        make([]*uop, cfg.IQ),
-		ldq:       make([]*uop, cfg.LDQ),
-		stq:       make([]*uop, cfg.STQ),
-		fetchQCap: cfg.FetchWidth * (cfg.FrontendDepth + 2),
+		cfg:        cfg,
+		sec:        sec,
+		hier:       hier,
+		bp:         branch.New(cfg.Predictor),
+		physVal:    make([]uint64, cfg.PhysRegs),
+		physReady:  make([]bool, cfg.PhysRegs),
+		freeList:   make([]int, 0, cfg.PhysRegs),
+		rob:        make([]*uop, cfg.ROB),
+		iq:         make([]*uop, cfg.IQ),
+		ldq:        make([]*uop, cfg.LDQ),
+		stq:        make([]*uop, cfg.STQ),
+		fetchQ:     make([]*uop, fetchQCap),
+		fetchQCap:  fetchQCap,
+		readyList:  make([]*uop, 0, cfg.IQ),
+		regWaiters: make([][]*uop, cfg.PhysRegs),
+		esScratch:  make([]core.EntryState, cfg.IQ),
+		inflight:     make([]pendingExec, 0, cfg.ROB),
+		wbScratch:    make([]*uop, 0, cfg.ROB),
+		awaitingData: make([]*uop, 0, cfg.STQ),
 	}
 	if sec.Mechanism.TracksDependence() {
 		c.secmat = core.NewSecMatrix(cfg.IQ, sec.Scope)
@@ -374,9 +427,13 @@ func (c *CPU) step() {
 	for i := range c.fuUsed {
 		c.fuUsed[i] = 0
 	}
+	committedBefore := c.stats.Committed
 	c.commitStage()
 	if c.halted {
 		return
+	}
+	if c.robCount > 0 && c.stats.Committed == committedBefore {
+		c.stats.Stages.CommitStalls++
 	}
 	c.writebackStage()
 	c.issueStage()
@@ -385,6 +442,12 @@ func (c *CPU) step() {
 	if c.secmat != nil {
 		c.secmat.ClockEdge()
 	}
+	st := &c.stats.Stages
+	st.FetchQOccupancy += uint64(c.fqLen)
+	st.IQOccupancy += uint64(c.iqCount)
+	st.ReadyOccupancy += uint64(len(c.readyList))
+	st.ROBOccupancy += uint64(c.robCount)
+	st.ExecInflight += uint64(len(c.inflight))
 }
 
 // robAt returns the uop at ROB position (head+i)%size.

@@ -16,7 +16,7 @@ func (c *CPU) fetchStage() {
 		return
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.fetchQ) >= c.fetchQCap {
+		if c.fqLen >= c.fetchQCap {
 			return
 		}
 		pc := c.fetchPC
@@ -44,12 +44,16 @@ func (c *CPU) fetchStage() {
 		}
 
 		c.seq++
-		u := &uop{
+		u := c.allocUop()
+		// Whole-struct assignment both resets a recycled uop and
+		// initializes a fresh one.
+		*u = uop{
 			seq:   c.seq,
 			pc:    pc,
 			inst:  in,
 			iqIdx: -1, ldqIdx: -1, stqIdx: -1,
 			pdst: -1, psrc1: -1, psrc2: -1, oldPdst: -1,
+			wait1: -1, wait2: -1,
 			readyAt: c.cycle + uint64(c.cfg.FrontendDepth),
 		}
 
@@ -57,7 +61,7 @@ func (c *CPU) fetchStage() {
 		endGroup := false
 		switch {
 		case in.Op == isa.OpHalt:
-			c.fetchQ = append(c.fetchQ, u)
+			c.fqPush(u)
 			c.fetchHalted = true
 			return
 		case in.Op == isa.OpJal:
@@ -104,7 +108,7 @@ func (c *CPU) fetchStage() {
 		}
 
 		c.traceEvent("FETCH", u)
-		c.fetchQ = append(c.fetchQ, u)
+		c.fqPush(u)
 		c.fetchPC = next
 		if endGroup {
 			return // taken control flow ends the fetch group
@@ -117,10 +121,10 @@ func (c *CPU) fetchStage() {
 // matrix row for memory instructions.
 func (c *CPU) dispatchStage() {
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.fetchQ) == 0 {
+		if c.fqLen == 0 {
 			return
 		}
-		u := c.fetchQ[0]
+		u := c.fetchQ[c.fqHead]
 		if u.readyAt > c.cycle || c.robFull() {
 			return
 		}
@@ -152,7 +156,7 @@ func (c *CPU) dispatchStage() {
 		}
 
 		// All resources available: commit to dispatching this uop.
-		c.fetchQ = c.fetchQ[1:]
+		c.fqPop()
 		if useRs1 {
 			u.psrc1 = c.renameMap[u.inst.Rs1]
 		}
@@ -166,6 +170,10 @@ func (c *CPU) dispatchStage() {
 			c.freeList = c.freeList[:len(c.freeList)-1]
 			u.pdst = p
 			c.physReady[p] = false
+			// Drop wakeup registrations left on p by a squashed former
+			// writer: a register can only gain waiters again once it is
+			// re-allocated as a destination, which is exactly now.
+			c.truncWaiters(p)
 			c.renameMap[u.inst.Rd] = p
 		}
 
@@ -189,9 +197,11 @@ func (c *CPU) dispatchStage() {
 		if iqSlot >= 0 {
 			c.iq[iqSlot] = u
 			u.iqIdx = iqSlot
+			c.iqCount++
 			if c.secmat != nil {
 				c.secmat.OnDispatch(iqSlot, u.class(), c.iqSnapshot(iqSlot))
 			}
+			c.linkWakeups(u)
 		}
 		if ldqSlot >= 0 {
 			c.ldq[ldqSlot] = u
@@ -202,6 +212,7 @@ func (c *CPU) dispatchStage() {
 			c.stq[stqSlot] = u
 			u.stqIdx = stqSlot
 			c.tpbuf.Allocate(c.cfg.LDQ + stqSlot)
+			c.noteStoreDispatched(u)
 		}
 	}
 }
@@ -227,10 +238,13 @@ func freeSlot(q []*uop) int {
 // iqSnapshot builds the EntryState view the security matrix formula
 // consumes at dispatch. Occupied slots are valid and (in this core) always
 // unissued: entries leave the queue the moment they successfully issue.
+// The backing array is a scratch slice on the CPU (SecMatrix.OnDispatch
+// consumes it synchronously and does not retain it).
 func (c *CPU) iqSnapshot(exclude int) []core.EntryState {
-	es := make([]core.EntryState, len(c.iq))
+	es := c.esScratch
 	for i, u := range c.iq {
 		if u == nil || i == exclude {
+			es[i] = core.EntryState{}
 			continue
 		}
 		es[i] = core.EntryState{Valid: true, Issued: false, Class: u.class()}

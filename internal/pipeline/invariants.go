@@ -97,5 +97,65 @@ func (c *CPU) CheckInvariants() error {
 	if c.outstandingMisses < 0 {
 		return fmt.Errorf("negative outstanding misses: %d", c.outstandingMisses)
 	}
+
+	// Issue-queue occupancy counter.
+	occ := 0
+	for _, u := range c.iq {
+		if u != nil {
+			occ++
+		}
+	}
+	if occ != c.iqCount {
+		return fmt.Errorf("iqCount=%d but %d occupied slots", c.iqCount, occ)
+	}
+
+	// Ready list: sorted by seq, marked, and exactly the issue-queue
+	// entries whose issue operands are ready (waitCnt == 0).
+	for i, u := range c.readyList {
+		if i > 0 && c.readyList[i-1].seq >= u.seq {
+			return fmt.Errorf("readyList not seq-sorted at %d", i)
+		}
+		if !u.inReady {
+			return fmt.Errorf("readyList[%d] (seq %d) not marked inReady", i, u.seq)
+		}
+		if u.iqIdx < 0 || c.iq[u.iqIdx] != u {
+			return fmt.Errorf("readyList[%d] (seq %d) not a live IQ entry", i, u.seq)
+		}
+		if u.waitCnt != 0 {
+			return fmt.Errorf("readyList[%d] (seq %d) has waitCnt=%d", i, u.seq, u.waitCnt)
+		}
+	}
+	for _, u := range c.iq {
+		if u == nil {
+			continue
+		}
+		ready := c.srcReady(u.psrc1) &&
+			((!c.cfg.FusedStores && u.inst.Op.IsStore()) || c.srcReady(u.psrc2))
+		if ready && !u.inReady {
+			return fmt.Errorf("IQ seq %d is data-ready but not on the ready list", u.seq)
+		}
+		if !ready && u.inReady {
+			return fmt.Errorf("IQ seq %d is on the ready list but not data-ready", u.seq)
+		}
+		if u.waitCnt < 0 || u.waitCnt > 2 {
+			return fmt.Errorf("IQ seq %d has waitCnt=%d", u.seq, u.waitCnt)
+		}
+	}
+
+	// SSBD watermark: oldest unresolved STQ address, or 0.
+	want := uint64(0)
+	for _, st := range c.stq {
+		if st != nil && !st.addrReady && (want == 0 || st.seq < want) {
+			want = st.seq
+		}
+	}
+	if c.unresolvedStoreSeq != want {
+		return fmt.Errorf("unresolvedStoreSeq=%d, expected %d", c.unresolvedStoreSeq, want)
+	}
+
+	// Fetch ring bounds.
+	if c.fqLen < 0 || c.fqLen > c.fetchQCap || c.fqHead < 0 || c.fqHead >= c.fetchQCap {
+		return fmt.Errorf("fetch ring out of bounds: head=%d len=%d cap=%d", c.fqHead, c.fqLen, c.fetchQCap)
+	}
 	return nil
 }

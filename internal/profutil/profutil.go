@@ -1,0 +1,95 @@
+// Package profutil wires the standard Go observability hooks
+// (-cpuprofile/-memprofile/-trace) into the CLIs, so perf regressions in
+// the cycle loop can be attributed with `go tool pprof` / `go tool trace`
+// instead of guesswork.
+package profutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the registered profiling flag values.
+type Flags struct {
+	CPUProfile *string
+	MemProfile *string
+	Trace      *string
+}
+
+// Register adds -cpuprofile, -memprofile and -trace to the default flag set.
+// Call before flag.Parse.
+func Register() *Flags {
+	return &Flags{
+		CPUProfile: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		MemProfile: flag.String("memprofile", "", "write an allocation profile to this file on exit"),
+		Trace:      flag.String("trace", "", "write a runtime execution trace to this file"),
+	}
+}
+
+// Start begins CPU profiling and tracing as requested. It returns a stop
+// function that must run before process exit (defer it in main); the stop
+// function also writes the memory profile, after a final GC so the numbers
+// reflect live steady-state heap rather than collectable garbage.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuF, traceF *os.File
+	if *f.CPUProfile != "" {
+		cpuF, err = os.Create(*f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if *f.Trace != "" {
+		traceF, err = os.Create(*f.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+		if *f.MemProfile != "" {
+			mf, err := os.Create(*f.MemProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}
+
+// CapProcs lowers GOMAXPROCS to workers when 0 < workers < current, so a
+// `-workers 1 -cpuprofile` run is genuinely single-threaded and every
+// sample attributes to the one simulation goroutine. It returns the
+// effective worker count (the Runner default should use GOMAXPROCS, not
+// NumCPU, so the two stay consistent).
+func CapProcs(workers int) int {
+	procs := runtime.GOMAXPROCS(0)
+	if workers <= 0 || workers >= procs {
+		return workers
+	}
+	runtime.GOMAXPROCS(workers)
+	return workers
+}
