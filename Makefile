@@ -1,8 +1,9 @@
 # conspec build/verify targets.
 #
-#   make tier1          — the PR gate: build, vet, full test suite, the race
-#                         detector over the experiment engine's worker pool,
-#                         and a one-iteration BenchmarkFig5 smoke run.
+#   make tier1          — the PR gate: build, lint (gofmt + vet), full test
+#                         suite, the race detector over the experiment
+#                         engine's worker pool and the obs sinks, and a
+#                         one-iteration BenchmarkFig5 smoke run.
 #   make bench-snapshot — run the tracked benchmark set and write
 #                         BENCH_<sha>.json via cmd/conspec-benchstat.
 #   make bench-compare  — diff the two most recent BENCH_*.json snapshots.
@@ -13,7 +14,7 @@ GO ?= go
 # the end-to-end Figure 5 evaluation plus the per-component microbenches.
 TRACKED_BENCHES = ^(BenchmarkFig5|BenchmarkSimulatorThroughput|BenchmarkSecMatrixDispatch|BenchmarkSecMatrixHazardCheck|BenchmarkTPBufQuery|BenchmarkCacheAccess)$$
 
-.PHONY: all build vet test race benchsmoke tier1 bench bench-snapshot bench-compare
+.PHONY: all build fmt vet lint test race benchsmoke tier1 bench bench-snapshot bench-compare
 
 all: tier1
 
@@ -23,20 +24,28 @@ build:
 vet:
 	$(GO) vet ./...
 
+# fmt fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+	    echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+lint: fmt vet
+
 test:
 	$(GO) test ./...
 
 # The engine schedules simulations on a bounded worker pool with a shared
-# memo cache; run it under the race detector on every PR.
+# memo cache, and the obs sinks/registry sit on the hot cycle loop; run
+# both under the race detector on every PR.
 race:
-	$(GO) test -race ./internal/exp
+	$(GO) test -race ./internal/exp ./internal/obs
 
 # One iteration of the Figure 5 evaluation: catches benchmark-harness rot
 # (renamed suites, broken specs) without paying for a full measurement.
 benchsmoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig5$$' -benchtime 1x .
 
-tier1: build vet test race benchsmoke
+tier1: build lint test race benchsmoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -19,9 +19,11 @@ import (
 	"strings"
 
 	"conspec/internal/asm"
+	"conspec/internal/buildinfo"
 	"conspec/internal/config"
 	"conspec/internal/core"
 	"conspec/internal/isa"
+	"conspec/internal/obs"
 	"conspec/internal/pipeline"
 )
 
@@ -33,9 +35,15 @@ func main() {
 		mech      = flag.String("mech", "origin", "origin|baseline|cachehit|tpbuf|invisispec")
 		maxCycles = flag.Uint64("maxcycles", 10_000_000, "cycle budget")
 		trace     = flag.Bool("trace", false, "print a pipeline event trace")
+		pipeview  = flag.String("pipeview", "", "write an O3PipeView trace (Konata-compatible) to FILE")
 		golden    = flag.Bool("golden", false, "cross-check against the reference interpreter")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Short("conspec-asm"))
+		return
+	}
 
 	path := *runFile
 	if path == "" {
@@ -86,8 +94,19 @@ func main() {
 	if *trace {
 		cpu.AttachTracer(os.Stderr)
 	}
+	if *pipeview != "" {
+		f, err := os.Create(*pipeview)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cpu.AttachSink(obs.NewPipeViewSink(f))
+	}
 	cpu.SetPC(prog.Base)
 	res := cpu.Run(*maxCycles)
+	if err := cpu.FlushSinks(); err != nil {
+		fatal(err)
+	}
 
 	if !cpu.Halted() {
 		fmt.Fprintf(os.Stderr, "warning: no HALT within %d cycles\n", *maxCycles)

@@ -23,10 +23,12 @@ import (
 	"syscall"
 
 	"conspec/internal/attack"
+	"conspec/internal/buildinfo"
 	"conspec/internal/config"
 	"conspec/internal/core"
 	"conspec/internal/exp"
 	"conspec/internal/mem"
+	"conspec/internal/obs"
 	"conspec/internal/pipeline"
 )
 
@@ -39,8 +41,14 @@ func main() {
 		lru       = flag.Bool("lru", false, "run the §VII.A LRU side channel across update policies")
 		crossCore = flag.Bool("crosscore", false, "run the two-core, two-program attack (victim per mechanism)")
 		tlb       = flag.Bool("tlb", false, "run the DTLB-refill side channel and its filter extension")
+		pipeview  = flag.String("pipeview", "", "write an O3PipeView trace (Konata-compatible) of a -scenario run to FILE (requires -mech)")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Short("conspec-attack"))
+		return
+	}
 
 	// SIGINT cancels the run: whatever outcomes completed are already
 	// printed, and the process exits non-zero.
@@ -163,9 +171,23 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *pipeview != "" && len(mechs) != 1 {
+		fmt.Fprintln(os.Stderr, "-pipeview traces one run: pick a mechanism with -mech")
+		os.Exit(2)
+	}
 	for _, m := range mechs {
 		checkCancelled()
-		o := h.Run(cfg, pipeline.SecurityConfig{Mechanism: m})
+		setup := func(*pipeline.CPU) {}
+		if *pipeview != "" {
+			f, err := os.Create(*pipeview)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			setup = func(c *pipeline.CPU) { c.AttachSink(obs.NewPipeViewSink(f)) }
+		}
+		o := h.RunWith(cfg, pipeline.SecurityConfig{Mechanism: m}, setup)
 		fmt.Println(o)
 		fmt.Printf("    secret %x, recovered %x (%d cycles)\n", o.Secret, o.Recovered, o.Cycles)
 	}

@@ -6,8 +6,10 @@ import (
 	"os"
 
 	"conspec/internal/attack"
+	"conspec/internal/buildinfo"
 	"conspec/internal/core"
 	"conspec/internal/exp"
+	"conspec/internal/obs"
 	"conspec/internal/workload"
 )
 
@@ -105,20 +107,31 @@ type jsonCompare struct {
 	Average jsonCompareRow   `json:"average"`
 }
 
+// jsonSeriesEntry is one run's sampled metric time series (fig5/table5 runs
+// with -metrics-interval only).
+type jsonSeriesEntry struct {
+	Benchmark string      `json:"benchmark"`
+	Mechanism string      `json:"mechanism"`
+	Series    *obs.Series `json:"series"`
+}
+
 // jsonReport aggregates whatever suites ran. The fig5/table5/table4 fields
 // keep their original names and positions so single-suite JSON output is
-// unchanged; the remaining suites follow in -suite all order.
+// unchanged; the remaining suites follow in -suite all order. Build stamps
+// the producing binary into every document.
 type jsonReport struct {
-	Fig5     []jsonFig5Row    `json:"fig5,omitempty"`
-	Table5   []jsonTable5Row  `json:"table5,omitempty"`
-	Table4   []jsonAttackRow  `json:"table4,omitempty"`
-	Table6   []jsonTable6Core `json:"table6,omitempty"`
-	Scope    *jsonScope       `json:"scope,omitempty"`
-	LRU      *jsonLRU         `json:"lru,omitempty"`
-	ICache   *jsonICache      `json:"icache,omitempty"`
-	DTLB     *jsonDTLB        `json:"dtlb,omitempty"`
-	Compare  *jsonCompare     `json:"compare,omitempty"`
-	Overhead string           `json:"overhead_text,omitempty"`
+	Build    buildinfo.Info    `json:"build"`
+	Fig5     []jsonFig5Row     `json:"fig5,omitempty"`
+	Table5   []jsonTable5Row   `json:"table5,omitempty"`
+	Table4   []jsonAttackRow   `json:"table4,omitempty"`
+	Table6   []jsonTable6Core  `json:"table6,omitempty"`
+	Scope    *jsonScope        `json:"scope,omitempty"`
+	LRU      *jsonLRU          `json:"lru,omitempty"`
+	ICache   *jsonICache       `json:"icache,omitempty"`
+	DTLB     *jsonDTLB         `json:"dtlb,omitempty"`
+	Compare  *jsonCompare      `json:"compare,omitempty"`
+	Overhead string            `json:"overhead_text,omitempty"`
+	Series   []jsonSeriesEntry `json:"series,omitempty"`
 }
 
 func fig5JSON(ev *exp.Evaluation) []jsonFig5Row {
@@ -148,6 +161,21 @@ func table5JSON(ev *exp.Evaluation) []jsonTable5Row {
 		})
 	}
 	return rows
+}
+
+// seriesJSON collects the per-run metric time series out of an evaluation,
+// in benchmark then mechanism order. Empty unless the runs were executed
+// with a non-zero MetricsInterval.
+func seriesJSON(ev *exp.Evaluation) []jsonSeriesEntry {
+	var out []jsonSeriesEntry
+	for _, b := range ev.Benches {
+		for _, m := range core.Mechanisms {
+			if s := b.Results[m].Series; s != nil {
+				out = append(out, jsonSeriesEntry{Benchmark: b.Name, Mechanism: m.String(), Series: s})
+			}
+		}
+	}
+	return out
 }
 
 func table4JSON(outcomes []attack.Outcome) []jsonAttackRow {

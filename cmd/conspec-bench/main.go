@@ -34,22 +34,29 @@ import (
 	"syscall"
 	"time"
 
+	"conspec/internal/buildinfo"
 	"conspec/internal/exp"
 	"conspec/internal/profutil"
 )
 
 func main() {
 	var (
-		suite   = flag.String("suite", "all", "fig5|table4|table5|table6|scope|lru|icache|dtlb|compare|overhead|all")
-		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all 22)")
-		warmup  = flag.Uint64("warmup", 20_000, "warmup instructions per run")
-		measure = flag.Uint64("measure", 120_000, "measured instructions per run")
-		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS); values below GOMAXPROCS also cap GOMAXPROCS so -workers 1 -cpuprofile profiles a single attributable thread")
-		verbose = flag.Bool("v", false, "print per-run progress")
-		asJSON  = flag.Bool("json", false, "emit results as JSON instead of text")
+		suite    = flag.String("suite", "all", "fig5|table4|table5|table6|scope|lru|icache|dtlb|compare|overhead|all")
+		benches  = flag.String("benches", "", "comma-separated benchmark subset (default: all 22)")
+		warmup   = flag.Uint64("warmup", 20_000, "warmup instructions per run")
+		measure  = flag.Uint64("measure", 120_000, "measured instructions per run")
+		interval = flag.Uint64("metrics-interval", 0, "sample the obs metric registry every N cycles of the measured phase; the -json fig5/table5 output then carries the per-run time series (0 = off)")
+		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS); values below GOMAXPROCS also cap GOMAXPROCS so -workers 1 -cpuprofile profiles a single attributable thread")
+		verbose  = flag.Bool("v", false, "print per-run progress")
+		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	prof := profutil.Register()
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Short("conspec-bench"))
+		return
+	}
 	profStop, err := prof.Start()
 	if err != nil {
 		fatal(err)
@@ -64,6 +71,7 @@ func main() {
 	spec := exp.DefaultSpec()
 	spec.Warmup = *warmup
 	spec.Measure = *measure
+	spec.MetricsInterval = *interval
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -83,6 +91,7 @@ func main() {
 	start := time.Now()
 
 	var report jsonReport
+	report.Build = buildinfo.Get()
 	// fail flushes whatever completed and exits. On SIGINT the JSON
 	// document holds every suite that finished before cancellation.
 	fail := func(err error) {
@@ -107,6 +116,7 @@ func main() {
 		if *asJSON {
 			report.Fig5 = fig5JSON(ev)
 			report.Table5 = table5JSON(ev)
+			report.Series = seriesJSON(ev)
 		} else {
 			fmt.Println("=== Figure 5: runtime normalized to Origin ===")
 			fmt.Println(ev.Fig5Text())

@@ -31,6 +31,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"conspec/internal/buildinfo"
 )
 
 // Benchmark is one parsed result line: the name with the -<procs>
@@ -41,11 +43,15 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Snapshot is the committed document: where it was measured and what.
+// Snapshot is the committed document: where it was measured and what. SHA
+// is the caller-supplied measurement commit; Build records the benchstat
+// binary's own embedded build identity (empty fields when built without a
+// VCS stamp).
 type Snapshot struct {
-	SHA        string      `json:"sha,omitempty"`
-	GoVersion  string      `json:"go_version"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	SHA        string         `json:"sha,omitempty"`
+	GoVersion  string         `json:"go_version"`
+	Build      buildinfo.Info `json:"build,omitempty"`
+	Benchmarks []Benchmark    `json:"benchmarks"`
 }
 
 func main() {
@@ -54,8 +60,13 @@ func main() {
 		compare  = flag.Bool("compare", false, "diff two snapshot files: -compare old.json new.json")
 		sha      = flag.String("sha", "", "git sha to record in the snapshot")
 		out      = flag.String("out", "", "snapshot output file (default stdout)")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Short("conspec-benchstat"))
+		return
+	}
 
 	switch {
 	case *snapshot:
@@ -119,7 +130,7 @@ func parseBench(line string) (Benchmark, bool) {
 }
 
 func runSnapshot(sha, out string) error {
-	snap := Snapshot{SHA: sha, GoVersion: runtime.Version()}
+	snap := Snapshot{SHA: sha, GoVersion: runtime.Version(), Build: buildinfo.Get()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {

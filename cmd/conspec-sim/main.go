@@ -13,13 +13,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"conspec/internal/buildinfo"
 	"conspec/internal/config"
 	"conspec/internal/core"
 	"conspec/internal/exp"
 	"conspec/internal/mem"
+	"conspec/internal/obs"
 	"conspec/internal/pipeline"
 	"conspec/internal/profutil"
 	"conspec/internal/workload"
@@ -79,9 +82,19 @@ func main() {
 		warmup  = flag.Uint64("warmup", 20_000, "warmup instructions")
 		measure = flag.Uint64("measure", 120_000, "measured instructions")
 		stages  = flag.Bool("stages", false, "print per-stage cycle-accounting counters")
+
+		traceF   = flag.String("trace", "", "write a text pipeline event trace to FILE ('-' = stderr)")
+		pipeview = flag.String("pipeview", "", "write an O3PipeView trace (Konata-compatible) to FILE")
+		metricsF = flag.String("metrics", "", "write the sampled metric time series to FILE (.csv = CSV, otherwise JSONL)")
+		interval = flag.Uint64("metrics-interval", 1000, "metric sampling interval in cycles (with -metrics)")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	pflags := profutil.Register()
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Short("conspec-sim"))
+		return
+	}
 	profStop, err := pflags.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -134,7 +147,53 @@ func main() {
 		Warmup:    *warmup,
 		Measure:   *measure,
 	}
-	res := exp.RunWorkload(w, spec)
+	if *metricsF != "" {
+		spec.MetricsInterval = *interval
+	}
+
+	// Observability setup: sinks attach before warmup (a trace covers the
+	// whole run); the metric registry attaches after warmup inside
+	// RunWorkloadWith, so histograms cover exactly the measured phase.
+	var sim *pipeline.CPU
+	var closers []io.Closer
+	setup := func(c *pipeline.CPU) {
+		sim = c
+		if *traceF != "" {
+			tw, err := openOut(*traceF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			closers = append(closers, tw)
+			c.AttachTracer(tw)
+		}
+		if *pipeview != "" {
+			pw, err := openOut(*pipeview)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			closers = append(closers, pw)
+			c.AttachSink(obs.NewPipeViewSink(pw))
+		}
+	}
+	res := exp.RunWorkloadWith(w, spec, setup)
+	if err := sim.FlushSinks(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, cl := range closers {
+		if err := cl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsF != "" {
+		if err := writeSeries(*metricsF, res.Series); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("benchmark   : %s on %s\n", prof.Name, cfg.Name)
 	fmt.Printf("mechanism   : %v (scope %v, icache-filter %v, lru %v)\n", m, sc, *icache, pol)
@@ -162,6 +221,41 @@ func main() {
 	if *stages {
 		printStages(res)
 	}
+}
+
+// nopCloser wraps a writer the process must not close (stderr).
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+// openOut opens an output file for a trace ('-' = stderr, so traces can be
+// separated from the statistics report on stdout).
+func openOut(path string) (io.WriteCloser, error) {
+	if path == "-" {
+		return nopCloser{os.Stderr}, nil
+	}
+	return os.Create(path)
+}
+
+// writeSeries exports the sampled time series: CSV when the filename says
+// so, JSONL (with histogram trailer) otherwise.
+func writeSeries(path string, s *obs.Series) error {
+	if s == nil {
+		return fmt.Errorf("no metric series recorded (measured phase shorter than the sampling interval?)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = s.WriteCSV(f)
+	} else {
+		err = s.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // printStages renders the per-stage cycle-accounting counters: average

@@ -119,12 +119,24 @@ func (o Outcome) String() string {
 
 // Run executes the scenario on a fresh machine under the given mechanism.
 func (h *Harness) Run(cfg config.Core, sec pipeline.SecurityConfig) Outcome {
+	return h.RunWith(cfg, sec, nil)
+}
+
+// RunWith is Run with an observability hook: setup (if non-nil) receives
+// the freshly built CPU before the first cycle, so callers can attach
+// event sinks or a metric registry and watch the attack execute. Attached
+// sinks are flushed before the outcome is read.
+func (h *Harness) RunWith(cfg config.Core, sec pipeline.SecurityConfig,
+	setup func(*pipeline.CPU)) Outcome {
 	backing := isa.NewFlatMem()
 	h.Prog.Load(backing)
 	if h.seed != nil {
 		h.seed(backing)
 	}
 	cpu := pipeline.NewWithMemory(cfg, sec, backing)
+	if setup != nil {
+		setup(cpu)
+	}
 	for _, addr := range h.prewarm {
 		cpu.Hierarchy().AccessData(addr, false)
 	}
@@ -136,6 +148,9 @@ func (h *Harness) Run(cfg config.Core, sec pipeline.SecurityConfig) Outcome {
 	res := cpu.Run(maxCycles)
 	if !cpu.Halted() {
 		panic(fmt.Sprintf("attack %s: did not halt in %d cycles", h.Name, maxCycles))
+	}
+	if err := cpu.FlushSinks(); err != nil {
+		panic(fmt.Sprintf("attack %s: flushing sinks: %v", h.Name, err))
 	}
 
 	recovered := make([]byte, len(h.Secret))

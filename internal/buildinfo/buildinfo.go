@@ -1,0 +1,74 @@
+// Package buildinfo exposes the build metadata stamped into conspec
+// binaries: module version, VCS revision, and dirty-tree flag, read from
+// the Go build info the toolchain embeds automatically. Every CLI's
+// -version flag and every machine-readable output (conspec-bench -json,
+// benchmark snapshots) carries it, so a result file always identifies the
+// code that produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Module is the main module path (e.g. "conspec").
+	Module string `json:"module,omitempty"`
+	// Version is the main module version ("(devel)" for tree builds).
+	Version string `json:"version,omitempty"`
+	// Revision is the VCS commit hash, when the binary was built inside a
+	// checkout with a VCS stamp (empty under `go test` and plain `go run`).
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes in the stamped checkout.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Get reads the embedded build information. It never fails: binaries built
+// without VCS stamping simply yield empty Revision.
+func Get() Info {
+	info := Info{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// Short renders the one-line form the CLIs print for -version:
+//
+//	conspec-sim conspec (devel) rev 1a2b3c4d (dirty) go1.22.0
+func Short(tool string) string {
+	i := Get()
+	s := tool
+	if i.Module != "" {
+		s += " " + i.Module
+	}
+	if i.Version != "" {
+		s += " " + i.Version
+	}
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Dirty {
+			s += " (dirty)"
+		}
+	}
+	return fmt.Sprintf("%s %s", s, i.GoVersion)
+}

@@ -61,6 +61,7 @@ type TPBuf struct {
 	s       []bool
 	mask    [][]uint64 // mask[i] = bitvector of entries older than i
 	words   int
+	occ     int // population count of the A bits
 	Stats   TPBufStats
 }
 
@@ -114,6 +115,11 @@ func NewTPBuf(n int) *TPBuf {
 // Size returns the entry count.
 func (t *TPBuf) Size() int { return t.n }
 
+// Occupancy returns how many entries are currently allocated (the A-bit
+// population count). Since the buffer shadows the LSQ 1:1, this is also the
+// combined load/store queue occupancy — the obs layer samples it per cycle.
+func (t *TPBuf) Occupancy() int { return t.occ }
+
 func (t *TPBuf) checkIdx(i int) {
 	if i < 0 || i >= t.n {
 		panic(fmt.Sprintf("core: TPBuf index %d out of range [0,%d)", i, t.n))
@@ -141,6 +147,9 @@ func (t *TPBuf) Allocate(i int) {
 		if j != i {
 			t.mask[j][i/wordBits] &^= bit
 		}
+	}
+	if !t.a[i] {
+		t.occ++
 	}
 	t.a[i] = true
 	t.v[i] = false
@@ -176,6 +185,9 @@ func (t *TPBuf) SetWriteback(i int) {
 // Free releases entry i (commit or squash along with the LSQ).
 func (t *TPBuf) Free(i int) {
 	t.checkIdx(i)
+	if t.a[i] {
+		t.occ--
+	}
 	t.a[i] = false
 	t.v[i] = false
 	t.w[i] = false

@@ -184,8 +184,8 @@ type runKey [sha256.Size]byte
 // defense comparison).
 func keyOf(p workload.Profile, spec RunSpec) runKey {
 	h := sha256.New()
-	fmt.Fprintf(h, "core=%#v\nsec=%#v\nl1d=%d\nwarmup=%d\nmeasure=%d\nmaxcycles=%d\nworkload=%#v\n",
-		spec.Core, spec.Sec, spec.L1DUpdate, spec.Warmup, spec.Measure, spec.MaxCycles, p)
+	fmt.Fprintf(h, "core=%#v\nsec=%#v\nl1d=%d\nwarmup=%d\nmeasure=%d\nmaxcycles=%d\nmetricsinterval=%d\nworkload=%#v\n",
+		spec.Core, spec.Sec, spec.L1DUpdate, spec.Warmup, spec.Measure, spec.MaxCycles, spec.MetricsInterval, p)
 	var k runKey
 	h.Sum(k[:0])
 	return k

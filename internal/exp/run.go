@@ -24,6 +24,12 @@ type RunSpec struct {
 	Measure uint64
 	// MaxCycles bounds each phase defensively (0 = a generous default).
 	MaxCycles uint64
+	// MetricsInterval, when non-zero, attaches an obs metric registry for
+	// the measured phase and samples it every MetricsInterval cycles; the
+	// returned Result carries the time series. Zero (the default) attaches
+	// nothing: the simulation is byte-identical with and without the obs
+	// subsystem compiled in.
+	MetricsInterval uint64
 }
 
 // DefaultSpec returns the budget used by the standard experiment suites.
@@ -41,6 +47,16 @@ func DefaultSpec() RunSpec {
 // RunWorkload builds a fresh machine, loads w, warms up, resets statistics
 // and measures. The returned Result covers only the measured phase.
 func RunWorkload(w *workload.Workload, spec RunSpec) pipeline.Result {
+	return RunWorkloadWith(w, spec, nil)
+}
+
+// RunWorkloadWith is RunWorkload with an observability hook: setup, when
+// non-nil, runs on the freshly built machine before warmup — the place to
+// attach event sinks (tracers, O3PipeView writers), which then see the whole
+// run. When spec.MetricsInterval is non-zero a metric registry is attached
+// after warmup, so its histograms and time series cover exactly the measured
+// phase, and the returned Result carries the series.
+func RunWorkloadWith(w *workload.Workload, spec RunSpec, setup func(*pipeline.CPU)) pipeline.Result {
 	maxCycles := spec.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 400 * (spec.Warmup + spec.Measure)
@@ -51,10 +67,23 @@ func RunWorkload(w *workload.Workload, spec RunSpec) pipeline.Result {
 	backing := isa.NewFlatMem()
 	w.Load(backing)
 	cpu := pipeline.NewWithMemory(cfg, spec.Sec, backing)
+	if setup != nil {
+		setup(cpu)
+	}
 	cpu.SetPC(w.Entry)
 	cpu.RunFor(spec.Warmup, maxCycles)
 	cpu.ResetStats()
-	return cpu.RunFor(spec.Measure, maxCycles)
+	var m *pipeline.Metrics
+	if spec.MetricsInterval > 0 {
+		m = pipeline.NewMetrics()
+		m.EnableSampling(spec.MetricsInterval, 4096)
+		cpu.AttachMetrics(m)
+	}
+	res := cpu.RunFor(spec.Measure, maxCycles)
+	if m != nil {
+		res.Series = m.Series()
+	}
+	return res
 }
 
 // Overhead returns the runtime overhead of res relative to origin runs of

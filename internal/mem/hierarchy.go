@@ -1,6 +1,9 @@
 package mem
 
-import "conspec/internal/isa"
+import (
+	"conspec/internal/isa"
+	"conspec/internal/obs"
+)
 
 // HierarchyConfig sizes every level of the memory system. All byte sizes
 // and associativities must be powers of two times the line size.
@@ -44,6 +47,10 @@ type Hierarchy struct {
 
 	// Prefetches counts next-line prefetch fills (0 unless enabled).
 	Prefetches uint64
+
+	// DataLat, when non-nil, records the total latency of every refilling
+	// data access (the obs layer attaches it; Observe on nil is a no-op).
+	DataLat *obs.Histogram
 
 	// peers are other cores' hierarchies sharing this L2/L3: stores and
 	// flushes invalidate their private L1 lines (write-invalidate
@@ -133,6 +140,7 @@ func (h *Hierarchy) AccessData(addr uint64, suspect bool) AccessResult {
 	if h.L1D.Access(addr, touch) {
 		res.Latency += h.L1D.HitLat
 		res.Level = LevelL1
+		h.DataLat.Observe(uint64(res.Latency))
 		return res
 	}
 	res.PendingTouch = false // refill below installs MRU anyway
@@ -155,6 +163,7 @@ func (h *Hierarchy) AccessData(addr uint64, suspect bool) AccessResult {
 	if h.cfg.NextLinePrefetch {
 		h.prefetch(addr + uint64(h.cfg.LineBytes))
 	}
+	h.DataLat.Observe(uint64(res.Latency))
 	return res
 }
 

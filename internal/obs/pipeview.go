@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PipeViewSink renders the event stream in gem5's O3PipeView trace format,
+// which the Konata pipeline visualizer opens directly. Each retired (or
+// squashed) instruction becomes one seven-line record:
+//
+//	O3PipeView:fetch:<tick>:0x<pc>:0:<seq>:<disasm>
+//	O3PipeView:decode:<tick>
+//	O3PipeView:rename:<tick>
+//	O3PipeView:dispatch:<tick>
+//	O3PipeView:issue:<tick>
+//	O3PipeView:complete:<tick>
+//	O3PipeView:retire:<tick>:store:0
+//
+// Ticks are simulator cycle numbers (cycles start at 1, so 0 is the "stage
+// never reached" sentinel Konata expects for squashed instructions; a
+// retire tick of 0 marks the instruction as flushed). This simulator has no
+// separate decode/rename stages — both carry the dispatch cycle, preserving
+// the frontend-depth gap Konata draws between fetch and dispatch. Suspect
+// and filter-blocked instructions get a " [suspect]" / " [blocked]" marker
+// appended to the disassembly, visible in Konata's label pane.
+//
+// Records accumulate from events and are written at retire/squash time, so
+// attaching the sink mid-run is safe: events for instructions fetched
+// before attachment are ignored.
+type PipeViewSink struct {
+	w    *bufio.Writer
+	recs map[uint64]*pvRecord
+}
+
+type pvRecord struct {
+	pc       uint64
+	disasm   string
+	fetch    uint64
+	dispatch uint64
+	issue    uint64
+	complete uint64
+	suspect  bool
+	blocked  bool
+}
+
+// NewPipeViewSink builds an O3PipeView sink writing to w.
+func NewPipeViewSink(w io.Writer) *PipeViewSink {
+	return &PipeViewSink{
+		w:    bufio.NewWriter(w),
+		recs: make(map[uint64]*pvRecord),
+	}
+}
+
+// Event accumulates stage timestamps and emits the record when the
+// instruction leaves the machine.
+func (p *PipeViewSink) Event(ev TraceEvent) {
+	switch ev.Kind {
+	case EvFetch:
+		p.recs[ev.Seq] = &pvRecord{pc: ev.PC, disasm: ev.Disasm, fetch: ev.Cycle}
+	case EvDispatch:
+		if r := p.recs[ev.Seq]; r != nil {
+			r.dispatch = ev.Cycle
+		}
+	case EvIssue:
+		if r := p.recs[ev.Seq]; r != nil {
+			r.issue = ev.Cycle
+			r.suspect = r.suspect || ev.Suspect
+			r.blocked = r.blocked || ev.Blocked
+		}
+	case EvWriteback:
+		if r := p.recs[ev.Seq]; r != nil {
+			r.complete = ev.Cycle
+		}
+	case EvCommit:
+		if r := p.recs[ev.Seq]; r != nil {
+			r.blocked = r.blocked || ev.Blocked
+			p.emit(ev.Seq, r, ev.Cycle)
+			delete(p.recs, ev.Seq)
+		}
+	case EvSquash:
+		// Range squash: every pending record at or above the squash point
+		// retires with tick 0, which Konata draws as a flushed instruction.
+		p.flushFrom(ev.Seq)
+	}
+}
+
+// flushFrom emits every pending record with seq >= from as squashed, in
+// sequence order so the output is deterministic.
+func (p *PipeViewSink) flushFrom(from uint64) {
+	var seqs []uint64
+	for seq := range p.recs {
+		if seq >= from {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		p.emit(seq, p.recs[seq], 0)
+		delete(p.recs, seq)
+	}
+}
+
+func (p *PipeViewSink) emit(seq uint64, r *pvRecord, retire uint64) {
+	disasm := r.disasm
+	if r.suspect {
+		disasm += " [suspect]"
+	}
+	if r.blocked {
+		disasm += " [blocked]"
+	}
+	fmt.Fprintf(p.w, "O3PipeView:fetch:%d:0x%016x:0:%d:%s\n", r.fetch, r.pc, seq, disasm)
+	fmt.Fprintf(p.w, "O3PipeView:decode:%d\n", r.dispatch)
+	fmt.Fprintf(p.w, "O3PipeView:rename:%d\n", r.dispatch)
+	fmt.Fprintf(p.w, "O3PipeView:dispatch:%d\n", r.dispatch)
+	fmt.Fprintf(p.w, "O3PipeView:issue:%d\n", r.issue)
+	fmt.Fprintf(p.w, "O3PipeView:complete:%d\n", r.complete)
+	fmt.Fprintf(p.w, "O3PipeView:retire:%d:store:0\n", retire)
+}
+
+// Flush emits every still-pending record as squashed (the run ended with
+// them in flight) and drains the write buffer.
+func (p *PipeViewSink) Flush() error {
+	p.flushFrom(0)
+	return p.w.Flush()
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sampler snapshots a Registry into an in-memory time series every interval
+// cycles. Rows are stored in one flat []uint64 (stride = 1 cycle column +
+// one column per metric): after the backing array reaches steady-state
+// capacity, sampling performs no allocation, which is what lets the cycle
+// loop keep its zero-alloc guarantee with sampling enabled. Export happens
+// once, outside the measured loop.
+type Sampler struct {
+	reg      *Registry
+	interval uint64
+	stride   int
+	rows     []uint64
+	next     uint64
+}
+
+// NewSampler builds a sampler over reg. capacityRows preallocates the
+// backing array (rows beyond it grow by append, which allocates — size it
+// for the measured window when the zero-alloc property matters).
+func NewSampler(reg *Registry, interval uint64, capacityRows int) *Sampler {
+	if interval == 0 {
+		panic("obs: sampler interval must be positive")
+	}
+	stride := 1 + len(reg.cols)
+	if capacityRows < 0 {
+		capacityRows = 0
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		stride:   stride,
+		rows:     make([]uint64, 0, capacityRows*stride),
+		next:     interval,
+	}
+}
+
+// MaybeSample records one row if cycle has reached the next interval
+// boundary. Nil-safe: a detached sampler is one predicted branch.
+//
+// Columns registered between construction and the first sample are picked
+// up here (the stride re-derives while the series is empty); registering
+// after sampling has begun would silently misalign every earlier row, so
+// that panics instead.
+func (s *Sampler) MaybeSample(cycle uint64) {
+	if s == nil || cycle < s.next {
+		return
+	}
+	if stride := 1 + s.reg.NumColumns(); stride != s.stride {
+		if len(s.rows) != 0 {
+			panic("obs: columns registered after sampling began")
+		}
+		s.stride = stride
+	}
+	s.next = cycle + s.interval
+	s.rows = append(s.rows, cycle)
+	s.rows = s.reg.AppendSample(s.rows)
+}
+
+// Reset discards every sampled row (statistics-reset boundary) without
+// releasing the backing array, and re-arms the next sample at the first
+// interval boundary after cycle.
+func (s *Sampler) Reset(cycle uint64) {
+	if s == nil {
+		return
+	}
+	s.rows = s.rows[:0]
+	s.next = cycle + s.interval
+}
+
+// Len returns the number of sampled rows.
+func (s *Sampler) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.rows) / s.stride
+}
+
+// Series materializes the sampled rows plus the final histogram
+// distributions into an exportable document.
+func (s *Sampler) Series() *Series {
+	if s == nil {
+		return nil
+	}
+	n := s.Len()
+	out := &Series{
+		Interval: s.interval,
+		Columns:  append([]string{"cycle"}, s.reg.Columns()...),
+		Rows:     make([][]uint64, n),
+		Hists:    s.reg.Snapshots(),
+	}
+	for i := 0; i < n; i++ {
+		out.Rows[i] = append([]uint64(nil), s.rows[i*s.stride:(i+1)*s.stride]...)
+	}
+	return out
+}
+
+// Series is an exported interval time series: one row per sample boundary
+// (first column is the cycle number; counters are cumulative — consumers
+// difference adjacent rows for per-interval rates) plus the end-of-run
+// histogram distributions.
+type Series struct {
+	Interval uint64              `json:"interval"`
+	Columns  []string            `json:"columns"`
+	Rows     [][]uint64          `json:"rows"`
+	Hists    []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// WriteJSONL writes the series as JSON lines: a header object carrying the
+// column names and interval, one JSON array per row, and a trailer object
+// with the histogram distributions.
+func (s *Series) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	header := struct {
+		Interval uint64   `json:"interval"`
+		Columns  []string `json:"columns"`
+	}{s.Interval, s.Columns}
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for _, row := range s.Rows {
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	if len(s.Hists) > 0 {
+		trailer := struct {
+			Histograms []HistogramSnapshot `json:"histograms"`
+		}{s.Hists}
+		return enc.Encode(trailer)
+	}
+	return nil
+}
+
+// WriteCSV writes the series as CSV: a header row of column names followed
+// by one record per sample. Histogram distributions are JSONL-only.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(s.Columns); err != nil {
+		return err
+	}
+	rec := make([]string, len(s.Columns))
+	for _, row := range s.Rows {
+		if len(row) != len(s.Columns) {
+			return fmt.Errorf("obs: row has %d values, want %d", len(row), len(s.Columns))
+		}
+		for i, v := range row {
+			rec[i] = strconv.FormatUint(v, 10)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// EventKind classifies one pipeline trace event.
+type EventKind uint8
+
+const (
+	// EvFetch: the instruction entered the fetch queue.
+	EvFetch EventKind = iota
+	// EvDispatch: renamed and allocated into ROB/IQ/LSQ.
+	EvDispatch
+	// EvIssue: accepted by the select logic and sent to a functional unit.
+	EvIssue
+	// EvWriteback: result became visible to the issue queue.
+	EvWriteback
+	// EvCommit: retired architecturally.
+	EvCommit
+	// EvSquash is a pipeline-level event, not a per-instruction one: every
+	// in-flight instruction with sequence number >= Seq was squashed and
+	// fetch was re-steered to PC.
+	EvSquash
+)
+
+// String returns the stage label used by the text tracer.
+func (k EventKind) String() string {
+	switch k {
+	case EvFetch:
+		return "FETCH"
+	case EvDispatch:
+		return "DISPATCH"
+	case EvIssue:
+		return "ISSUE"
+	case EvWriteback:
+		return "WB"
+	case EvCommit:
+		return "COMMIT"
+	case EvSquash:
+		return "SQUASH"
+	}
+	return "UNKNOWN"
+}
+
+// TraceEvent is one pipeline event. For per-instruction kinds Seq/PC/Disasm
+// identify the dynamic instruction; Suspect and Blocked carry the security
+// state known at emission time (the suspect speculation flag is assigned at
+// issue, so fetch/dispatch events never carry it).
+type TraceEvent struct {
+	Cycle   uint64
+	Kind    EventKind
+	Seq     uint64
+	PC      uint64
+	Suspect bool
+	Blocked bool
+	Disasm  string
+}
+
+// EventSink consumes pipeline trace events. Sinks run only when attached —
+// they may allocate and buffer; Flush is called once after the run to drain
+// any buffered state.
+type EventSink interface {
+	Event(ev TraceEvent)
+	Flush() error
+}
+
+// TextSink renders events in the human-readable one-line-per-event format
+// the debug tracer has always used.
+type TextSink struct {
+	w io.Writer
+}
+
+// NewTextSink builds a text sink over w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Event writes one line.
+func (t *TextSink) Event(ev TraceEvent) {
+	if ev.Kind == EvSquash {
+		fmt.Fprintf(t.w, "%8d SQUASH   from seq=%d, redirect pc=%#x\n",
+			ev.Cycle, ev.Seq, ev.PC)
+		return
+	}
+	fmt.Fprintf(t.w, "%8d %-8s seq=%-6d pc=%#x  %s\n",
+		ev.Cycle, ev.Kind, ev.Seq, ev.PC, ev.Disasm)
+}
+
+// Flush is a no-op: the text sink writes through.
+func (t *TextSink) Flush() error { return nil }

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextSinkFormat(t *testing.T) {
+	var sb strings.Builder
+	s := NewTextSink(&sb)
+	s.Event(TraceEvent{Cycle: 12, Kind: EvFetch, Seq: 3, PC: 0x1000, Disasm: "addi x5, x0, 1"})
+	s.Event(TraceEvent{Cycle: 15, Kind: EvSquash, Seq: 4, PC: 0x2000})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "      12 FETCH    seq=3      pc=0x1000  addi x5, x0, 1\n" +
+		"      15 SQUASH   from seq=4, redirect pc=0x2000\n"
+	if sb.String() != want {
+		t.Fatalf("text sink output:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+// TestPipeViewSinkRecord drives one committed and one squashed instruction
+// through the sink and pins the O3PipeView line format Konata parses.
+func TestPipeViewSinkRecord(t *testing.T) {
+	var sb strings.Builder
+	p := NewPipeViewSink(&sb)
+	// Committed load, suspect at issue.
+	p.Event(TraceEvent{Cycle: 1, Kind: EvFetch, Seq: 1, PC: 0x1000, Disasm: "ld x5, 0(x6)"})
+	p.Event(TraceEvent{Cycle: 4, Kind: EvDispatch, Seq: 1, PC: 0x1000})
+	p.Event(TraceEvent{Cycle: 6, Kind: EvIssue, Seq: 1, PC: 0x1000, Suspect: true})
+	p.Event(TraceEvent{Cycle: 9, Kind: EvWriteback, Seq: 1, PC: 0x1000})
+	p.Event(TraceEvent{Cycle: 10, Kind: EvCommit, Seq: 1, PC: 0x1000})
+	// Wrong-path instruction: fetched, dispatched, squashed.
+	p.Event(TraceEvent{Cycle: 2, Kind: EvFetch, Seq: 2, PC: 0x1004, Disasm: "addi x7, x7, 1"})
+	p.Event(TraceEvent{Cycle: 5, Kind: EvDispatch, Seq: 2, PC: 0x1004})
+	p.Event(TraceEvent{Cycle: 11, Kind: EvSquash, Seq: 2, PC: 0x2000})
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"O3PipeView:fetch:1:0x0000000000001000:0:1:ld x5, 0(x6) [suspect]",
+		"O3PipeView:decode:4",
+		"O3PipeView:rename:4",
+		"O3PipeView:dispatch:4",
+		"O3PipeView:issue:6",
+		"O3PipeView:complete:9",
+		"O3PipeView:retire:10:store:0",
+		"O3PipeView:fetch:2:0x0000000000001004:0:2:addi x7, x7, 1",
+		"O3PipeView:decode:5",
+		"O3PipeView:rename:5",
+		"O3PipeView:dispatch:5",
+		"O3PipeView:issue:0",
+		"O3PipeView:complete:0",
+		"O3PipeView:retire:0:store:0",
+		"",
+	}, "\n")
+	if sb.String() != want {
+		t.Fatalf("pipeview output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestPipeViewSinkIgnoresUnknownSeq covers mid-run attachment: events for
+// instructions fetched before the sink existed must not create records.
+func TestPipeViewSinkIgnoresUnknownSeq(t *testing.T) {
+	var sb strings.Builder
+	p := NewPipeViewSink(&sb)
+	p.Event(TraceEvent{Cycle: 4, Kind: EvDispatch, Seq: 9, PC: 0x1000})
+	p.Event(TraceEvent{Cycle: 6, Kind: EvCommit, Seq: 9, PC: 0x1000})
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "" {
+		t.Fatalf("expected no output for unknown seq, got:\n%s", sb.String())
+	}
+}

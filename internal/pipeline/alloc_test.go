@@ -42,18 +42,30 @@ func allocKernel() *asm.Program {
 // scratch slices, uop churn and sort closures are all gone.
 func TestZeroAllocSteadyState(t *testing.T) {
 	for _, tc := range []struct {
-		name string
-		sec  SecurityConfig
+		name    string
+		sec     SecurityConfig
+		metrics bool
 	}{
-		{"origin", SecurityConfig{Mechanism: core.Origin}},
-		{"cachehit-tpbuf", SecurityConfig{Mechanism: core.CacheHitTPBuf, Scope: core.ScopeBranchMem}},
-		{"ssbd", SecurityConfig{Mechanism: core.Origin, SSBD: true}},
+		{"origin", SecurityConfig{Mechanism: core.Origin}, false},
+		{"cachehit-tpbuf", SecurityConfig{Mechanism: core.CacheHitTPBuf, Scope: core.ScopeBranchMem}, false},
+		{"ssbd", SecurityConfig{Mechanism: core.Origin, SSBD: true}, false},
+		// The obs contract: an attached registry with interval sampling
+		// costs array writes only — still zero allocations per cycle.
+		{"origin-metrics", SecurityConfig{Mechanism: core.Origin}, true},
+		{"cachehit-tpbuf-metrics", SecurityConfig{Mechanism: core.CacheHitTPBuf, Scope: core.ScopeBranchMem}, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			prog := allocKernel()
 			backing := isa.NewFlatMem()
 			prog.Load(backing)
 			cpu := NewWithMemory(smallCore(), tc.sec, backing)
+			if tc.metrics {
+				m := NewMetrics()
+				// 30000 warmup + 21*2000 measured cycles at interval 256
+				// needs ~290 rows; 1024 leaves the append path untouched.
+				m.EnableSampling(256, 1024)
+				cpu.AttachMetrics(m)
+			}
 			cpu.SetPC(prog.Base)
 			// Warm up: let pools, waiter lists and scratch slices reach
 			// their steady-state capacities.
@@ -72,6 +84,25 @@ func TestZeroAllocSteadyState(t *testing.T) {
 			}
 			if err := cpu.CheckInvariants(); err != nil {
 				t.Fatalf("invariants after run: %v", err)
+			}
+			if tc.metrics {
+				s := cpu.m.Series()
+				if s == nil || len(s.Rows) == 0 {
+					t.Fatal("metrics were attached but the sampler recorded nothing")
+				}
+				// The gauge columns register after EnableSampling (inside
+				// AttachMetrics); every row must still align with the final
+				// column set, cycle column strictly increasing.
+				prev := uint64(0)
+				for i, row := range s.Rows {
+					if len(row) != len(s.Columns) {
+						t.Fatalf("row %d has %d values for %d columns", i, len(row), len(s.Columns))
+					}
+					if row[0] <= prev {
+						t.Fatalf("row %d cycle %d not after previous %d", i, row[0], prev)
+					}
+					prev = row[0]
+				}
 			}
 		})
 	}

@@ -5,6 +5,7 @@ import (
 	"conspec/internal/core"
 	"conspec/internal/isa"
 	"conspec/internal/mem"
+	"conspec/internal/obs"
 )
 
 func (c *CPU) fuLimit(f isa.FU) int {
@@ -122,6 +123,9 @@ func (c *CPU) eligible(u *uop) bool {
 			}
 			u.blockedSec = false
 			u.suspect = false
+			// The suspect window just closed: this instruction waited from
+			// dispatch until every security dependence resolved.
+			c.m.suspectWindow.Observe(c.cycle - u.dispatchCycle)
 		}
 		if c.sec.Mechanism.BlocksSuspectAtIssue() && c.secmat.Peek(u.iqIdx) {
 			// Baseline: suspect memory instructions do not issue at all.
@@ -218,7 +222,11 @@ func (c *CPU) acceptIssue(u *uop, lat int, extra int) {
 		c.iqCount--
 	}
 	u.issued = true
-	c.traceEvent("ISSUE", u)
+	if u.discardedAt != 0 {
+		c.m.reissueLatency.Observe(c.cycle - u.discardedAt)
+		u.discardedAt = 0
+	}
+	c.traceEvent(obs.EvIssue, u)
 	c.inflight = append(c.inflight, pendingExec{u: u, done: c.cycle + uint64(lat+extra)})
 }
 
@@ -333,6 +341,7 @@ func (c *CPU) issueLoad(u *uop, base uint64) *uop {
 			c.stats.DTLBFilterBlocks++
 			u.blockedSec = true
 			u.wasBlocked = true
+			u.discardedAt = c.cycle
 			c.stats.Filter.BlockedEvents++
 			return nil
 		}
@@ -361,8 +370,12 @@ func (c *CPU) issueLoad(u *uop, base uint64) *uop {
 		}
 		// Unsafe: the miss request is discarded; the load waits in the
 		// issue queue for its security dependences to clear (§V.C).
+		if mechanism.UsesTPBuf() {
+			u.tpbufUnsafe = true
+		}
 		u.blockedSec = true
 		u.wasBlocked = true
+		u.discardedAt = c.cycle
 		c.stats.Filter.BlockedEvents++
 		return nil
 	}
@@ -502,7 +515,7 @@ func (c *CPU) writebackStage() {
 			c.outstandingMisses--
 		}
 		u.completed = true
-		c.traceEvent("WB", u)
+		c.traceEvent(obs.EvWriteback, u)
 		if u.inst.Op.IsLoad() && u.ldqIdx >= 0 {
 			c.tpbuf.SetWriteback(u.ldqIdx)
 		}
@@ -544,10 +557,9 @@ func (c *CPU) resolveBranch(u *uop) {
 // fetch to redirectPC. cp, when non-nil, restores predictor state (branch
 // mispredictions; memory-order violations skip it).
 func (c *CPU) squashFrom(fromSeq uint64, redirectPC uint64, cp *branch.Checkpoint) {
-	if c.tracer != nil {
-		c.trace("%8d SQUASH   from seq=%d, redirect pc=%#x\n", c.cycle, fromSeq, redirectPC)
-	}
+	c.traceSquash(fromSeq, redirectPC)
 	c.stats.Squashes++
+	robBefore := c.robCount
 	for c.robCount > 0 {
 		u := c.robAt(c.robCount - 1)
 		if u.seq < fromSeq {
@@ -585,6 +597,7 @@ func (c *CPU) squashFrom(fromSeq uint64, redirectPC uint64, cp *branch.Checkpoin
 		// flag stays readable for same-cycle stage logic until recycled.
 		c.freeUop(u)
 	}
+	c.m.squashDepth.Observe(uint64(robBefore - c.robCount))
 	// Drop squashed in-flight work, parked stores awaiting data, and the
 	// entire fetch queue (everything in it is younger than anything in
 	// the ROB).
@@ -675,6 +688,11 @@ func (c *CPU) commitStage() {
 			if u.wasBlocked {
 				c.stats.Filter.BlockedInsts++
 			}
+			if u.tpbufUnsafe {
+				// A committed load the TPBuf had flagged UNSAFE: by
+				// definition benign speculation, i.e. a false positive.
+				c.m.tpbufUnsafeCommitted.Inc()
+			}
 		}
 		if u.pdst >= 0 {
 			c.freeList = append(c.freeList, u.oldPdst)
@@ -687,7 +705,7 @@ func (c *CPU) commitStage() {
 			c.stq[u.stqIdx] = nil
 			c.tpbuf.Free(c.cfg.LDQ + u.stqIdx)
 		}
-		c.traceEvent("COMMIT", u)
+		c.traceEvent(obs.EvCommit, u)
 		c.rob[c.robHead] = nil
 		c.robHead = (c.robHead + 1) % len(c.rob)
 		c.robCount--

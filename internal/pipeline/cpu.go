@@ -18,13 +18,13 @@ package pipeline
 
 import (
 	"fmt"
-	"io"
 
 	"conspec/internal/branch"
 	"conspec/internal/config"
 	"conspec/internal/core"
 	"conspec/internal/isa"
 	"conspec/internal/mem"
+	"conspec/internal/obs"
 )
 
 // SecurityConfig selects the defense configuration under evaluation.
@@ -105,7 +105,14 @@ type uop struct {
 	suspect      bool
 	blockedSec   bool // currently blocked waiting for dependence clearance
 	wasBlocked   bool // blocked at least once (Table V blocked-rate numerator)
+	tpbufUnsafe  bool // a TPBuf UNSAFE verdict blocked this load at least once
 	pendingTouch bool // deferred LRU update owed at commit (§VII.A delayed)
+
+	// Observability stamps (cycle numbers; 0 = never happened, cycles
+	// start at 1). dispatchCycle anchors the suspect-window histogram;
+	// discardedAt anchors the re-issue latency of filter-discarded misses.
+	dispatchCycle uint64
+	discardedAt   uint64
 
 	result uint64
 }
@@ -151,6 +158,11 @@ type Result struct {
 
 	// Stages is the per-stage cycle-accounting counter set.
 	Stages StageStats
+
+	// Series is the sampled metric time series, populated by the exp layer
+	// after the run when interval sampling was enabled (never by the cycle
+	// loop itself — materializing it allocates). Nil otherwise.
+	Series *obs.Series `json:",omitempty"`
 }
 
 // StageStats is a per-stage cycle-accounting counter set: occupancy
@@ -253,8 +265,14 @@ type CPU struct {
 
 	halted bool
 
-	// tracer, when non-nil, receives one line per pipeline event.
-	tracer io.Writer
+	// sinks, when non-empty, receive one obs.TraceEvent per pipeline event
+	// (see trace.go).
+	sinks []obs.EventSink
+
+	// m is the attached metric set, held by value so detached metrics are
+	// nil pointers and each record site is a nil-receiver no-op (see
+	// metrics.go). Zero value = no metrics.
+	m Metrics
 
 	stats Result
 	// committedTarget lets RunFor stop exactly at an instruction budget.
@@ -276,22 +294,22 @@ func New(cfg config.Core, sec SecurityConfig, hier *mem.Hierarchy) *CPU {
 	}
 	fetchQCap := cfg.FetchWidth * (cfg.FrontendDepth + 2)
 	c := &CPU{
-		cfg:        cfg,
-		sec:        sec,
-		hier:       hier,
-		bp:         branch.New(cfg.Predictor),
-		physVal:    make([]uint64, cfg.PhysRegs),
-		physReady:  make([]bool, cfg.PhysRegs),
-		freeList:   make([]int, 0, cfg.PhysRegs),
-		rob:        make([]*uop, cfg.ROB),
-		iq:         make([]*uop, cfg.IQ),
-		ldq:        make([]*uop, cfg.LDQ),
-		stq:        make([]*uop, cfg.STQ),
-		fetchQ:     make([]*uop, fetchQCap),
-		fetchQCap:  fetchQCap,
-		readyList:  make([]*uop, 0, cfg.IQ),
-		regWaiters: make([][]*uop, cfg.PhysRegs),
-		esScratch:  make([]core.EntryState, cfg.IQ),
+		cfg:          cfg,
+		sec:          sec,
+		hier:         hier,
+		bp:           branch.New(cfg.Predictor),
+		physVal:      make([]uint64, cfg.PhysRegs),
+		physReady:    make([]bool, cfg.PhysRegs),
+		freeList:     make([]int, 0, cfg.PhysRegs),
+		rob:          make([]*uop, cfg.ROB),
+		iq:           make([]*uop, cfg.IQ),
+		ldq:          make([]*uop, cfg.LDQ),
+		stq:          make([]*uop, cfg.STQ),
+		fetchQ:       make([]*uop, fetchQCap),
+		fetchQCap:    fetchQCap,
+		readyList:    make([]*uop, 0, cfg.IQ),
+		regWaiters:   make([][]*uop, cfg.PhysRegs),
+		esScratch:    make([]core.EntryState, cfg.IQ),
 		inflight:     make([]pendingExec, 0, cfg.ROB),
 		wbScratch:    make([]*uop, 0, cfg.ROB),
 		awaitingData: make([]*uop, 0, cfg.STQ),
@@ -369,6 +387,7 @@ func (c *CPU) ResetStats() {
 	c.hier.L1D.Stats = mem.CacheStats{}
 	c.hier.L2.Stats = mem.CacheStats{}
 	c.hier.L3.Stats = mem.CacheStats{}
+	c.m.sampler.Reset(c.cycle)
 }
 
 func (c *CPU) snapshotResult() Result {
@@ -448,6 +467,9 @@ func (c *CPU) step() {
 	st.ReadyOccupancy += uint64(len(c.readyList))
 	st.ROBOccupancy += uint64(c.robCount)
 	st.ExecInflight += uint64(len(c.inflight))
+	if c.m.enabled() {
+		c.sampleCycle()
+	}
 }
 
 // robAt returns the uop at ROB position (head+i)%size.

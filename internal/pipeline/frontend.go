@@ -4,6 +4,7 @@ import (
 	"conspec/internal/core"
 	"conspec/internal/isa"
 	"conspec/internal/mem"
+	"conspec/internal/obs"
 )
 
 // fetchStage fetches up to FetchWidth instructions along the predicted path,
@@ -107,7 +108,7 @@ func (c *CPU) fetchStage() {
 			}
 		}
 
-		c.traceEvent("FETCH", u)
+		c.traceEvent(obs.EvFetch, u)
 		c.fqPush(u)
 		c.fetchPC = next
 		if endGroup {
@@ -181,9 +182,10 @@ func (c *CPU) dispatchStage() {
 			c.stats.UnresolvedBranchAtDispatch++
 		}
 
-		c.traceEvent("DISPATCH", u)
+		c.traceEvent(obs.EvDispatch, u)
 		c.robPush(u)
 		u.dispatched = true
+		u.dispatchCycle = c.cycle
 
 		switch op {
 		case isa.OpNop, isa.OpHalt:

@@ -1,0 +1,103 @@
+package pipeline
+
+import (
+	"testing"
+
+	"conspec/internal/core"
+	"conspec/internal/isa"
+)
+
+// TestStageStatsInvariants pins the cross-counter relationships of the
+// cycle-accounting stats across every mechanism family. The bounds are
+// structural — a ready uop sits in the IQ, an IQ slot maps to a ROB entry,
+// a structure can never integrate more occupancy than capacity×cycles — so
+// any violation means a counter is sampled at the wrong point in step() or
+// double-counted.
+func TestStageStatsInvariants(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sec  SecurityConfig
+	}{
+		{"origin", SecurityConfig{Mechanism: core.Origin}},
+		{"cachehit", SecurityConfig{Mechanism: core.CacheHit, Scope: core.ScopeBranchMem}},
+		{"tpbuf", SecurityConfig{Mechanism: core.CacheHitTPBuf, Scope: core.ScopeBranchMem}},
+		{"ssbd", SecurityConfig{Mechanism: core.Origin, SSBD: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallCore()
+			prog := allocKernel()
+			backing := isa.NewFlatMem()
+			prog.Load(backing)
+			cpu := NewWithMemory(cfg, tc.sec, backing)
+			cpu.SetPC(prog.Base)
+			res := cpu.Run(50_000)
+			if cpu.Halted() {
+				t.Fatal("kernel must not halt")
+			}
+			if err := cpu.CheckInvariants(); err != nil {
+				t.Fatalf("pipeline invariants: %v", err)
+			}
+
+			st := res.Stages
+			cyc := res.Cycles
+			if res.Committed == 0 || st.IssuedUops == 0 || st.ROBOccupancy == 0 {
+				t.Fatalf("dead run: committed=%d issued=%d robOcc=%d",
+					res.Committed, st.IssuedUops, st.ROBOccupancy)
+			}
+
+			// Containment: ready ⊆ IQ, and both IQ slots and in-flight
+			// executions hold live ROB entries.
+			if st.ReadyOccupancy > st.IQOccupancy {
+				t.Errorf("ready occupancy %d exceeds IQ occupancy %d",
+					st.ReadyOccupancy, st.IQOccupancy)
+			}
+			if st.IQOccupancy > st.ROBOccupancy {
+				t.Errorf("IQ occupancy %d exceeds ROB occupancy %d",
+					st.IQOccupancy, st.ROBOccupancy)
+			}
+			if st.ExecInflight > st.ROBOccupancy {
+				t.Errorf("exec in-flight %d exceeds ROB occupancy %d",
+					st.ExecInflight, st.ROBOccupancy)
+			}
+
+			// Capacity: an occupancy integral can never exceed size×cycles.
+			fetchQCap := uint64(cfg.FetchWidth * (cfg.FrontendDepth + 2))
+			if st.FetchQOccupancy > fetchQCap*cyc {
+				t.Errorf("fetchq occupancy %d exceeds capacity %d over %d cycles",
+					st.FetchQOccupancy, fetchQCap, cyc)
+			}
+			if st.IQOccupancy > uint64(cfg.IQ)*cyc {
+				t.Errorf("IQ occupancy %d exceeds capacity %d over %d cycles",
+					st.IQOccupancy, cfg.IQ, cyc)
+			}
+			if st.ROBOccupancy > uint64(cfg.ROB)*cyc {
+				t.Errorf("ROB occupancy %d exceeds capacity %d over %d cycles",
+					st.ROBOccupancy, cfg.ROB, cyc)
+			}
+
+			// Bandwidth: issue and commit are width-limited, and the stall
+			// counters count cycles, so neither can exceed the cycle count.
+			if st.IssuedUops > uint64(cfg.IssueWidth)*cyc {
+				t.Errorf("issued %d uops exceeds issue width %d over %d cycles",
+					st.IssuedUops, cfg.IssueWidth, cyc)
+			}
+			if st.IssueIdleCycles > cyc {
+				t.Errorf("issue idle cycles %d exceed total cycles %d", st.IssueIdleCycles, cyc)
+			}
+			if st.CommitStalls > cyc {
+				t.Errorf("commit stalls %d exceed total cycles %d", st.CommitStalls, cyc)
+			}
+			if max := uint64(cfg.CommitWidth) * (cyc - st.CommitStalls); res.Committed > max {
+				t.Errorf("committed %d exceeds commit bandwidth %d (width %d × %d non-stall cycles)",
+					res.Committed, max, cfg.CommitWidth, cyc-st.CommitStalls)
+			}
+
+			// Every committed uop was issued; squashed issues make the
+			// inequality strict in practice, but ≥ is the invariant.
+			if st.IssuedUops < res.Committed {
+				t.Errorf("issued %d uops but committed %d instructions",
+					st.IssuedUops, res.Committed)
+			}
+		})
+	}
+}

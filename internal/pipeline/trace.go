@@ -1,26 +1,79 @@
 package pipeline
 
 import (
-	"fmt"
 	"io"
+
+	"conspec/internal/obs"
 )
 
-// AttachTracer streams a line per pipeline event (fetch, dispatch, issue,
-// writeback, commit, squash) to w. Intended for debugging guest programs
-// and for teaching: `conspec-asm -trace` uses it. A nil w detaches.
-func (c *CPU) AttachTracer(w io.Writer) { c.tracer = w }
-
-func (c *CPU) trace(format string, args ...any) {
-	if c.tracer == nil {
-		return
+// AttachSink registers an event sink: every pipeline event (fetch, dispatch,
+// issue, writeback, commit, squash) is delivered to it as an obs.TraceEvent.
+// Multiple sinks may be attached (e.g. a text tracer plus an O3PipeView
+// writer); they see the same events in the same order. Sinks are outside the
+// zero-allocation contract — with none attached, each event site costs one
+// predicted branch.
+func (c *CPU) AttachSink(s obs.EventSink) {
+	if s != nil {
+		c.sinks = append(c.sinks, s)
 	}
-	fmt.Fprintf(c.tracer, format, args...)
 }
 
-func (c *CPU) traceEvent(ev string, u *uop) {
-	if c.tracer == nil {
+// DetachSinks removes every attached sink without flushing.
+func (c *CPU) DetachSinks() { c.sinks = nil }
+
+// FlushSinks flushes every attached sink (call once after the run); the
+// first error wins.
+func (c *CPU) FlushSinks() error {
+	var first error
+	for _, s := range c.sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AttachTracer streams a line per pipeline event to w — the classic debug
+// tracer, now a TextSink over the event stream. Intended for debugging guest
+// programs and for teaching: `conspec-asm -trace` and `conspec-sim -trace`
+// use it. A nil w detaches ALL sinks (the historical detach semantics).
+func (c *CPU) AttachTracer(w io.Writer) {
+	if w == nil {
+		c.DetachSinks()
 		return
 	}
-	fmt.Fprintf(c.tracer, "%8d %-8s seq=%-6d pc=%#x  %v\n",
-		c.cycle, ev, u.seq, u.pc, u.inst)
+	c.AttachSink(obs.NewTextSink(w))
+}
+
+// traceEvent emits one per-instruction event. The security flags carry what
+// is known at emission time: Suspect is assigned at issue, Blocked means a
+// hazard filter blocked this instruction at least once.
+func (c *CPU) traceEvent(kind obs.EventKind, u *uop) {
+	if c.sinks == nil {
+		return
+	}
+	ev := obs.TraceEvent{
+		Cycle:   c.cycle,
+		Kind:    kind,
+		Seq:     u.seq,
+		PC:      u.pc,
+		Suspect: u.suspect,
+		Blocked: u.wasBlocked,
+		Disasm:  u.inst.String(),
+	}
+	for _, s := range c.sinks {
+		s.Event(ev)
+	}
+}
+
+// traceSquash emits the pipeline-level squash event: everything with
+// seq >= fromSeq left the machine and fetch was re-steered to redirectPC.
+func (c *CPU) traceSquash(fromSeq, redirectPC uint64) {
+	if c.sinks == nil {
+		return
+	}
+	ev := obs.TraceEvent{Cycle: c.cycle, Kind: obs.EvSquash, Seq: fromSeq, PC: redirectPC}
+	for _, s := range c.sinks {
+		s.Event(ev)
+	}
 }

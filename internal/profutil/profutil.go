@@ -1,7 +1,8 @@
 // Package profutil wires the standard Go observability hooks
-// (-cpuprofile/-memprofile/-trace) into the CLIs, so perf regressions in
-// the cycle loop can be attributed with `go tool pprof` / `go tool trace`
-// instead of guesswork.
+// (-cpuprofile/-memprofile/-exectrace) into the CLIs, so perf regressions
+// in the cycle loop can be attributed with `go tool pprof` / `go tool
+// trace` instead of guesswork. The runtime trace flag is -exectrace, not
+// -trace, which is reserved for the simulator's own pipeline event trace.
 package profutil
 
 import (
@@ -20,13 +21,13 @@ type Flags struct {
 	Trace      *string
 }
 
-// Register adds -cpuprofile, -memprofile and -trace to the default flag set.
-// Call before flag.Parse.
+// Register adds -cpuprofile, -memprofile and -exectrace to the default
+// flag set. Call before flag.Parse.
 func Register() *Flags {
 	return &Flags{
 		CPUProfile: flag.String("cpuprofile", "", "write a CPU profile to this file"),
 		MemProfile: flag.String("memprofile", "", "write an allocation profile to this file on exit"),
-		Trace:      flag.String("trace", "", "write a runtime execution trace to this file"),
+		Trace:      flag.String("exectrace", "", "write a Go runtime execution trace to this file"),
 	}
 }
 
