@@ -2,8 +2,14 @@
 #
 #   make tier1          — the PR gate: build, lint (gofmt + vet), full test
 #                         suite, the race detector over the experiment
-#                         engine's worker pool and the obs sinks, and a
-#                         one-iteration BenchmarkFig5 smoke run.
+#                         engine's worker pool and the obs sinks, the chaos
+#                         gate (fault-injection corpus + self-checking
+#                         stress), and a one-iteration BenchmarkFig5 smoke
+#                         run.
+#   make chaos          — the robustness gate on its own: every fault class
+#                         must be caught, and every mechanism must survive
+#                         a per-cycle invariant audit over the random-program
+#                         corpus.
 #   make bench-snapshot — run the tracked benchmark set and write
 #                         BENCH_<sha>.json via cmd/conspec-benchstat.
 #   make bench-compare  — diff the two most recent BENCH_*.json snapshots.
@@ -14,7 +20,7 @@ GO ?= go
 # the end-to-end Figure 5 evaluation plus the per-component microbenches.
 TRACKED_BENCHES = ^(BenchmarkFig5|BenchmarkSimulatorThroughput|BenchmarkSecMatrixDispatch|BenchmarkSecMatrixHazardCheck|BenchmarkTPBufQuery|BenchmarkCacheAccess)$$
 
-.PHONY: all build fmt vet lint test race benchsmoke tier1 bench bench-snapshot bench-compare
+.PHONY: all build fmt vet lint test race chaos benchsmoke tier1 bench bench-snapshot bench-compare
 
 all: tier1
 
@@ -35,17 +41,26 @@ test:
 	$(GO) test ./...
 
 # The engine schedules simulations on a bounded worker pool with a shared
-# memo cache, and the obs sinks/registry sit on the hot cycle loop; run
-# both under the race detector on every PR.
+# memo cache, and the obs sinks/registry sit on the hot cycle loop; the
+# fault injector's hook rides that loop too. Run all three under the race
+# detector on every PR.
 race:
-	$(GO) test -race ./internal/exp ./internal/obs
+	$(GO) test -race ./internal/exp ./internal/obs ./internal/faultinject
+
+# The robustness gate: the seeded fault-injection corpus (every fault class
+# must be detected by the invariant auditor, the watchdog, or the attack
+# harness's leak check), the hand-written deadlock reproducer, and the
+# per-cycle self-check stress run over every mechanism.
+chaos:
+	$(GO) test -count=1 ./internal/faultinject
+	$(GO) test -count=1 -run '^(TestWatchdogDeadlockReproducer|TestSelfCheckStressAllMechanisms|TestSelfCheckCleanRun)$$' ./internal/pipeline
 
 # One iteration of the Figure 5 evaluation: catches benchmark-harness rot
 # (renamed suites, broken specs) without paying for a full measurement.
 benchsmoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig5$$' -benchtime 1x .
 
-tier1: build lint test race benchsmoke
+tier1: build lint test race chaos benchsmoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

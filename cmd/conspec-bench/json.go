@@ -107,6 +107,17 @@ type jsonCompare struct {
 	Average jsonCompareRow   `json:"average"`
 }
 
+// jsonRunError is one failed simulation: the suites above exclude it from
+// their aggregates, so consumers must treat a document with a non-empty
+// errors array as partial.
+type jsonRunError struct {
+	Suite     string `json:"suite"`
+	Benchmark string `json:"benchmark"`
+	Mechanism string `json:"mechanism"`
+	Outcome   string `json:"outcome"`
+	Error     string `json:"error"`
+}
+
 // jsonSeriesEntry is one run's sampled metric time series (fig5/table5 runs
 // with -metrics-interval only).
 type jsonSeriesEntry struct {
@@ -132,6 +143,7 @@ type jsonReport struct {
 	Compare  *jsonCompare      `json:"compare,omitempty"`
 	Overhead string            `json:"overhead_text,omitempty"`
 	Series   []jsonSeriesEntry `json:"series,omitempty"`
+	Errors   []jsonRunError    `json:"errors,omitempty"`
 }
 
 func fig5JSON(ev *exp.Evaluation) []jsonFig5Row {
@@ -259,6 +271,20 @@ func compareJSON(r *exp.CompareResult) *jsonCompare {
 			TPBuf:     row.TPBuf,
 			Invisi:    row.Invisi,
 			SWFence:   row.SWFence,
+		})
+	}
+	return out
+}
+
+func errorsJSON(errs []exp.RunError) []jsonRunError {
+	out := make([]jsonRunError, 0, len(errs))
+	for _, e := range errs {
+		out = append(out, jsonRunError{
+			Suite:     string(e.Suite),
+			Benchmark: e.Benchmark,
+			Mechanism: e.Mechanism,
+			Outcome:   e.Outcome,
+			Error:     e.Err.Error(),
 		})
 	}
 	return out

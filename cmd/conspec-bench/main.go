@@ -46,6 +46,8 @@ func main() {
 		warmup   = flag.Uint64("warmup", 20_000, "warmup instructions per run")
 		measure  = flag.Uint64("measure", 120_000, "measured instructions per run")
 		interval = flag.Uint64("metrics-interval", 0, "sample the obs metric registry every N cycles of the measured phase; the -json fig5/table5 output then carries the per-run time series (0 = off)")
+		selfchk  = flag.Uint64("selfcheck", 0, "audit pipeline and security invariants every N cycles of every run; a violation fails that run (0 = off)")
+		runTmo   = flag.Duration("run-timeout", 0, "wall-clock bound per simulation; a run exceeding it is recorded as failed and its suite continues (0 = none)")
 		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS); values below GOMAXPROCS also cap GOMAXPROCS so -workers 1 -cpuprofile profiles a single attributable thread")
 		verbose  = flag.Bool("v", false, "print per-run progress")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text")
@@ -72,6 +74,7 @@ func main() {
 	spec.Warmup = *warmup
 	spec.Measure = *measure
 	spec.MetricsInterval = *interval
+	spec.SelfCheck = *selfchk
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -84,7 +87,7 @@ func main() {
 			}
 		}
 	}
-	runner := exp.NewRunner(exp.RunnerOptions{Workers: *workers, OnEvent: onEvent})
+	runner := exp.NewRunner(exp.RunnerOptions{Workers: *workers, OnEvent: onEvent, Timeout: *runTmo})
 	opts := exp.Options{Spec: spec, Benches: names}
 
 	want := func(s string) bool { return *suite == "all" || *suite == s }
@@ -216,10 +219,25 @@ func main() {
 			fmt.Println(exp.OverheadText())
 		}
 	}
+	// Failed runs (deadlocks, audit violations, cycle caps, timeouts) were
+	// excluded from the suite aggregates above; summarize them here and make
+	// the process exit non-zero so CI notices degraded output.
+	failed := runner.Errors()
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "%d run(s) failed and were excluded from the aggregates:\n", len(failed))
+		for _, e := range failed {
+			fmt.Fprintf(os.Stderr, "  [%s] %s / %s: %s\n", e.Suite, e.Benchmark, e.Mechanism, e.Outcome)
+		}
+	}
 	if *asJSON {
+		report.Errors = errorsJSON(failed)
 		emitJSON(report)
 	}
 	printEngineStats(runner, start)
+	if len(failed) > 0 {
+		profStop()
+		os.Exit(1)
+	}
 }
 
 // printEngineStats reports the scheduler's deduplication work and the wall

@@ -8,6 +8,14 @@
 //	conspec-sim -list
 //	conspec-sim -bench lbm -mech tpbuf
 //	conspec-sim -bench astar -mech baseline -core xeon -measure 200000
+//
+// The hardening layer is exposed for reproduction and debugging: -selfcheck
+// audits the machine's invariants in-run, and -inject plants one seeded
+// microarchitectural fault (see internal/faultinject) that those audits, the
+// forward-progress watchdog, or downstream leak checks must catch:
+//
+//	conspec-sim -bench lbm -mech tpbuf -selfcheck 64
+//	conspec-sim -bench astar -mech tpbuf -selfcheck 1 -inject secmatrix-bit -inject-seed 11 -inject-at 2000
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"conspec/internal/config"
 	"conspec/internal/core"
 	"conspec/internal/exp"
+	"conspec/internal/faultinject"
 	"conspec/internal/mem"
 	"conspec/internal/obs"
 	"conspec/internal/pipeline"
@@ -82,6 +91,13 @@ func main() {
 		warmup  = flag.Uint64("warmup", 20_000, "warmup instructions")
 		measure = flag.Uint64("measure", 120_000, "measured instructions")
 		stages  = flag.Bool("stages", false, "print per-stage cycle-accounting counters")
+
+		selfchk    = flag.Uint64("selfcheck", 0, "audit pipeline and security invariants every N cycles; a violation fails the run (0 = off)")
+		injectF    = flag.String("inject", "", "fault class to inject: secmatrix-bit|suspect-clear|tpbuf-bit|dropped-wakeup|lru-skew")
+		injectSeed = flag.Int64("inject-seed", 1, "deterministic victim-selection seed for -inject")
+		injectAt   = flag.Uint64("inject-at", 0, "first cycle eligible for injection")
+		injectPers = flag.Bool("inject-persistent", false, "re-inject every cycle instead of once")
+		injectFld  = flag.String("inject-field", "S", "TPBuf bit for -inject tpbuf-bit: V|W|S|P")
 
 		traceF   = flag.String("trace", "", "write a text pipeline event trace to FILE ('-' = stderr)")
 		pipeview = flag.String("pipeview", "", "write an O3PipeView trace (Konata-compatible) to FILE")
@@ -150,6 +166,27 @@ func main() {
 	if *metricsF != "" {
 		spec.MetricsInterval = *interval
 	}
+	spec.SelfCheck = *selfchk
+
+	var inj *faultinject.Injector
+	if *injectF != "" {
+		class, err := faultinject.ByName(*injectF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if len(*injectFld) != 1 || !strings.ContainsAny(*injectFld, "VWSP") {
+			fmt.Fprintf(os.Stderr, "bad -inject-field %q (want V, W, S or P)\n", *injectFld)
+			os.Exit(2)
+		}
+		inj = faultinject.New(faultinject.Config{
+			Class:      class,
+			Seed:       *injectSeed,
+			Start:      *injectAt,
+			Persistent: *injectPers,
+			Field:      (*injectFld)[0],
+		})
+	}
 
 	// Observability setup: sinks attach before warmup (a trace covers the
 	// whole run); the metric registry attaches after warmup inside
@@ -158,6 +195,9 @@ func main() {
 	var closers []io.Closer
 	setup := func(c *pipeline.CPU) {
 		sim = c
+		if inj != nil {
+			c.SetFaultHook(inj.Hook())
+		}
 		if *traceF != "" {
 			tw, err := openOut(*traceF)
 			if err != nil {
@@ -218,8 +258,29 @@ func main() {
 		fmt.Printf("icache-stall: %d fetch stalls from the ICache-hit filter\n",
 			res.FetchStallsICacheFilter)
 	}
+	if *selfchk > 0 || inj != nil {
+		fmt.Printf("hardening   : %d selfcheck sweeps, %d violations, %d watchdog trips\n",
+			res.Hardening.SelfCheckSweeps, res.Hardening.SelfCheckViolations,
+			res.Hardening.WatchdogTrips)
+	}
+	if inj != nil {
+		fmt.Printf("faults      : %d injected (%s, seed %d, from cycle %d, persistent %v)\n",
+			inj.Injected, *injectF, *injectSeed, *injectAt, *injectPers)
+	}
 	if *stages {
 		printStages(res)
+	}
+	if !res.Outcome.Completed() {
+		fmt.Fprintf(os.Stderr, "run failed: %s", res.Outcome)
+		if err := sim.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, ": %v", err)
+		}
+		fmt.Fprintln(os.Stderr)
+		if res.Diag != "" {
+			fmt.Fprint(os.Stderr, res.Diag)
+		}
+		profStop() // os.Exit skips deferred handlers
+		os.Exit(1)
 	}
 }
 

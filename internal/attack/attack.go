@@ -147,7 +147,11 @@ func (h *Harness) RunWith(cfg config.Core, sec pipeline.SecurityConfig,
 	}
 	res := cpu.Run(maxCycles)
 	if !cpu.Halted() {
-		panic(fmt.Sprintf("attack %s: did not halt in %d cycles", h.Name, maxCycles))
+		msg := fmt.Sprintf("attack %s: did not halt in %d cycles", h.Name, maxCycles)
+		if err := cpu.Err(); err != nil {
+			msg += ": " + err.Error()
+		}
+		panic(msg)
 	}
 	if err := cpu.FlushSinks(); err != nil {
 		panic(fmt.Sprintf("attack %s: flushing sinks: %v", h.Name, err))

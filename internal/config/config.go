@@ -56,6 +56,12 @@ type Core struct {
 	StoreSets       bool
 	StoreSetEntries int
 
+	// Watchdog sets the forward-progress window in cycles: a run fails with
+	// a deadlock outcome when no uop commits for this long. 0 (the default)
+	// derives the window from the memory latency; negative disables the
+	// watchdog entirely.
+	Watchdog int
+
 	Predictor branch.Config
 	Mem       mem.HierarchyConfig
 }

@@ -82,6 +82,11 @@ func (s *SecMatrix) producer(c Class) bool {
 	}
 }
 
+// IsProducer reports whether instruction class c creates security
+// dependences under this matrix's scope — the predicate used by
+// OnDispatch, exported so audits can recompute rows independently.
+func (s *SecMatrix) IsProducer(c Class) bool { return s.producer(c) }
+
 // OnDispatch initializes row x when instruction X enters the issue queue.
 // entries is the current state of every issue-queue position; the formula
 // from §V.B is applied verbatim:
@@ -163,6 +168,17 @@ func (s *SecMatrix) ClockEdge() {
 
 // Get exposes one matrix bit (tests, diagnostics).
 func (s *SecMatrix) Get(x, y int) bool { return s.m.Get(x, y) }
+
+// Flip inverts one matrix bit. This is a fault-injection hook — the real
+// mechanism never toggles a bit in isolation — used to model single-event
+// upsets in the dependence matrix.
+func (s *SecMatrix) Flip(x, y int) {
+	if s.m.Get(x, y) {
+		s.m.Clear(x, y)
+	} else {
+		s.m.Set(x, y)
+	}
+}
 
 // Reset clears all state between runs.
 func (s *SecMatrix) Reset() {

@@ -216,6 +216,41 @@ func (t *TPBuf) QuerySafe(i int, ppn uint64) bool {
 	return true
 }
 
+// CorruptBit inverts one status bit of entry i — 'V', 'W', 'S' — or the low
+// bit of its page tag ('P'). This is a fault-injection hook: the real
+// mechanism never toggles a bit in isolation, so every use models a
+// single-event upset the audit layer must catch.
+func (t *TPBuf) CorruptBit(i int, field byte) {
+	t.checkIdx(i)
+	switch field {
+	case 'V':
+		t.v[i] = !t.v[i]
+	case 'W':
+		t.w[i] = !t.w[i]
+	case 'S':
+		t.s[i] = !t.s[i]
+	case 'P':
+		t.ppn[i] ^= 1
+	}
+}
+
+// AuditSafe evaluates eq. (1) for entry i exactly like QuerySafe but
+// without recording statistics — a side-effect-free readout for the in-run
+// invariant auditor, which must not perturb the counters it is checking.
+func (t *TPBuf) AuditSafe(i int, ppn uint64) bool {
+	t.checkIdx(i)
+	for j := 0; j < t.n; j++ {
+		if t.mask[i][j/wordBits]&(1<<(uint(j)%wordBits)) == 0 {
+			continue
+		}
+		wOK := t.w[j] || t.variant == VariantNoW
+		if t.a[j] && t.v[j] && wOK && t.s[j] && t.ppn[j] != ppn {
+			return false
+		}
+	}
+	return true
+}
+
 // Older reports whether entry j is marked older than entry i (test hook).
 func (t *TPBuf) Older(i, j int) bool {
 	t.checkIdx(i)

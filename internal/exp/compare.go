@@ -46,18 +46,18 @@ func (r *Runner) Compare(ctx context.Context, spec RunSpec, names []string) (*Co
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
 		origin, err := r.run(ctx, SuiteCompare, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
 		tpRes, err := r.run(ctx, SuiteCompare, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		tp := Overhead(origin, tpRes)
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.InvisiSpec}
 		invRes, err := r.run(ctx, SuiteCompare, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		inv := Overhead(origin, invRes)
 
@@ -68,7 +68,7 @@ func (r *Runner) Compare(ctx context.Context, spec RunSpec, names []string) (*Co
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
 		swRes, err := r.run(ctx, SuiteCompare, pf, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		sw := Overhead(origin, swRes)
 

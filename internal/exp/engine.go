@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -115,6 +116,25 @@ type RunnerOptions struct {
 	// OnEvent, when non-nil, receives every ProgressEvent. Calls are
 	// serialized; the callback must not call back into the Runner.
 	OnEvent func(ProgressEvent)
+	// Timeout, when non-zero, bounds each simulation's wall-clock time; a
+	// run that exceeds it is recorded as a failed run (Errors) and its
+	// suite continues without it.
+	Timeout time.Duration
+}
+
+// RunError records one failed run: a simulation that deadlocked, failed a
+// self-check audit, exceeded its cycle cap or wall-clock timeout, or
+// panicked. Suites degrade gracefully — the failed run is excluded from
+// their aggregates and reported here instead.
+type RunError struct {
+	Suite     SuiteID
+	Benchmark string
+	Mechanism string
+	// Outcome is the pipeline outcome string ("deadlock", "audit-failed",
+	// "cycle-cap-exceeded"), or "timeout" / "panic" / "generate" for
+	// failures outside the cycle loop.
+	Outcome string
+	Err     error
 }
 
 // Runner is the unified experiment engine: every suite submits
@@ -124,13 +144,15 @@ type RunnerOptions struct {
 type Runner struct {
 	workers int
 	onEvent func(ProgressEvent)
+	timeout time.Duration
 	sem     chan struct{}
 
 	evMu sync.Mutex // serializes onEvent
 
-	mu    sync.Mutex
-	cache map[runKey]*cacheEntry
-	stats Stats
+	mu     sync.Mutex
+	cache  map[runKey]*cacheEntry
+	stats  Stats
+	errors []RunError
 
 	// testExec, when non-nil, replaces RunWorkload (test hook for panic
 	// and determinism tests).
@@ -152,6 +174,7 @@ func NewRunner(opts RunnerOptions) *Runner {
 	return &Runner{
 		workers: workers,
 		onEvent: opts.OnEvent,
+		timeout: opts.Timeout,
 		sem:     make(chan struct{}, workers),
 		cache:   make(map[runKey]*cacheEntry),
 	}
@@ -162,6 +185,25 @@ func (r *Runner) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.stats
+}
+
+// Errors returns every failed run recorded so far, in completion order.
+// Callers use it after the suites finish to summarize what was skipped and
+// choose a non-zero exit status.
+func (r *Runner) Errors() []RunError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]RunError(nil), r.errors...)
+}
+
+// recordError logs a failed run for end-of-suite reporting and emits the
+// matching PhaseError event.
+func (r *Runner) recordError(e RunError) {
+	r.mu.Lock()
+	r.errors = append(r.errors, e)
+	r.mu.Unlock()
+	r.emit(ProgressEvent{Suite: e.Suite, Benchmark: e.Benchmark,
+		Mechanism: e.Mechanism, Phase: PhaseError, Err: e.Err})
 }
 
 func (r *Runner) emit(ev ProgressEvent) {
@@ -184,8 +226,8 @@ type runKey [sha256.Size]byte
 // defense comparison).
 func keyOf(p workload.Profile, spec RunSpec) runKey {
 	h := sha256.New()
-	fmt.Fprintf(h, "core=%#v\nsec=%#v\nl1d=%d\nwarmup=%d\nmeasure=%d\nmaxcycles=%d\nmetricsinterval=%d\nworkload=%#v\n",
-		spec.Core, spec.Sec, spec.L1DUpdate, spec.Warmup, spec.Measure, spec.MaxCycles, spec.MetricsInterval, p)
+	fmt.Fprintf(h, "core=%#v\nsec=%#v\nl1d=%d\nwarmup=%d\nmeasure=%d\nmaxcycles=%d\nmetricsinterval=%d\nselfcheck=%d\nworkload=%#v\n",
+		spec.Core, spec.Sec, spec.L1DUpdate, spec.Warmup, spec.Measure, spec.MaxCycles, spec.MetricsInterval, spec.SelfCheck, p)
 	var k runKey
 	h.Sum(k[:0])
 	return k
@@ -252,7 +294,12 @@ func (r *Runner) run(ctx context.Context, suite SuiteID, p workload.Profile, spe
 }
 
 // execute performs one unique simulation on the worker pool, isolating
-// panics into errors.
+// panics into errors. A run whose Outcome is not a completed one — the
+// watchdog tripped, a self-check sweep failed, or the cycle cap was hit —
+// comes back as an error too, so run() keeps it out of the memo cache and
+// the suites keep it out of their aggregates; the failure is recorded for
+// Errors(). Engine-wide cancellation is the one failure that is NOT
+// recorded: it is the caller's doing, not the run's.
 func (r *Runner) execute(ctx context.Context, suite SuiteID, p workload.Profile, spec RunSpec) (res pipeline.Result, err error) {
 	select {
 	case r.sem <- struct{}{}:
@@ -266,8 +313,8 @@ func (r *Runner) execute(ctx context.Context, suite SuiteID, p workload.Profile,
 			r.stats.Panics++
 			r.mu.Unlock()
 			err = fmt.Errorf("exp: run %s / %s panicked: %v", p.Name, mechLabel(spec), rec)
-			r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
-				Mechanism: mechLabel(spec), Phase: PhaseError, Err: err})
+			r.recordError(RunError{Suite: suite, Benchmark: p.Name,
+				Mechanism: mechLabel(spec), Outcome: "panic", Err: err})
 		}
 	}()
 	r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
@@ -275,19 +322,58 @@ func (r *Runner) execute(ctx context.Context, suite SuiteID, p workload.Profile,
 	start := time.Now()
 	w, err := workload.Generate(p)
 	if err != nil {
-		r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
-			Mechanism: mechLabel(spec), Phase: PhaseError, Err: err})
+		r.recordError(RunError{Suite: suite, Benchmark: p.Name,
+			Mechanism: mechLabel(spec), Outcome: "generate", Err: err})
 		return pipeline.Result{}, err
 	}
 	if r.testExec != nil {
 		res = r.testExec(w, spec)
 	} else {
-		res = RunWorkload(w, spec)
+		runCtx := ctx
+		if r.timeout > 0 {
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithTimeout(ctx, r.timeout)
+			defer cancel()
+		}
+		var runErr error
+		res, runErr = RunWorkloadCtx(runCtx, w, spec, nil)
+		if runErr != nil {
+			if ctx.Err() != nil {
+				return pipeline.Result{}, ctx.Err()
+			}
+			err = fmt.Errorf("exp: run %s / %s timed out after %v (%d cycles simulated)",
+				p.Name, mechLabel(spec), r.timeout, res.Cycles)
+			r.recordError(RunError{Suite: suite, Benchmark: p.Name,
+				Mechanism: mechLabel(spec), Outcome: "timeout", Err: err})
+			return res, err
+		}
+	}
+	switch res.Outcome {
+	case pipeline.OutcomeDeadlock, pipeline.OutcomeAuditFailed, pipeline.OutcomeCycleCapExceeded:
+		msg := fmt.Sprintf("exp: run %s / %s ended %s after %d cycles",
+			p.Name, mechLabel(spec), res.Outcome, res.Cycles)
+		if res.Diag != "" {
+			msg += "\n" + res.Diag
+		}
+		err = errors.New(msg)
+		r.recordError(RunError{Suite: suite, Benchmark: p.Name,
+			Mechanism: mechLabel(spec), Outcome: res.Outcome.String(), Err: err})
+		return res, err
 	}
 	r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
 		Mechanism: mechLabel(spec), Phase: PhaseRunDone,
 		Cycles: res.Cycles, Wall: time.Since(start)})
 	return res, nil
+}
+
+// suiteErr filters one run's error at suite level: a failed run is already
+// recorded for Errors(), so the suite continues without it (nil); only
+// engine-wide cancellation propagates and aborts the suite.
+func suiteErr(ctx context.Context, err error) error {
+	if err == nil || ctx.Err() != nil {
+		return err
+	}
+	return nil
 }
 
 // resolveProfiles maps benchmark names (all 22 when nil) to profiles.

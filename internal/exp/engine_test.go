@@ -42,6 +42,7 @@ func TestCacheKeyDeterminism(t *testing.T) {
 		"warmup":      func(_ *workload.Profile, s *RunSpec) { s.Warmup++ },
 		"measure":     func(_ *workload.Profile, s *RunSpec) { s.Measure++ },
 		"max-cycles":  func(_ *workload.Profile, s *RunSpec) { s.MaxCycles = 123 },
+		"selfcheck":   func(_ *workload.Profile, s *RunSpec) { s.SelfCheck = 3 },
 		"bench-name":  func(p *workload.Profile, _ *RunSpec) { p.Name = "astar2" },
 		"bench-shape": func(p *workload.Profile, _ *RunSpec) { p.FenceAfterBranches = true },
 	}
@@ -179,18 +180,104 @@ func TestPanicIsolation(t *testing.T) {
 	r.testExec = func(w *workload.Workload, spec RunSpec) pipeline.Result {
 		panic("boom")
 	}
-	_, err := r.Evaluation(context.Background(), tinySpec(), []string{"astar"})
-	if err == nil || !strings.Contains(err.Error(), "panicked") {
-		t.Fatalf("err = %v, want panic error", err)
+	ev, err := r.Evaluation(context.Background(), tinySpec(), []string{"astar"})
+	if err != nil {
+		t.Fatalf("suites must degrade gracefully past panicked runs, got %v", err)
+	}
+	if len(ev.Benches) != 1 || len(ev.Benches[0].Results) != 0 {
+		t.Error("panicked runs must not contribute results")
 	}
 	if st := r.Stats(); st.Panics == 0 {
 		t.Error("panic not counted")
+	}
+	errs := r.Errors()
+	if len(errs) != 4 { // one per mechanism
+		t.Fatalf("recorded %d errors, want 4: %+v", len(errs), errs)
+	}
+	for _, e := range errs {
+		if e.Outcome != "panic" || e.Err == nil || !strings.Contains(e.Err.Error(), "panicked") {
+			t.Errorf("unexpected error record: %+v", e)
+		}
 	}
 	// Failed runs are not memoized: with the fault cleared the same spec
 	// executes for real.
 	r.testExec = nil
 	if _, err := r.Evaluation(context.Background(), tinySpec(), []string{"astar"}); err != nil {
 		t.Fatalf("engine did not recover after panic: %v", err)
+	}
+}
+
+// TestFailedOutcomeDegradation: a run that ends in a non-completed outcome
+// is excluded from the suite aggregates, recorded for Errors() with its
+// diagnostic dump, kept out of the memo cache, and does not abort the rest
+// of the suite.
+func TestFailedOutcomeDegradation(t *testing.T) {
+	r := NewRunner(RunnerOptions{})
+	var calls atomic.Int32
+	r.testExec = func(w *workload.Workload, spec RunSpec) pipeline.Result {
+		calls.Add(1)
+		if spec.Sec.Mechanism == core.Baseline {
+			return pipeline.Result{Cycles: 123,
+				Outcome: pipeline.OutcomeDeadlock, Diag: "rob head: seq=7"}
+		}
+		return pipeline.Result{Cycles: 100, Committed: 100,
+			Outcome: pipeline.OutcomeInstTarget}
+	}
+	ev, err := r.Evaluation(context.Background(), tinySpec(), []string{"astar"})
+	if err != nil {
+		t.Fatalf("suite must continue past failed runs: %v", err)
+	}
+	b := ev.Benches[0]
+	if _, ok := b.Results[core.Baseline]; ok {
+		t.Error("deadlocked run must not enter the aggregates")
+	}
+	if len(b.Results) != len(core.Mechanisms)-1 {
+		t.Errorf("healthy runs missing: got %d results", len(b.Results))
+	}
+	errs := r.Errors()
+	if len(errs) != 1 {
+		t.Fatalf("recorded %d errors, want 1: %+v", len(errs), errs)
+	}
+	e := errs[0]
+	if e.Outcome != "deadlock" || e.Suite != SuiteFig5 || e.Benchmark != "astar" {
+		t.Errorf("bad error record: %+v", e)
+	}
+	if !strings.Contains(e.Err.Error(), "rob head") {
+		t.Error("recorded error must carry the diagnostic dump")
+	}
+	if st := r.Stats(); st.Executed != 3 {
+		t.Errorf("executed %d, want 3 (the failed run is not memoized)", st.Executed)
+	}
+	// Re-running the suite retries only the failed run; the healthy three
+	// come from the cache.
+	before := calls.Load()
+	if _, err := r.Evaluation(context.Background(), tinySpec(), []string{"astar"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load() - before; got != 1 {
+		t.Errorf("re-run executed %d simulations, want 1", got)
+	}
+}
+
+// TestRunTimeout: a per-run wall-clock timeout is a recorded failure, not a
+// suite abort.
+func TestRunTimeout(t *testing.T) {
+	r := NewRunner(RunnerOptions{Timeout: time.Nanosecond})
+	ev, err := r.Evaluation(context.Background(), tinySpec(), []string{"astar"})
+	if err != nil {
+		t.Fatalf("timeouts must degrade, not abort: %v", err)
+	}
+	if len(ev.Benches[0].Results) != 0 {
+		t.Error("timed-out runs must not contribute results")
+	}
+	errs := r.Errors()
+	if len(errs) == 0 {
+		t.Fatal("timeout not recorded")
+	}
+	for _, e := range errs {
+		if e.Outcome != "timeout" {
+			t.Errorf("outcome %q, want timeout", e.Outcome)
+		}
 	}
 }
 

@@ -77,11 +77,16 @@ func (r *Runner) evaluation(ctx context.Context, suite SuiteID, spec RunSpec, na
 			s.Sec.Mechanism = j.mech
 			res, err := r.run(ctx, suite, p, s)
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
+				// A failed run is recorded for Errors(); the benchmark's
+				// result map simply lacks this mechanism. Only engine-wide
+				// cancellation aborts the whole evaluation.
+				if suiteErr(ctx, err) != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
 				}
-				mu.Unlock()
 				return
 			}
 			mu.Lock()

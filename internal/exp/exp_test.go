@@ -37,6 +37,25 @@ func TestRunWorkloadProducesStats(t *testing.T) {
 	}
 }
 
+// TestRunWorkloadSelfCheck threads RunSpec.SelfCheck through to the
+// machine: a healthy run sweeps, finds nothing, and completes normally.
+func TestRunWorkloadSelfCheck(t *testing.T) {
+	p, _ := workload.ByName("astar")
+	w := workload.MustGenerate(p)
+	spec := fastSpec()
+	spec.SelfCheck = 64
+	res := RunWorkload(w, spec)
+	if !res.Outcome.Completed() {
+		t.Fatalf("outcome %v (diag %s)", res.Outcome, res.Diag)
+	}
+	if res.Hardening.SelfCheckSweeps == 0 {
+		t.Error("no self-check sweeps recorded")
+	}
+	if res.Hardening.SelfCheckViolations != 0 {
+		t.Errorf("%d violations on a healthy run", res.Hardening.SelfCheckViolations)
+	}
+}
+
 func TestOverheadHelper(t *testing.T) {
 	a := pipeline.Result{Cycles: 100}
 	b := pipeline.Result{Cycles: 150}

@@ -6,6 +6,8 @@
 package exp
 
 import (
+	"context"
+
 	"conspec/internal/config"
 	"conspec/internal/isa"
 	"conspec/internal/mem"
@@ -30,6 +32,10 @@ type RunSpec struct {
 	// nothing: the simulation is byte-identical with and without the obs
 	// subsystem compiled in.
 	MetricsInterval uint64
+	// SelfCheck, when non-zero, audits the machine's pipeline and security
+	// invariants every SelfCheck cycles (both phases); a violation ends the
+	// run with OutcomeAuditFailed. Zero (the default) disables sweeps.
+	SelfCheck uint64
 }
 
 // DefaultSpec returns the budget used by the standard experiment suites.
@@ -57,6 +63,54 @@ func RunWorkload(w *workload.Workload, spec RunSpec) pipeline.Result {
 // after warmup, so its histograms and time series cover exactly the measured
 // phase, and the returned Result carries the series.
 func RunWorkloadWith(w *workload.Workload, spec RunSpec, setup func(*pipeline.CPU)) pipeline.Result {
+	res, _ := RunWorkloadCtx(context.Background(), w, spec, setup)
+	return res
+}
+
+// runPhaseChunk bounds how many cycles runPhase simulates between
+// cancellation checks. It is deliberately larger than the default watchdog
+// window, so a deadlocked machine trips the watchdog inside one chunk
+// rather than having its no-progress window reset at a chunk boundary.
+const runPhaseChunk = 1 << 16
+
+// runPhase drives one committed-instruction phase in bounded chunks so the
+// caller can honor ctx between chunks without putting a check on the cycle
+// loop. The committed-instruction target and the total cycle budget are
+// fixed up front, so the machine evolves — and the returned Result reads —
+// exactly as a single RunFor(insts, maxCycles) call.
+func runPhase(ctx context.Context, cpu *pipeline.CPU, insts, maxCycles uint64) (pipeline.Result, error) {
+	start := cpu.Cycle()
+	done := cpu.Result().Committed
+	target := done + insts
+	if target < done { // overflow: no instruction limit
+		target = ^uint64(0)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return cpu.Result(), err
+		}
+		budget := maxCycles - (cpu.Cycle() - start)
+		if budget > runPhaseChunk {
+			budget = runPhaseChunk
+		}
+		res := cpu.RunFor(target-cpu.Result().Committed, budget)
+		if res.Outcome != pipeline.OutcomeCycleCapExceeded {
+			return res, nil // halted, budget reached, or the machine failed
+		}
+		if cpu.Cycle()-start >= maxCycles {
+			return res, nil // the real cycle cap, not a chunk boundary
+		}
+	}
+}
+
+// RunWorkloadCtx is RunWorkloadWith with cancellation: the simulation checks
+// ctx between bounded chunks of cycles, so a Runner timeout or a SIGINT
+// stops a wedged run mid-flight. The returned error is non-nil only for
+// cancellation; simulation failures (deadlock, audit violation, cycle cap)
+// are reported through Result.Outcome. A warmup phase that fails returns
+// that phase's Result immediately — its Outcome and Diag describe the
+// failure — instead of measuring a broken machine.
+func RunWorkloadCtx(ctx context.Context, w *workload.Workload, spec RunSpec, setup func(*pipeline.CPU)) (pipeline.Result, error) {
 	maxCycles := spec.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 400 * (spec.Warmup + spec.Measure)
@@ -70,8 +124,12 @@ func RunWorkloadWith(w *workload.Workload, spec RunSpec, setup func(*pipeline.CP
 	if setup != nil {
 		setup(cpu)
 	}
+	cpu.SetSelfCheck(spec.SelfCheck)
 	cpu.SetPC(w.Entry)
-	cpu.RunFor(spec.Warmup, maxCycles)
+	wres, err := runPhase(ctx, cpu, spec.Warmup, maxCycles)
+	if err != nil || !wres.Outcome.Completed() {
+		return wres, err
+	}
 	cpu.ResetStats()
 	var m *pipeline.Metrics
 	if spec.MetricsInterval > 0 {
@@ -79,11 +137,11 @@ func RunWorkloadWith(w *workload.Workload, spec RunSpec, setup func(*pipeline.CP
 		m.EnableSampling(spec.MetricsInterval, 4096)
 		cpu.AttachMetrics(m)
 	}
-	res := cpu.RunFor(spec.Measure, maxCycles)
+	res, err := runPhase(ctx, cpu, spec.Measure, maxCycles)
 	if m != nil {
 		res.Series = m.Series()
 	}
-	return res
+	return res, err
 }
 
 // Overhead returns the runtime overhead of res relative to origin runs of

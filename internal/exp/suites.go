@@ -122,17 +122,17 @@ func (r *Runner) Scope(ctx context.Context, spec RunSpec, names []string) (*Scop
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
 		origin, err := r.run(ctx, SuiteScope, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.Baseline, Scope: core.ScopeBranchOnly}
 		bo, err := r.run(ctx, SuiteScope, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.Baseline, Scope: core.ScopeBranchMem}
 		full, err := r.run(ctx, SuiteScope, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		ovBO, ovFull := Overhead(origin, bo), Overhead(origin, full)
 		mu.Lock()
@@ -199,7 +199,7 @@ func (r *Runner) LRU(ctx context.Context, spec RunSpec, names []string) (*LRURes
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
 		origin, err := r.run(ctx, SuiteLRU, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
 		var deltas [3]float64
@@ -207,7 +207,7 @@ func (r *Runner) LRU(ctx context.Context, spec RunSpec, names []string) (*LRURes
 			s.L1DUpdate = pol
 			res, err := r.run(ctx, SuiteLRU, p, s)
 			if err != nil {
-				return err
+				return suiteErr(ctx, err)
 			}
 			deltas[i] = Overhead(origin, res)
 		}
@@ -261,18 +261,18 @@ func (r *Runner) ICache(ctx context.Context, spec RunSpec, names []string) (*ICa
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
 		origin, err := r.run(ctx, SuiteICache, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
 		base, err := r.run(ctx, SuiteICache, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		without := Overhead(origin, base)
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf, ICacheFilter: true}
 		res, err := r.run(ctx, SuiteICache, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		mu.Lock()
 		out.Without += without / n
@@ -377,18 +377,18 @@ func (r *Runner) DTLB(ctx context.Context, spec RunSpec, names []string) (*DTLBR
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.Origin}
 		origin, err := r.run(ctx, SuiteDTLB, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
 		base, err := r.run(ctx, SuiteDTLB, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		without := Overhead(origin, base)
 		s.Sec = pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf, DTLBFilter: true}
 		res, err := r.run(ctx, SuiteDTLB, p, s)
 		if err != nil {
-			return err
+			return suiteErr(ctx, err)
 		}
 		mu.Lock()
 		out.Without += without / n

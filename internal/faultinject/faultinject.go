@@ -1,0 +1,145 @@
+// Package faultinject perturbs one microarchitectural fact per run to
+// mutation-test the defense: if the secmatrix, the TPBuf, the wakeup
+// network, or the delayed-LRU policy silently rots, something — the in-run
+// invariant auditor, the forward-progress watchdog, or the attack harness's
+// leak check — must notice. A corpus test (see faultinject_test.go) asserts
+// exactly that for every fault class.
+//
+// The injector is deterministic: the same seed, start cycle, and workload
+// reproduce the same corruption, so a caught fault's diagnostic dump can be
+// replayed (EXPERIMENTS.md has the recipe). It attaches behind the CPU's
+// fault hook, which the cycle loop consults with a single nil check, so a
+// machine without an injector keeps the zero-allocation hot path.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"conspec/internal/pipeline"
+)
+
+// Class names one fault class — one kind of microarchitectural fact to
+// corrupt.
+type Class int
+
+const (
+	// SecMatrixBit flips one bit in a live memory instruction's security
+	// dependence row. Caught by the secmatrix row audit.
+	SecMatrixBit Class = iota
+	// SuspectClear clears TPBuf suspect (S) bits. One-shot is caught by the
+	// S-vs-uop audit; persistent disables S-Pattern detection entirely and
+	// is caught by the attack harness (the secret leaks).
+	SuspectClear
+	// TPBufBit flips a TPBuf V/W/S/page bit (Config.Field selects which).
+	// Caught by the TPBuf shadowing audit.
+	TPBufBit
+	// DroppedWakeup removes a pending wakeup registration, wedging one
+	// issue-queue entry forever. Caught by the ready-list audit or, with
+	// self-checking off, the forward-progress watchdog.
+	DroppedWakeup
+	// LRUSkew applies deferred (§VII.A delayed-update) LRU refreshes while
+	// the owing loads are still speculative. No pipeline invariant ties
+	// replacement state to the queues, so only the attack harness's leak
+	// check can catch it.
+	LRUSkew
+)
+
+// Classes lists every fault class, in declaration order.
+var Classes = []Class{SecMatrixBit, SuspectClear, TPBufBit, DroppedWakeup, LRUSkew}
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case SecMatrixBit:
+		return "secmatrix-bit"
+	case SuspectClear:
+		return "suspect-clear"
+	case TPBufBit:
+		return "tpbuf-bit"
+	case DroppedWakeup:
+		return "dropped-wakeup"
+	case LRUSkew:
+		return "lru-skew"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ByName resolves a class name as printed by String (CLI flag form).
+func ByName(name string) (Class, error) {
+	for _, c := range Classes {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown class %q", name)
+}
+
+// Config describes one deterministic fault campaign.
+type Config struct {
+	Class Class
+	// Seed drives victim selection; the same seed reproduces the same run.
+	Seed int64
+	// Start is the first cycle eligible for injection (0 = immediately).
+	// Injection may land later: a primitive with no eligible victim on a
+	// given cycle retries on the next.
+	Start uint64
+	// Persistent re-injects every cycle instead of stopping after the first
+	// applied fault. SuspectClear and LRUSkew use it to model a *disabled*
+	// mechanism rather than a one-off upset — the mode whose only witness is
+	// the attack harness.
+	Persistent bool
+	// Field selects the TPBuf bit for TPBufBit: 'V', 'W', 'S' or 'P'
+	// (page-tag). Ignored by other classes.
+	Field byte
+}
+
+// Injector applies one fault campaign to a CPU via its fault hook.
+type Injector struct {
+	cfg Config
+	rng *rand.Rand
+	// Injected counts applied corruptions (0 means no eligible victim ever
+	// appeared — the corpus test treats that as a failure too).
+	Injected uint64
+}
+
+// New builds an injector for the campaign.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Hook returns the per-cycle function to install with CPU.SetFaultHook.
+func (in *Injector) Hook() func(*pipeline.CPU) {
+	return func(c *pipeline.CPU) {
+		if c.Cycle() < in.cfg.Start {
+			return
+		}
+		if !in.cfg.Persistent && in.Injected > 0 {
+			return
+		}
+		n := in.rng.Intn(1 << 20)
+		var applied bool
+		switch in.cfg.Class {
+		case SecMatrixBit:
+			applied = c.InjectSecMatrixBitFlip(n)
+		case SuspectClear:
+			if in.cfg.Persistent {
+				n = -1
+			}
+			applied = c.InjectSuspectClear(n)
+		case TPBufBit:
+			applied = c.InjectTPBufBit(n, in.cfg.Field)
+		case DroppedWakeup:
+			applied = c.InjectDropWakeup(n)
+		case LRUSkew:
+			if in.cfg.Persistent {
+				n = -1
+			}
+			applied = c.InjectLRUTouch(n)
+		}
+		if applied {
+			in.Injected++
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package faultinject_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"conspec/internal/asm"
+	"conspec/internal/attack"
+	"conspec/internal/config"
+	"conspec/internal/core"
+	"conspec/internal/faultinject"
+	"conspec/internal/isa"
+	"conspec/internal/mem"
+	"conspec/internal/pipeline"
+)
+
+const progBase = 0x10000
+
+// testCore shrinks the outer cache levels of the paper core so runs stay
+// fast; geometry otherwise matches the evaluation machine.
+func testCore() config.Core {
+	c := config.PaperCore()
+	c.Mem.L1ISize = 8 * 1024
+	c.Mem.L1DSize = 8 * 1024
+	c.Mem.L2Size = 64 * 1024
+	c.Mem.L3Size = 256 * 1024
+	return c
+}
+
+// suspectKernel loops forever generating exactly the state the injector
+// needs victims from: a cold strided load feeds a slow-resolving branch (an
+// unissued security producer), so the hot loads behind it issue suspect and
+// populate secmatrix rows and TPBuf S bits every iteration.
+func suspectKernel() *asm.Program {
+	b := asm.New()
+	b.Li(asm.A0, 0x40000)  // hot buffer: warms, then suspect HITs
+	b.Li(asm.A1, 0x400000) // cold strided pointer: always misses
+	b.Bind("loop")
+	b.Ld(asm.T0, asm.A1, 0)
+	b.Addi(asm.A1, asm.A1, 4096)
+	b.Beq(asm.T0, asm.Zero, "next") // waits ~MemLat: unissued producer
+	b.Bind("next")
+	b.Ld(asm.T1, asm.A0, 0) // suspect load
+	b.Add(asm.S3, asm.S3, asm.T1)
+	b.St(asm.S3, asm.A0, 8)
+	b.Jmp("loop")
+	return b.MustAssemble(progBase)
+}
+
+// wedgeProgram is a straight-line dependence chain behind a cold miss: no
+// branches, so a dropped wakeup can never be rescued by a squash.
+func wedgeProgram() *asm.Program {
+	b := asm.New()
+	b.Li(asm.A0, 0x200000)
+	b.Ld(asm.T0, asm.A0, 0)
+	b.Add(asm.T1, asm.T0, asm.A0)
+	for i := 0; i < 40; i++ {
+		b.Add(asm.T1, asm.T1, asm.A0)
+	}
+	b.Halt()
+	return b.MustAssemble(progBase)
+}
+
+func newMachine(prog *asm.Program) *pipeline.CPU {
+	backing := isa.NewFlatMem()
+	prog.Load(backing)
+	cpu := pipeline.NewWithMemory(testCore(),
+		pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf, Scope: core.ScopeBranchMem}, backing)
+	cpu.SetPC(prog.Base)
+	return cpu
+}
+
+// TestAuditCaughtFaults covers the fault classes whose corruption breaks a
+// recomputable invariant: with a self-check sweep every cycle, detection is
+// the same cycle the fault lands, and the run must end OutcomeAuditFailed
+// with a violation naming the corrupted structure.
+func TestAuditCaughtFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  faultinject.Config
+		want string // substring of the violation
+	}{
+		{"secmatrix-bit", faultinject.Config{Class: faultinject.SecMatrixBit, Seed: 11, Start: 2000}, "secmatrix"},
+		{"suspect-clear", faultinject.Config{Class: faultinject.SuspectClear, Seed: 12, Start: 2000}, "tpbuf"},
+		{"tpbuf-v", faultinject.Config{Class: faultinject.TPBufBit, Seed: 13, Start: 2000, Field: 'V'}, "tpbuf"},
+		{"tpbuf-w", faultinject.Config{Class: faultinject.TPBufBit, Seed: 14, Start: 2000, Field: 'W'}, "tpbuf"},
+		{"tpbuf-s", faultinject.Config{Class: faultinject.TPBufBit, Seed: 15, Start: 2000, Field: 'S'}, "tpbuf"},
+		{"tpbuf-page", faultinject.Config{Class: faultinject.TPBufBit, Seed: 16, Start: 2000, Field: 'P'}, "tpbuf"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cpu := newMachine(suspectKernel())
+			inj := faultinject.New(tc.cfg)
+			cpu.SetFaultHook(inj.Hook())
+			cpu.SetSelfCheck(1)
+			res := cpu.Run(300_000)
+			if inj.Injected == 0 {
+				t.Fatal("no fault was ever injected — vacuous run")
+			}
+			if res.Outcome != pipeline.OutcomeAuditFailed {
+				t.Fatalf("outcome %v, want audit-failed (err %v)", res.Outcome, cpu.Err())
+			}
+			err := cpu.Err()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("violation %v does not name %q", err, tc.want)
+			}
+			if res.Hardening.SelfCheckViolations == 0 || res.Hardening.FaultsInjected == 0 {
+				t.Fatalf("hardening stats not recorded: %+v", res.Hardening)
+			}
+			if res.Diag == "" {
+				t.Fatal("audit failure must carry a diagnostic dump")
+			}
+		})
+	}
+}
+
+// TestDroppedWakeupCaught: a dropped wakeup wedges one issue-queue entry.
+// The ready-list audit sees it the moment its operand becomes ready; with
+// self-checking off, the forward-progress watchdog is the backstop.
+func TestDroppedWakeupCaught(t *testing.T) {
+	t.Run("selfcheck", func(t *testing.T) {
+		cpu := newMachine(wedgeProgram())
+		inj := faultinject.New(faultinject.Config{Class: faultinject.DroppedWakeup, Seed: 21, Start: 20})
+		cpu.SetFaultHook(inj.Hook())
+		cpu.SetSelfCheck(1)
+		res := cpu.Run(300_000)
+		if inj.Injected == 0 {
+			t.Fatal("no fault was ever injected")
+		}
+		if res.Outcome != pipeline.OutcomeAuditFailed {
+			t.Fatalf("outcome %v, want audit-failed (err %v)", res.Outcome, cpu.Err())
+		}
+		if err := cpu.Err(); !strings.Contains(err.Error(), "ready") {
+			t.Fatalf("violation %v does not name the ready list", err)
+		}
+	})
+	t.Run("watchdog", func(t *testing.T) {
+		cpu := newMachine(wedgeProgram())
+		inj := faultinject.New(faultinject.Config{Class: faultinject.DroppedWakeup, Seed: 21, Start: 20})
+		cpu.SetFaultHook(inj.Hook())
+		res := cpu.Run(10_000_000)
+		if inj.Injected == 0 {
+			t.Fatal("no fault was ever injected")
+		}
+		if res.Outcome != pipeline.OutcomeDeadlock {
+			t.Fatalf("outcome %v, want deadlock (err %v)", res.Outcome, cpu.Err())
+		}
+		if !errors.Is(cpu.Err(), pipeline.ErrNoProgress) {
+			t.Fatalf("Err() = %v, want ErrNoProgress", cpu.Err())
+		}
+		if !strings.Contains(res.Diag, "rob head") {
+			t.Fatalf("dump does not name the blocked uop:\n%s", res.Diag)
+		}
+	})
+}
+
+// TestPersistentFaultsLeak covers the two classes whose persistent form
+// leaves every pipeline invariant intact — the mechanism is simply *off* —
+// so only the attack harness's end-to-end leak check can convict them.
+func TestPersistentFaultsLeak(t *testing.T) {
+	sec := pipeline.SecurityConfig{Mechanism: core.CacheHitTPBuf}
+
+	t.Run("suspect-clear", func(t *testing.T) {
+		cfg := config.PaperCore()
+		cfg.Mem.L2Size = 256 * 1024
+		cfg.Mem.L3Size = 1024 * 1024
+		h := attack.V1FlushReload(cfg)
+		if base := h.Run(cfg, sec); base.Leaked {
+			t.Fatal("baseline must be defended before the fault means anything")
+		}
+		inj := faultinject.New(faultinject.Config{Class: faultinject.SuspectClear, Seed: 31, Persistent: true})
+		out := h.RunWith(cfg, sec, func(c *pipeline.CPU) { c.SetFaultHook(inj.Hook()) })
+		if inj.Injected == 0 {
+			t.Fatal("no fault was ever injected")
+		}
+		if !out.Leaked {
+			t.Fatalf("clearing every S bit must re-open the Flush+Reload leak (recovered %x of %x)",
+				out.Recovered, out.Secret)
+		}
+	})
+
+	t.Run("lru-skew", func(t *testing.T) {
+		cfg := config.PaperCore()
+		cfg.Mem.L2Size = 256 * 1024
+		cfg.Mem.L3Size = 1024 * 1024
+		cfg.Mem.L1DUpdate = mem.UpdateDelayed
+		h := attack.LRUSideChannel(cfg)
+		if base := h.Run(cfg, sec); base.Leaked {
+			t.Fatal("delayed-update baseline must be defended")
+		}
+		inj := faultinject.New(faultinject.Config{Class: faultinject.LRUSkew, Seed: 32, Persistent: true})
+		out := h.RunWith(cfg, sec, func(c *pipeline.CPU) { c.SetFaultHook(inj.Hook()) })
+		if inj.Injected == 0 {
+			t.Fatal("no fault was ever injected")
+		}
+		if !out.Leaked {
+			t.Fatalf("applying deferred LRU touches speculatively must re-open the replacement-state leak (recovered %x of %x)",
+				out.Recovered, out.Secret)
+		}
+	})
+}
+
+// TestCorpusCoversAllClasses pins the acceptance criterion: every fault
+// class the injector can produce has a detection test in this file. Adding
+// a class without teaching the corpus about it fails here.
+func TestCorpusCoversAllClasses(t *testing.T) {
+	covered := map[faultinject.Class]string{
+		faultinject.SecMatrixBit:  "TestAuditCaughtFaults/secmatrix-bit",
+		faultinject.SuspectClear:  "TestAuditCaughtFaults/suspect-clear + TestPersistentFaultsLeak/suspect-clear",
+		faultinject.TPBufBit:      "TestAuditCaughtFaults/tpbuf-*",
+		faultinject.DroppedWakeup: "TestDroppedWakeupCaught",
+		faultinject.LRUSkew:       "TestPersistentFaultsLeak/lru-skew",
+	}
+	for _, c := range faultinject.Classes {
+		if covered[c] == "" {
+			t.Errorf("fault class %v has no detection test in the corpus", c)
+		}
+	}
+	if len(faultinject.Classes) < 5 {
+		t.Fatalf("corpus must cover >= 5 fault classes, have %d", len(faultinject.Classes))
+	}
+	for _, name := range []string{"secmatrix-bit", "suspect-clear", "tpbuf-bit", "dropped-wakeup", "lru-skew"} {
+		if _, err := faultinject.ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := faultinject.ByName("no-such"); err == nil {
+		t.Error("ByName must reject unknown classes")
+	}
+}

@@ -1,0 +1,188 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"conspec/internal/core"
+	"conspec/internal/isa"
+)
+
+// auditSecurity validates the security structures against the pipeline
+// state they shadow. Called from CheckInvariants, so it runs between tests
+// and — under -selfcheck K — every K cycles during a run. The checks are
+// recomputations from first principles, not reads of the mechanism's own
+// bookkeeping, so a single corrupted bit (cosmic ray or injected fault)
+// shows up as a divergence:
+//
+//   - secmatrix rows are consistent with IQ residency: row x of a live
+//     memory instruction holds exactly the live older producers (§V.B's
+//     dispatch formula re-evaluated against the current queue, using the
+//     fact that bits only clear after dispatch);
+//   - non-memory instructions and suspect flags: a row exists only for
+//     memory instructions, and a once-blocked instruction runs unblocked
+//     only after every producer issued (empty row);
+//   - TPBuf shadows the LSQ 1:1: A bits match occupancy, V/W/S/page bits
+//     match the occupant's execution state, the age mask matches sequence
+//     numbers;
+//   - eq. (1) re-evaluated: the buffer's safety verdict for every valid
+//     load entry equals an independent recomputation over sequence numbers
+//     and status bits.
+func (c *CPU) auditSecurity() error {
+	if err := c.auditSecMatrix(); err != nil {
+		return err
+	}
+	return c.auditTPBuf()
+}
+
+func (c *CPU) auditSecMatrix() error {
+	sm := c.secmat
+	if sm == nil {
+		return nil
+	}
+	for x, u := range c.iq {
+		if u == nil {
+			continue
+		}
+		if u.class() != core.ClassMem {
+			if sm.Peek(x) {
+				return fmt.Errorf("secmatrix: non-memory IQ entry %d (seq %d, %v) has a non-empty row",
+					x, u.seq, u.inst.Op)
+			}
+			continue
+		}
+		// A live IQ entry is by construction unissued, and row bits are set
+		// only at dispatch and cleared when the producer issues, squashes, or
+		// is reallocated — so post-ClockEdge the row must equal exactly the
+		// set of live older producers.
+		for y := 0; y < sm.Size(); y++ {
+			p := c.iq[y]
+			want := y != x && p != nil && sm.IsProducer(p.class()) && p.seq < u.seq
+			if got := sm.Get(x, y); got != want {
+				return fmt.Errorf("secmatrix: bit (%d,%d) = %v, want %v (consumer seq %d, column %s)",
+					x, y, got, want, u.seq, describeIQ(p))
+			}
+		}
+		if u.blockedSec && !u.wasBlocked {
+			return fmt.Errorf("secmatrix: IQ entry %d (seq %d) blockedSec without wasBlocked", x, u.seq)
+		}
+		if u.blockedSec && u.issued {
+			return fmt.Errorf("secmatrix: IQ entry %d (seq %d) blockedSec but issued", x, u.seq)
+		}
+		// The suspect window closes only when every producer has issued: a
+		// once-blocked instruction running unblocked must have an empty row
+		// (rows never gain bits after dispatch).
+		if u.wasBlocked && !u.blockedSec && sm.Peek(x) {
+			return fmt.Errorf("secmatrix: IQ entry %d (seq %d) unblocked with dependences still set", x, u.seq)
+		}
+	}
+	return nil
+}
+
+func describeIQ(u *uop) string {
+	if u == nil {
+		return "free"
+	}
+	return fmt.Sprintf("seq %d %v issued=%v", u.seq, u.inst.Op, u.issued)
+}
+
+func (c *CPU) auditTPBuf() error {
+	t := c.tpbuf
+	if t == nil {
+		return nil
+	}
+	occ := 0
+	for i := 0; i < t.Size(); i++ {
+		u := c.tpOccupant(i)
+		a, v, w, s, ppn := t.Entry(i)
+		if a != (u != nil) {
+			return fmt.Errorf("tpbuf: entry %d A=%v but LSQ slot %s", i, a, describeIQ(u))
+		}
+		if u == nil {
+			continue
+		}
+		occ++
+		isLoad := i < c.cfg.LDQ
+		switch {
+		case isLoad && w != u.completed:
+			return fmt.Errorf("tpbuf: load entry %d (seq %d) W=%v but completed=%v", i, u.seq, w, u.completed)
+		case !isLoad && w:
+			return fmt.Errorf("tpbuf: store entry %d (seq %d) has W set", i, u.seq)
+		}
+		if u.issued && !v {
+			return fmt.Errorf("tpbuf: entry %d (seq %d) issued without V", i, u.seq)
+		}
+		if v && !u.addrReady {
+			return fmt.Errorf("tpbuf: entry %d (seq %d) V set before address resolved", i, u.seq)
+		}
+		if v {
+			// The DTLB is an identity mapping, so the recorded tag is a pure
+			// function of the address: recompute and compare.
+			if want := c.tpTag(u.memAddr, u.memAddr>>isa.PageBits); ppn != want {
+				return fmt.Errorf("tpbuf: entry %d (seq %d) page tag %#x, want %#x for addr %#x",
+					i, u.seq, ppn, want, u.memAddr)
+			}
+		}
+		// InvisiSpec-style comparators never mark loads suspect in the
+		// buffer; everything else records the issuing uop's suspect flag.
+		if u.issued && !(isLoad && c.sec.Mechanism.InvisibleLoads()) && s != u.suspect {
+			return fmt.Errorf("tpbuf: entry %d (seq %d) S=%v but uop suspect=%v", i, u.seq, s, u.suspect)
+		}
+	}
+	if got := t.Occupancy(); got != occ {
+		return fmt.Errorf("tpbuf: occupancy %d but %d allocated entries", got, occ)
+	}
+	// Age mask vs. sequence numbers: allocation follows program order, so
+	// "j older than i" must agree with seq comparison for every live pair.
+	for i := 0; i < t.Size(); i++ {
+		ui := c.tpOccupant(i)
+		if ui == nil {
+			continue
+		}
+		for j := 0; j < t.Size(); j++ {
+			uj := c.tpOccupant(j)
+			if uj == nil || i == j {
+				continue
+			}
+			if got, want := t.Older(i, j), uj.seq < ui.seq; got != want {
+				return fmt.Errorf("tpbuf: age mask says entry %d older than %d = %v, want %v (seq %d vs %d)",
+					j, i, got, want, uj.seq, ui.seq)
+			}
+		}
+	}
+	// Eq. (1) recheck: the buffer's own verdict for every valid load entry
+	// must match a from-scratch recomputation over seq order and status bits.
+	for i := 0; i < c.cfg.LDQ; i++ {
+		ui := c.tpOccupant(i)
+		_, v, _, _, ppn := t.Entry(i)
+		if ui == nil || !v {
+			continue
+		}
+		safe := true
+		for j := 0; j < t.Size(); j++ {
+			uj := c.tpOccupant(j)
+			if uj == nil || uj.seq >= ui.seq {
+				continue
+			}
+			_, vj, wj, sj, ppnj := t.Entry(j)
+			wOK := wj || t.Variant() == core.VariantNoW
+			if vj && wOK && sj && ppnj != ppn {
+				safe = false
+				break
+			}
+		}
+		if got := t.AuditSafe(i, ppn); got != safe {
+			return fmt.Errorf("tpbuf: eq.(1) verdict for load entry %d (seq %d) = safe:%v, recomputed safe:%v",
+				i, ui.seq, got, safe)
+		}
+	}
+	return nil
+}
+
+// tpOccupant returns the uop occupying TPBuf entry i: the LDQ for the first
+// LDQ indices, the STQ above them (the buffer shadows the LSQ 1:1).
+func (c *CPU) tpOccupant(i int) *uop {
+	if i < c.cfg.LDQ {
+		return c.ldq[i]
+	}
+	return c.stq[i-c.cfg.LDQ]
+}

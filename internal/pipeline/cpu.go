@@ -159,6 +159,14 @@ type Result struct {
 	// Stages is the per-stage cycle-accounting counter set.
 	Stages StageStats
 
+	// Outcome classifies how the producing Run/RunFor call ended; Diag
+	// carries the watchdog/audit diagnostic dump for failed outcomes (empty
+	// otherwise). Hardening counts the self-checking layer's activity. All
+	// three stay zero for healthy runs with the hardening layer disabled.
+	Outcome   RunOutcome     `json:",omitempty"`
+	Diag      string         `json:",omitempty"`
+	Hardening HardeningStats `json:",omitempty"`
+
 	// Series is the sampled metric time series, populated by the exp layer
 	// after the run when interval sampling was enabled (never by the cycle
 	// loop itself — materializing it allocates). Nil otherwise.
@@ -265,6 +273,20 @@ type CPU struct {
 
 	halted bool
 
+	// Forward-progress watchdog (see watchdog.go): lastProgress is the most
+	// recent committing cycle; the run fails with OutcomeDeadlock when
+	// cycle-lastProgress reaches watchdogLimit (0 = disabled). runErr is the
+	// sticky terminal error of a failed run. selfCheckEvery > 0 audits the
+	// machine's invariants every that many cycles. faultHook, when non-nil,
+	// runs once per cycle after the stages and the security clock edge —
+	// the fault-injection attachment point (see fault.go).
+	lastProgress   uint64
+	watchdogLimit  uint64
+	selfCheckEvery uint64
+	runErr         error
+	runOutcome     RunOutcome
+	faultHook      func(*CPU)
+
 	// sinks, when non-empty, receive one obs.TraceEvent per pipeline event
 	// (see trace.go).
 	sinks []obs.EventSink
@@ -326,6 +348,14 @@ func New(cfg config.Core, sec SecurityConfig, hier *mem.Hierarchy) *CPU {
 	}
 	c.tpbuf = core.NewTPBuf(cfg.LDQ + cfg.STQ).SetVariant(sec.TPBufVariant)
 	c.committedTarget = ^uint64(0)
+	switch {
+	case cfg.Watchdog < 0:
+		c.watchdogLimit = 0
+	case cfg.Watchdog == 0:
+		c.watchdogLimit = defaultWatchdogLimit(cfg.Mem.MemLat)
+	default:
+		c.watchdogLimit = uint64(cfg.Watchdog)
+	}
 	// Registers x0..x31 start mapped to physical 0..31; all ready. Physical
 	// register 0 is pinned to zero for x0.
 	for r := 0; r < isa.NumRegs; r++ {
@@ -413,16 +443,34 @@ func (c *CPU) Run(maxCycles uint64) Result {
 	return c.RunFor(^uint64(0), maxCycles)
 }
 
-// RunFor executes until `insts` more instructions commit, HALT commits, or
-// maxCycles elapse.
+// RunFor executes until `insts` more instructions commit, HALT commits,
+// maxCycles elapse, or the machine fails (watchdog trip or self-check
+// violation — see Result.Outcome and CPU.Err).
 func (c *CPU) RunFor(insts, maxCycles uint64) Result {
 	c.committedTarget = c.stats.Committed + insts
 	if c.committedTarget < c.stats.Committed { // overflow: no limit
 		c.committedTarget = ^uint64(0)
 	}
 	start := c.cycle
-	for !c.halted && c.cycle-start < maxCycles && c.stats.Committed < c.committedTarget {
+	// Each RunFor call grants a fresh no-progress grace window; the commit
+	// history of a previous (possibly drained) run must not count against it.
+	if c.lastProgress < c.cycle {
+		c.lastProgress = c.cycle
+	}
+	for !c.halted && c.runErr == nil && c.cycle-start < maxCycles && c.stats.Committed < c.committedTarget {
 		c.step()
+	}
+	switch {
+	case c.runErr != nil:
+		// tripWatchdog/failAudit set stats.Outcome at trip time, but an
+		// intervening ResetStats clears it; the sticky copy survives.
+		c.stats.Outcome = c.runOutcome
+	case c.halted:
+		c.stats.Outcome = OutcomeHalted
+	case c.stats.Committed >= c.committedTarget:
+		c.stats.Outcome = OutcomeInstTarget
+	default:
+		c.stats.Outcome = OutcomeCycleCapExceeded
 	}
 	return c.snapshotResult()
 }
@@ -430,7 +478,7 @@ func (c *CPU) RunFor(insts, maxCycles uint64) Result {
 // StepCycle advances the machine by exactly one cycle; multi-core harnesses
 // (Duo) interleave cores with it. Single-core users should prefer Run.
 func (c *CPU) StepCycle() {
-	if !c.halted {
+	if !c.halted && c.runErr == nil {
 		c.step()
 	}
 }
@@ -469,6 +517,28 @@ func (c *CPU) step() {
 	st.ExecInflight += uint64(len(c.inflight))
 	if c.m.enabled() {
 		c.sampleCycle()
+	}
+	// Hardening layer. The fault hook fires after the stages and the
+	// security clock edge, immediately before the checks, so a same-cycle
+	// self-check sweep sees an injected corruption before any stage logic
+	// can react to (or mask) it. Steady-state cost with everything
+	// disabled/healthy: two predicted branches and one compare.
+	if c.faultHook != nil {
+		c.faultHook(c)
+	}
+	if c.stats.Committed != committedBefore {
+		c.lastProgress = c.cycle
+	} else if c.watchdogLimit != 0 && c.cycle-c.lastProgress >= c.watchdogLimit {
+		c.tripWatchdog()
+	}
+	if c.selfCheckEvery != 0 && c.cycle%c.selfCheckEvery == 0 && c.runErr == nil {
+		c.stats.Hardening.SelfCheckSweeps++
+		c.m.selfcheckSweeps.Inc()
+		if err := c.CheckInvariants(); err != nil {
+			c.stats.Hardening.SelfCheckViolations++
+			c.m.selfcheckViolations.Inc()
+			c.failAudit(err)
+		}
 	}
 }
 

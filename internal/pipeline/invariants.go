@@ -157,5 +157,7 @@ func (c *CPU) CheckInvariants() error {
 	if c.fqLen < 0 || c.fqLen > c.fetchQCap || c.fqHead < 0 || c.fqHead >= c.fetchQCap {
 		return fmt.Errorf("fetch ring out of bounds: head=%d len=%d cap=%d", c.fqHead, c.fqLen, c.fetchQCap)
 	}
-	return nil
+
+	// Security structures (secmatrix, TPBuf) against the queues they shadow.
+	return c.auditSecurity()
 }

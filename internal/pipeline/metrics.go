@@ -42,6 +42,13 @@ type Metrics struct {
 	// verdict blocked — architecturally benign blocks, i.e. the filter's
 	// false positives.
 	tpbufUnsafeCommitted *obs.Counter
+
+	// Hardening-layer activity (see watchdog.go and fault.go): all zero on
+	// healthy runs with selfcheck off and no injector attached.
+	watchdogTrips       *obs.Counter
+	selfcheckSweeps     *obs.Counter
+	selfcheckViolations *obs.Counter
+	faultsInjected      *obs.Counter
 }
 
 // NewMetrics builds a registry populated with the pipeline's standard
@@ -61,6 +68,10 @@ func NewMetrics() *Metrics {
 		robOcc:               r.Histogram("rob_occupancy", obs.DefaultBounds),
 		tpbufOcc:             r.Histogram("tpbuf_occupancy", obs.DefaultBounds),
 		tpbufUnsafeCommitted: r.Counter("tpbuf_unsafe_committed"),
+		watchdogTrips:        r.Counter("watchdog_trips"),
+		selfcheckSweeps:      r.Counter("selfcheck_sweeps"),
+		selfcheckViolations:  r.Counter("selfcheck_violations"),
+		faultsInjected:       r.Counter("faults_injected"),
 	}
 }
 

@@ -389,6 +389,57 @@ func TestSSBDCostsPerformance(t *testing.T) {
 	run(true) // correctness assertions inside; cost varies with the kernel
 }
 
+// TestSelfCheckStressAllMechanisms runs the random-program corpus under
+// every mechanism — plus SSBD — with a self-check sweep every cycle: the
+// security-structure audits (secmatrix residency, TPBuf shadowing, the
+// eq. (1) recheck) must stay silent on a healthy machine no matter how the
+// queues churn.
+func TestSelfCheckStressAllMechanisms(t *testing.T) {
+	configs := []struct {
+		name string
+		sec  SecurityConfig
+	}{
+		{"origin", SecurityConfig{Mechanism: core.Origin}},
+		{"baseline", SecurityConfig{Mechanism: core.Baseline}},
+		{"cachehit", SecurityConfig{Mechanism: core.CacheHit}},
+		{"cachehit-tpbuf", SecurityConfig{Mechanism: core.CacheHitTPBuf}},
+		{"ssbd", SecurityConfig{Mechanism: core.Origin, SSBD: true}},
+	}
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < trials; trial++ {
+		prog := randomProgram(rng)
+		for _, tc := range configs {
+			backing := isa.NewFlatMem()
+			prog.Load(backing)
+			cfg := tinyCore()
+			cfg.MaxMSHRs = 2
+			cpu := NewWithMemory(cfg, tc.sec, backing)
+			cpu.SetSelfCheck(1)
+			cpu.SetPC(prog.Base)
+			for !cpu.Halted() {
+				res := cpu.RunFor(200, 500_000)
+				if err := cpu.Err(); err != nil {
+					t.Fatalf("trial %d %s: %v\n%s", trial, tc.name, err, res.Diag)
+				}
+				if res.Cycles > 2_000_000 {
+					t.Fatalf("trial %d %s: runaway", trial, tc.name)
+				}
+			}
+			res := cpu.Result()
+			if res.Outcome != OutcomeHalted {
+				t.Fatalf("trial %d %s: outcome %v", trial, tc.name, res.Outcome)
+			}
+			if res.Hardening.SelfCheckViolations != 0 {
+				t.Fatalf("trial %d %s: %d violations", trial, tc.name, res.Hardening.SelfCheckViolations)
+			}
+		}
+	}
+}
+
 // TestFusedStoresAblation: under the gem5-style fused-store model, a store
 // whose data chains on a cold load stays unissued in the IQ, so Baseline
 // blocks younger memory accesses far longer than with split stores.

@@ -1,0 +1,207 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"conspec/internal/asm"
+	"conspec/internal/core"
+	"conspec/internal/isa"
+)
+
+// deadlockProgram stages the hand-written deadlock reproducer: a load whose
+// address chains on a cold miss, so it sits unissued in the issue queue
+// long enough for the test to corrupt its security dependence row.
+func deadlockProgram() *asm.Program {
+	b := asm.New()
+	b.Li(asm.A0, 0x200000)
+	b.Ld(asm.T0, asm.A0, 0) // cold miss: ~MemLat cycles
+	b.Add(asm.T1, asm.T0, asm.A0)
+	b.Ld(asm.T2, asm.T1, 0) // victim: waits on the chain, then blocks forever
+	b.Halt()
+	return b.MustAssemble(testBase)
+}
+
+// TestWatchdogDeadlockReproducer is the acceptance scenario: a suspect load
+// whose security dependence never clears must end the run via ErrNoProgress
+// with a diagnostic dump naming the blocked uop — not spin to the cycle cap.
+func TestWatchdogDeadlockReproducer(t *testing.T) {
+	prog := deadlockProgram()
+	backing := isa.NewFlatMem()
+	prog.Load(backing)
+	cpu := NewWithMemory(smallCore(), SecurityConfig{Mechanism: core.Baseline}, backing)
+	cpu.SetPC(prog.Base)
+
+	// Step until the victim load is live and waiting in the issue queue.
+	victim := -1
+	for i := 0; i < 5000 && victim < 0; i++ {
+		cpu.StepCycle()
+		for x, u := range cpu.iq {
+			if u != nil && u.inst.Op.IsLoad() && !u.issued && u.waitCnt > 0 {
+				victim = x
+			}
+		}
+	}
+	if victim < 0 {
+		t.Fatal("victim load never appeared in the issue queue")
+	}
+	// Corrupt its dependence row: a bit pointing at a free IQ slot. The slot
+	// never issues, so the column never clears and Baseline blocks the load
+	// forever. Retry if a pending update-vector clear undoes the flip.
+	free := -1
+	for y, u := range cpu.iq {
+		if u == nil && y != victim {
+			free = y
+			break
+		}
+	}
+	if free < 0 {
+		t.Fatal("no free IQ slot to point the poisoned dependence at")
+	}
+	for i := 0; i < 4; i++ {
+		if cpu.secmat.Get(victim, free) {
+			break
+		}
+		cpu.secmat.Flip(victim, free)
+		cpu.StepCycle()
+	}
+	if !cpu.secmat.Get(victim, free) {
+		t.Fatal("poisoned dependence bit did not stick")
+	}
+
+	const cap = 10_000_000
+	res := cpu.Run(cap)
+	if res.Outcome != OutcomeDeadlock {
+		t.Fatalf("outcome %v, want deadlock", res.Outcome)
+	}
+	if res.Outcome.Completed() {
+		t.Fatal("deadlock must not count as completed")
+	}
+	if !errors.Is(cpu.Err(), ErrNoProgress) {
+		t.Fatalf("Err() = %v, want ErrNoProgress", cpu.Err())
+	}
+	var npe *NoProgressError
+	if !errors.As(cpu.Err(), &npe) {
+		t.Fatalf("Err() = %T, want *NoProgressError", cpu.Err())
+	}
+	if npe.Window == 0 || npe.Cycle-npe.LastCommit < npe.Window {
+		t.Fatalf("trip bookkeeping inconsistent: %+v", npe)
+	}
+	// The dump must name the blocked uop and its poisoned dependence row.
+	for _, want := range []string{"rob head: seq=", "secmatrix row", "tpbuf occ"} {
+		if !strings.Contains(npe.Dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, npe.Dump)
+		}
+	}
+	if res.Diag != npe.Dump {
+		t.Error("Result.Diag must carry the watchdog dump")
+	}
+	if res.Cycles >= cap {
+		t.Fatalf("watchdog must fire far below the cycle cap, ran %d", res.Cycles)
+	}
+	if res.Hardening.WatchdogTrips != 1 {
+		t.Fatalf("WatchdogTrips = %d, want 1", res.Hardening.WatchdogTrips)
+	}
+	// The error is sticky: further runs refuse to advance the wedge.
+	again := cpu.Run(1000)
+	if again.Outcome != OutcomeDeadlock || !errors.Is(cpu.Err(), ErrNoProgress) {
+		t.Fatal("a wedged machine must stay failed on subsequent runs")
+	}
+}
+
+// TestRunOutcomes covers the healthy and cap-bounded endings.
+func TestRunOutcomes(t *testing.T) {
+	halting := func() *asm.Program {
+		b := asm.New()
+		b.Li(asm.A0, 1)
+		b.Halt()
+		return b.MustAssemble(testBase)
+	}()
+
+	t.Run("halted", func(t *testing.T) {
+		backing := isa.NewFlatMem()
+		halting.Load(backing)
+		cpu := NewWithMemory(smallCore(), SecurityConfig{Mechanism: core.Origin}, backing)
+		cpu.SetPC(halting.Base)
+		res := cpu.Run(100000)
+		if res.Outcome != OutcomeHalted || !res.Outcome.Completed() || cpu.Err() != nil {
+			t.Fatalf("outcome %v err %v", res.Outcome, cpu.Err())
+		}
+	})
+
+	t.Run("inst-target", func(t *testing.T) {
+		prog := allocKernel()
+		backing := isa.NewFlatMem()
+		prog.Load(backing)
+		cpu := NewWithMemory(smallCore(), SecurityConfig{Mechanism: core.Origin}, backing)
+		cpu.SetPC(prog.Base)
+		res := cpu.RunFor(500, 1_000_000)
+		if res.Outcome != OutcomeInstTarget || !res.Outcome.Completed() {
+			t.Fatalf("outcome %v", res.Outcome)
+		}
+		if res.Committed < 500 {
+			t.Fatalf("committed %d, want >= 500", res.Committed)
+		}
+	})
+
+	t.Run("cycle-cap", func(t *testing.T) {
+		prog := allocKernel()
+		backing := isa.NewFlatMem()
+		prog.Load(backing)
+		cpu := NewWithMemory(smallCore(), SecurityConfig{Mechanism: core.Origin}, backing)
+		cpu.SetPC(prog.Base)
+		res := cpu.Run(300)
+		if res.Outcome != OutcomeCycleCapExceeded || res.Outcome.Completed() {
+			t.Fatalf("outcome %v", res.Outcome)
+		}
+		if cpu.Err() != nil {
+			t.Fatalf("cycle cap is not an error state: %v", cpu.Err())
+		}
+	})
+
+	t.Run("watchdog-disabled-by-config", func(t *testing.T) {
+		cfg := smallCore()
+		cfg.Watchdog = -1
+		backing := isa.NewFlatMem()
+		halting.Load(backing)
+		cpu := NewWithMemory(cfg, SecurityConfig{Mechanism: core.Origin}, backing)
+		if cpu.watchdogLimit != 0 {
+			t.Fatalf("negative config must disable the watchdog, got limit %d", cpu.watchdogLimit)
+		}
+	})
+
+	t.Run("watchdog-explicit-config", func(t *testing.T) {
+		cfg := smallCore()
+		cfg.Watchdog = 777
+		backing := isa.NewFlatMem()
+		halting.Load(backing)
+		cpu := NewWithMemory(cfg, SecurityConfig{Mechanism: core.Origin}, backing)
+		if cpu.watchdogLimit != 777 {
+			t.Fatalf("limit %d, want 777", cpu.watchdogLimit)
+		}
+	})
+}
+
+// TestSelfCheckCleanRun: a healthy run under -selfcheck 1 sweeps every cycle
+// and finds nothing.
+func TestSelfCheckCleanRun(t *testing.T) {
+	for _, m := range core.Mechanisms {
+		prog := deadlockProgram() // healthy when nobody poisons the matrix
+		backing := isa.NewFlatMem()
+		prog.Load(backing)
+		cpu := NewWithMemory(smallCore(), SecurityConfig{Mechanism: m}, backing)
+		cpu.SetSelfCheck(1)
+		cpu.SetPC(prog.Base)
+		res := cpu.Run(1_000_000)
+		if res.Outcome != OutcomeHalted {
+			t.Fatalf("%v: outcome %v (err %v, diag %s)", m, res.Outcome, cpu.Err(), res.Diag)
+		}
+		if res.Hardening.SelfCheckSweeps == 0 {
+			t.Fatalf("%v: no sweeps recorded", m)
+		}
+		if res.Hardening.SelfCheckViolations != 0 {
+			t.Fatalf("%v: %d violations on a healthy run", m, res.Hardening.SelfCheckViolations)
+		}
+	}
+}
