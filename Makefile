@@ -2,10 +2,12 @@
 #
 #   make tier1          — the PR gate: build, lint (gofmt + vet), full test
 #                         suite, the race detector over the experiment
-#                         engine's worker pool and the obs sinks, the chaos
-#                         gate (fault-injection corpus + self-checking
-#                         stress), and a one-iteration BenchmarkFig5 smoke
-#                         run.
+#                         engine's worker pool, the obs sinks, and the serve
+#                         daemon, the chaos gate (fault-injection corpus +
+#                         self-checking stress), a one-iteration
+#                         BenchmarkFig5 smoke run, and the conspec-served
+#                         end-to-end smoke (submit, drain, warm-cache
+#                         restart).
 #   make chaos          — the robustness gate on its own: every fault class
 #                         must be caught, and every mechanism must survive
 #                         a per-cycle invariant audit over the random-program
@@ -20,7 +22,7 @@ GO ?= go
 # the end-to-end Figure 5 evaluation plus the per-component microbenches.
 TRACKED_BENCHES = ^(BenchmarkFig5|BenchmarkSimulatorThroughput|BenchmarkSecMatrixDispatch|BenchmarkSecMatrixHazardCheck|BenchmarkTPBufQuery|BenchmarkCacheAccess)$$
 
-.PHONY: all build fmt vet lint test race chaos benchsmoke tier1 bench bench-snapshot bench-compare
+.PHONY: all build fmt vet lint test race chaos benchsmoke serve-smoke tier1 bench bench-snapshot bench-compare
 
 all: tier1
 
@@ -42,10 +44,12 @@ test:
 
 # The engine schedules simulations on a bounded worker pool with a shared
 # memo cache, and the obs sinks/registry sit on the hot cycle loop; the
-# fault injector's hook rides that loop too. Run all three under the race
-# detector on every PR.
+# fault injector's hook rides that loop too. The serve daemon adds its own
+# worker pool, SSE fan-out, and metrics mutex on top. Run all of them under
+# the race detector on every PR.
 race:
-	$(GO) test -race ./internal/exp ./internal/obs ./internal/faultinject
+	$(GO) test -race ./internal/exp ./internal/obs ./internal/faultinject \
+	    ./internal/serve ./internal/serve/client
 
 # The robustness gate: the seeded fault-injection corpus (every fault class
 # must be detected by the invariant auditor, the watchdog, or the attack
@@ -60,7 +64,15 @@ chaos:
 benchsmoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig5$$' -benchtime 1x .
 
-tier1: build lint test race chaos benchsmoke
+# End-to-end check of the simulation service: start conspec-served on a
+# random port with a fresh persistent store, run a small suite through
+# conspec-ctl, SIGTERM-restart the daemon, and assert the identical
+# resubmission is served entirely from the disk tier (zero simulations,
+# verified via /metrics).
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+tier1: build lint test race chaos benchsmoke serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -35,7 +35,9 @@ import (
 	"time"
 
 	"conspec/internal/buildinfo"
+	"conspec/internal/diskcache"
 	"conspec/internal/exp"
+	"conspec/internal/exp/report"
 	"conspec/internal/profutil"
 )
 
@@ -48,6 +50,7 @@ func main() {
 		interval = flag.Uint64("metrics-interval", 0, "sample the obs metric registry every N cycles of the measured phase; the -json fig5/table5 output then carries the per-run time series (0 = off)")
 		selfchk  = flag.Uint64("selfcheck", 0, "audit pipeline and security invariants every N cycles of every run; a violation fails that run (0 = off)")
 		runTmo   = flag.Duration("run-timeout", 0, "wall-clock bound per simulation; a run exceeding it is recorded as failed and its suite continues (0 = none)")
+		cacheDir = flag.String("cache-dir", "", "persist memoized simulation results under this directory and reuse them across invocations (content-addressed, namespaced by build identity; a warm rerun executes zero simulations)")
 		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS); values below GOMAXPROCS also cap GOMAXPROCS so -workers 1 -cpuprofile profiles a single attributable thread")
 		verbose  = flag.Bool("v", false, "print per-run progress")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text")
@@ -87,14 +90,21 @@ func main() {
 			}
 		}
 	}
-	runner := exp.NewRunner(exp.RunnerOptions{Workers: *workers, OnEvent: onEvent, Timeout: *runTmo})
+	ropts := exp.RunnerOptions{Workers: *workers, OnEvent: onEvent, Timeout: *runTmo}
+	if *cacheDir != "" {
+		store, err := diskcache.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		ropts.Cache = store
+	}
+	runner := exp.NewRunner(ropts)
 	opts := exp.Options{Spec: spec, Benches: names}
 
 	want := func(s string) bool { return *suite == "all" || *suite == s }
 	start := time.Now()
 
-	var report jsonReport
-	report.Build = buildinfo.Get()
+	rep := report.New()
 	// fail flushes whatever completed and exits. On SIGINT the JSON
 	// document holds every suite that finished before cancellation.
 	fail := func(err error) {
@@ -102,7 +112,8 @@ func main() {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "interrupted: flushing completed suite results")
 			if *asJSON {
-				emitJSON(report)
+				rep.Finish(runner)
+				emitJSON(rep)
 			}
 			printEngineStats(runner, start)
 			os.Exit(1)
@@ -115,108 +126,45 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		ev := res.Evaluation()
 		if *asJSON {
-			report.Fig5 = fig5JSON(ev)
-			report.Table5 = table5JSON(ev)
-			report.Series = seriesJSON(ev)
+			rep.AddSuite(res)
 		} else {
+			ev := res.Evaluation()
 			fmt.Println("=== Figure 5: runtime normalized to Origin ===")
 			fmt.Println(ev.Fig5Text())
 			fmt.Println("=== Table V: filter analysis ===")
 			fmt.Println(ev.Table5Text())
 		}
 	}
-	if want("table4") {
-		res, err := runner.RunSuite(ctx, exp.SuiteTable4, opts)
+	// The remaining suites share one emit shape: JSON documents fold into
+	// the report, text output prints a banner plus the suite rendering.
+	textSuites := []struct {
+		name   string
+		id     exp.SuiteID
+		banner string
+	}{
+		{"table4", exp.SuiteTable4, "=== Table IV: security analysis ==="},
+		{"table6", exp.SuiteTable6, "=== Table VI: core sensitivity ==="},
+		{"scope", exp.SuiteScope, "=== §VI.C(1): matrix scope decomposition ==="},
+		{"lru", exp.SuiteLRU, "=== §VII.A: secure replacement-update policies ==="},
+		{"icache", exp.SuiteICache, "=== §VII.B: ICache-hit filter extension ==="},
+		{"dtlb", exp.SuiteDTLB, "=== DTLB-hit filter extension ==="},
+		{"compare", exp.SuiteCompare, "=== Defense comparison: CH+TPBuf vs InvisiSpec vs SW fence ==="},
+		{"overhead", exp.SuiteOverhead, "=== §VI.E: hardware overhead model ==="},
+	}
+	for _, s := range textSuites {
+		if !want(s.name) {
+			continue
+		}
+		res, err := runner.RunSuite(ctx, s.id, opts)
 		if err != nil {
 			fail(err)
 		}
 		if *asJSON {
-			report.Table4 = table4JSON(res.Table4())
+			rep.AddSuite(res)
 		} else {
-			fmt.Println("=== Table IV: security analysis ===")
-			fmt.Println(exp.Table4Text(res.Table4()))
-		}
-	}
-	if want("table6") {
-		res, err := runner.RunSuite(ctx, exp.SuiteTable6, opts)
-		if err != nil {
-			fail(err)
-		}
-		if *asJSON {
-			report.Table6 = table6JSON(res.Table6())
-		} else {
-			fmt.Println("=== Table VI: core sensitivity ===")
-			fmt.Println(exp.Table6Text(res.Table6()))
-		}
-	}
-	if want("scope") {
-		res, err := runner.RunSuite(ctx, exp.SuiteScope, opts)
-		if err != nil {
-			fail(err)
-		}
-		if *asJSON {
-			report.Scope = scopeJSON(res.Scope())
-		} else {
-			fmt.Println("=== §VI.C(1): matrix scope decomposition ===")
-			fmt.Println(exp.ScopeText(res.Scope()))
-		}
-	}
-	if want("lru") {
-		res, err := runner.RunSuite(ctx, exp.SuiteLRU, opts)
-		if err != nil {
-			fail(err)
-		}
-		if *asJSON {
-			report.LRU = lruJSON(res.LRU())
-		} else {
-			fmt.Println("=== §VII.A: secure replacement-update policies ===")
-			fmt.Println(exp.LRUText(res.LRU()))
-		}
-	}
-	if want("icache") {
-		res, err := runner.RunSuite(ctx, exp.SuiteICache, opts)
-		if err != nil {
-			fail(err)
-		}
-		if *asJSON {
-			report.ICache = icacheJSON(res.ICache())
-		} else {
-			fmt.Println("=== §VII.B: ICache-hit filter extension ===")
-			fmt.Println(exp.ICacheText(res.ICache()))
-		}
-	}
-	if want("dtlb") {
-		res, err := runner.RunSuite(ctx, exp.SuiteDTLB, opts)
-		if err != nil {
-			fail(err)
-		}
-		if *asJSON {
-			report.DTLB = dtlbJSON(res.DTLB())
-		} else {
-			fmt.Println("=== DTLB-hit filter extension ===")
-			fmt.Println(exp.DTLBText(res.DTLB()))
-		}
-	}
-	if want("compare") {
-		res, err := runner.RunSuite(ctx, exp.SuiteCompare, opts)
-		if err != nil {
-			fail(err)
-		}
-		if *asJSON {
-			report.Compare = compareJSON(res.Compare())
-		} else {
-			fmt.Println("=== Defense comparison: CH+TPBuf vs InvisiSpec vs SW fence ===")
-			fmt.Println(exp.CompareText(res.Compare()))
-		}
-	}
-	if want("overhead") {
-		if *asJSON {
-			report.Overhead = exp.OverheadText()
-		} else {
-			fmt.Println("=== §VI.E: hardware overhead model ===")
-			fmt.Println(exp.OverheadText())
+			fmt.Println(s.banner)
+			fmt.Println(res.Text())
 		}
 	}
 	// Failed runs (deadlocks, audit violations, cycle caps, timeouts) were
@@ -230,8 +178,8 @@ func main() {
 		}
 	}
 	if *asJSON {
-		report.Errors = errorsJSON(failed)
-		emitJSON(report)
+		rep.Finish(runner)
+		emitJSON(rep)
 	}
 	printEngineStats(runner, start)
 	if len(failed) > 0 {
@@ -241,14 +189,25 @@ func main() {
 }
 
 // printEngineStats reports the scheduler's deduplication work and the wall
-// time on stderr, next to the timing line the tool has always printed.
+// time on stderr, next to the timing line the tool has always printed. The
+// disk tier appears only when a -cache-dir is in play.
 func printEngineStats(runner *exp.Runner, start time.Time) {
 	st := runner.Stats()
 	if st.Submitted() > 0 {
-		fmt.Fprintf(os.Stderr, "engine: %d unique simulations, %d cache hits (%d submitted)\n",
-			st.Executed, st.Hits, st.Submitted())
+		line := fmt.Sprintf("engine: %d unique simulations, %d cache hits", st.Executed, st.Hits)
+		if st.DiskHits > 0 {
+			line += fmt.Sprintf(", %d disk hits", st.DiskHits)
+		}
+		fmt.Fprintf(os.Stderr, "%s (%d submitted)\n", line, st.Submitted())
 	}
 	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start))
+}
+
+func emitJSON(rep *report.Report) {
+	if err := rep.Encode(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

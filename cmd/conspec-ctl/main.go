@@ -1,0 +1,226 @@
+// Command conspec-ctl is the CLI for a running conspec-served instance.
+//
+//	conspec-ctl -server http://127.0.0.1:8344 submit -suite fig5 -watch
+//	conspec-ctl watch <job-id>
+//	conspec-ctl get <job-id> > fig5.json
+//	conspec-ctl list
+//	conspec-ctl cancel <job-id>
+//	conspec-ctl metrics
+//
+// submit prints the job id (or, with -watch, streams progress to stderr and
+// prints the result JSON to stdout once done, exiting non-zero if the job
+// fails). get prints the job document with the embedded result — the same
+// shape conspec-bench -json emits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"conspec/internal/serve"
+	"conspec/internal/serve/client"
+)
+
+func main() {
+	server := flag.String("server", envOr("CONSPEC_SERVER", "http://127.0.0.1:8344"), "conspec-served base URL (env CONSPEC_SERVER)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	c := client.New(*server)
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(ctx, c, args)
+	case "watch":
+		err = cmdWatch(ctx, c, args)
+	case "get":
+		err = cmdGet(ctx, c, args)
+	case "list":
+		err = cmdList(ctx, c)
+	case "cancel":
+		err = cmdCancel(ctx, c, args)
+	case "metrics":
+		err = cmdMetrics(ctx, c)
+	default:
+		fmt.Fprintf(os.Stderr, "conspec-ctl: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conspec-ctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: conspec-ctl [-server URL] <command> [args]
+
+commands:
+  submit -suite S [-benches a,b] [-warmup N] [-measure N] [-run-timeout D]
+         [-cancel-on-disconnect] [-watch]    queue a job
+  watch  <job-id>                            stream a job's progress events
+  get    <job-id>                            print the job (with result JSON)
+  list                                       list jobs, newest first
+  cancel <job-id>                            cancel a queued or running job
+  metrics                                    dump the server's /metrics text
+`)
+	flag.PrintDefaults()
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		suite    = fs.String("suite", "all", "suite to run (fig5|table4|table5|table6|scope|lru|icache|dtlb|compare|overhead|all)")
+		benches  = fs.String("benches", "", "comma-separated benchmark subset")
+		warmup   = fs.Uint64("warmup", 0, "warmup instructions per run (0 = server default)")
+		measure  = fs.Uint64("measure", 0, "measured instructions per run (0 = server default)")
+		interval = fs.Uint64("metrics-interval", 0, "metric sampling interval in cycles (0 = off)")
+		selfchk  = fs.Uint64("selfcheck", 0, "invariant audit interval in cycles (0 = off)")
+		runTmo   = fs.Duration("run-timeout", 0, "wall-clock bound per simulation (0 = server default)")
+		workers  = fs.Int("workers", 0, "cap this job's concurrent simulations (0 = server default)")
+		cod      = fs.Bool("cancel-on-disconnect", false, "cancel the job if its last watcher disconnects")
+		watch    = fs.Bool("watch", false, "stream progress and print the result when done")
+	)
+	fs.Parse(args)
+	spec := serve.JobSpec{
+		Suite:              *suite,
+		Warmup:             *warmup,
+		Measure:            *measure,
+		MetricsInterval:    *interval,
+		SelfCheck:          *selfchk,
+		RunTimeoutMS:       runTmo.Milliseconds(),
+		Workers:            *workers,
+		CancelOnDisconnect: *cod,
+	}
+	if *benches != "" {
+		spec.Benches = strings.Split(*benches, ",")
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if !*watch {
+		fmt.Println(st.ID)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "job %s queued\n", st.ID)
+	return watchAndPrint(ctx, c, st.ID)
+}
+
+func cmdWatch(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: watch <job-id>")
+	}
+	return watchAndPrint(ctx, c, args[0])
+}
+
+// watchAndPrint streams progress lines to stderr and, when the job ends,
+// prints the result document to stdout. A failed or canceled job is an
+// error.
+func watchAndPrint(ctx context.Context, c *client.Client, id string) error {
+	err := c.Watch(ctx, id, func(ev serve.Event) error {
+		switch ev.Type {
+		case "state":
+			fmt.Fprintf(os.Stderr, "[%s] %s%s\n", ev.Job, ev.Status, suffixIf(ev.Error))
+		case "progress":
+			if p := ev.Progress; p != nil {
+				fmt.Fprintf(os.Stderr, "[%s] %s\n", ev.Job, p.String())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	st, err := c.Get(ctx, id)
+	if err != nil {
+		return err
+	}
+	if st.Status != serve.StatusDone {
+		return fmt.Errorf("job %s: %s%s", id, st.Status, suffixIf(st.Error))
+	}
+	return printJSON(st.Result)
+}
+
+func suffixIf(msg string) string {
+	if msg == "" {
+		return ""
+	}
+	return ": " + msg
+}
+
+func cmdGet(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: get <job-id>")
+	}
+	st, err := c.Get(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdList(ctx context.Context, c *client.Client) error {
+	jobs, err := c.List(ctx)
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(os.Stderr, "no jobs")
+		return nil
+	}
+	for _, j := range jobs {
+		age := time.Since(j.Created).Round(time.Second)
+		fmt.Printf("%s  %-8s  %-8s  %4s ago%s\n", j.ID, j.Spec.Suite, j.Status, age, suffixIf(j.Error))
+	}
+	return nil
+}
+
+func cmdCancel(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: cancel <job-id>")
+	}
+	st, err := c.Cancel(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %s\n", st.ID, st.Status)
+	return nil
+}
+
+func cmdMetrics(ctx context.Context, c *client.Client) error {
+	out, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

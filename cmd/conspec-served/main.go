@@ -1,0 +1,99 @@
+// Command conspec-served runs the simulation service: an HTTP daemon that
+// accepts experiment-suite jobs, executes them on a bounded worker pool,
+// streams progress over SSE, and (with -cache-dir) serves repeated
+// submissions from the persistent result store without simulating.
+//
+//	conspec-served -addr :8344 -cache-dir /var/cache/conspec
+//
+// Submit with conspec-ctl or plain curl:
+//
+//	curl -s -X POST localhost:8344/v1/jobs -d '{"suite":"fig5"}'
+//	curl -N localhost:8344/v1/jobs/<id>/events
+//	curl -s localhost:8344/v1/jobs/<id>
+//
+// SIGINT/SIGTERM drains gracefully: new submissions get 503, queued and
+// running jobs finish (bounded by -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"conspec/internal/buildinfo"
+	"conspec/internal/diskcache"
+	"conspec/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8344", "listen address")
+		cacheDir   = flag.String("cache-dir", "", "persistent result store directory (empty = memory-only per job)")
+		jobWorkers = flag.Int("workers", 2, "max concurrently executing jobs")
+		queueCap   = flag.Int("queue-cap", 16, "max queued jobs before submissions get 429")
+		simWorkers = flag.Int("sim-workers", 0, "max concurrent simulations per job (0 = GOMAXPROCS)")
+		runTmo     = flag.Duration("run-timeout", 0, "default wall-clock bound per simulation (0 = none; jobs may override)")
+		drainTmo   = flag.Duration("drain-timeout", 10*time.Minute, "max time to wait for in-flight jobs on shutdown")
+		version    = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Short("conspec-served"))
+		return
+	}
+	logger := log.New(os.Stderr, "conspec-served: ", log.LstdFlags)
+
+	cfg := serve.Config{
+		Workers:    *jobWorkers,
+		QueueCap:   *queueCap,
+		SimWorkers: *simWorkers,
+		RunTimeout: *runTmo,
+		Logf:       logger.Printf,
+	}
+	if *cacheDir != "" {
+		store, err := diskcache.Open(*cacheDir)
+		if err != nil {
+			logger.Fatalf("open cache: %v", err)
+		}
+		cfg.Cache = store
+		logger.Printf("result store: %s (%d entries for this build)", store.Dir(), store.Len())
+	}
+	srv := serve.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	logger.Printf("listening on http://%s (%s)", ln.Addr(), buildinfo.Get().Identity())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Printf("%s: draining (up to %s)", sig, *drainTmo)
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTmo)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		logger.Printf("drain: %v (live jobs were canceled)", err)
+	}
+	if err := hs.Shutdown(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	logger.Printf("bye")
+}

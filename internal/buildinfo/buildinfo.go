@@ -48,6 +48,21 @@ func Get() Info {
 	return info
 }
 
+// Identity returns the canonical one-line identity string used to
+// namespace persistent result stores: module, version, revision, dirty
+// flag and toolchain joined with spaces. Two binaries with equal Identity
+// are assumed to produce identical simulation results for identical run
+// keys; unstamped builds (go test, plain go run) collapse to the same
+// "(devel)" identity, which matches the development workflow of rebuilding
+// in place and re-using the warm cache.
+func (i Info) Identity() string {
+	dirty := "clean"
+	if i.Dirty {
+		dirty = "dirty"
+	}
+	return fmt.Sprintf("%s %s %s %s %s", i.Module, i.Version, i.Revision, dirty, i.GoVersion)
+}
+
 // Short renders the one-line form the CLIs print for -version:
 //
 //	conspec-sim conspec (devel) rev 1a2b3c4d (dirty) go1.22.0

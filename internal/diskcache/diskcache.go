@@ -1,0 +1,221 @@
+// Package diskcache is the persistent, content-addressed result store
+// layered under the experiment engine's in-memory memo cache. Each
+// completed simulation is one JSON file addressed by its deterministic
+// runKey, inside a directory namespaced by the producing binary's build
+// identity — so identical runs are served from disk across process
+// restarts and across clients, and a rebuilt binary (which may simulate
+// differently) starts a fresh namespace instead of replaying stale
+// results.
+//
+// Layout:
+//
+//	<root>/<build-id>/meta.json          — the full buildinfo identity
+//	<root>/<build-id>/<kk>/<key>.json    — one entry; kk = key[:2]
+//
+// Writes are atomic (temp file + rename), so concurrent processes sharing
+// a root — several CLIs, a server's worker pool — can only ever observe
+// whole entries. Reads tolerate corruption: an unreadable or mismatched
+// entry is a miss (and is deleted), never an error, because the store's
+// failure mode must be "simulate again", not "fail the suite".
+package diskcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"conspec/internal/buildinfo"
+	"conspec/internal/pipeline"
+)
+
+// formatVersion is bumped when the entry envelope changes incompatibly;
+// it participates in the namespace hash, so old entries become invisible
+// rather than misread.
+const formatVersion = 1
+
+// Store is a persistent exp.ResultCache. The zero value is not usable;
+// obtain one from Open. A nil *Store is a valid no-op cache, so callers
+// can thread an optional store without nil checks at every use.
+type Store struct {
+	dir string // <root>/<build-id>, created by Open
+
+	gets, hits, puts, putErrs atomic.Uint64
+}
+
+// entry is the on-disk envelope: the key is stored redundantly so a
+// misplaced or truncated file can be detected and treated as a miss.
+type entry struct {
+	Key     string          `json:"key"`
+	SavedAt time.Time       `json:"saved_at"`
+	Result  pipeline.Result `json:"result"`
+}
+
+// meta is the human-readable namespace description written next to the
+// entries, for operators inspecting a cache directory.
+type meta struct {
+	Format   int            `json:"format"`
+	Identity string         `json:"identity"`
+	Build    buildinfo.Info `json:"build"`
+}
+
+// BuildID derives the namespace directory name from a build identity: a
+// short hash over the identity string and the store format version.
+func BuildID(info buildinfo.Info) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("format=%d\n%s", formatVersion, info.Identity())))
+	return hex.EncodeToString(h[:])[:16]
+}
+
+// Open creates (or reuses) the store rooted at root, namespaced by the
+// running binary's build identity.
+func Open(root string) (*Store, error) {
+	return OpenFor(root, buildinfo.Get())
+}
+
+// OpenFor is Open with an explicit build identity (test hook, and the seam
+// that makes "a rebuilt binary gets a fresh namespace" checkable without
+// rebuilding).
+func OpenFor(root string, info buildinfo.Info) (*Store, error) {
+	dir := filepath.Join(root, BuildID(info))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	m := meta{Format: formatVersion, Identity: info.Identity(), Build: info}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	// Racing writers produce identical bytes, so last-write-wins is fine.
+	if err := writeAtomic(filepath.Join(dir, "meta.json"), b); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the namespace directory entries are stored under.
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// path maps a key to its entry file, sharding by the first two hex chars
+// to keep directories small. Keys are validated defensively: anything that
+// isn't plain lowercase hex of reasonable length (i.e. not a runKey) is
+// rejected so a malformed key can never escape the store directory.
+func (s *Store) path(key string) (string, bool) {
+	if len(key) < 8 || len(key) > 128 {
+		return "", false
+	}
+	for _, c := range key {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			return "", false
+		}
+	}
+	return filepath.Join(s.dir, key[:2], key+".json"), true
+}
+
+// Get implements exp.ResultCache. Misses on nil stores, unknown keys, and
+// corrupt entries (which are removed).
+func (s *Store) Get(key string) (pipeline.Result, bool) {
+	if s == nil {
+		return pipeline.Result{}, false
+	}
+	s.gets.Add(1)
+	p, ok := s.path(key)
+	if !ok {
+		return pipeline.Result{}, false
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		return pipeline.Result{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Key != key {
+		os.Remove(p)
+		return pipeline.Result{}, false
+	}
+	s.hits.Add(1)
+	return e.Result, true
+}
+
+// Put implements exp.ResultCache. Errors are swallowed by design (see the
+// package comment) but counted, so an operator can notice a full disk in
+// the stats rather than in silently colder caches.
+func (s *Store) Put(key string, res pipeline.Result) {
+	if s == nil {
+		return
+	}
+	s.puts.Add(1)
+	p, ok := s.path(key)
+	if !ok {
+		s.putErrs.Add(1)
+		return
+	}
+	b, err := json.Marshal(entry{Key: key, SavedAt: time.Now().UTC(), Result: res})
+	if err != nil {
+		s.putErrs.Add(1)
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		s.putErrs.Add(1)
+		return
+	}
+	if err := writeAtomic(p, b); err != nil {
+		s.putErrs.Add(1)
+	}
+}
+
+// Stats reports the store's activity since Open: lookups, lookup hits,
+// attempted writes, and writes that failed.
+func (s *Store) Stats() (gets, hits, puts, putErrs uint64) {
+	if s == nil {
+		return 0, 0, 0, 0
+	}
+	return s.gets.Load(), s.hits.Load(), s.puts.Load(), s.putErrs.Load()
+}
+
+// Len walks the namespace and counts stored entries (operator/test
+// convenience; not on any hot path).
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() &&
+			strings.HasSuffix(path, ".json") && filepath.Base(path) != "meta.json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// writeAtomic writes b to path via a same-directory temp file and rename.
+func writeAtomic(path string, b []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(b)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("diskcache: %w", werr)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package diskcache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"conspec/internal/buildinfo"
+	"conspec/internal/pipeline"
+)
+
+var testInfo = buildinfo.Info{Module: "conspec", Version: "(devel)",
+	Revision: "abc123", GoVersion: "go1.24.0"}
+
+const key = "00deadbeef00deadbeef00deadbeef00deadbeef00deadbeef00deadbeef0000"
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := OpenFor(t.TempDir(), testInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	res := pipeline.Result{Cycles: 12345, Committed: 1000, Halted: true,
+		Outcome: pipeline.OutcomeInstTarget, Diag: "d"}
+	res.Stages.IssuedUops = 42
+	s.Put(key, res)
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if got.Cycles != res.Cycles || got.Committed != res.Committed ||
+		got.Halted != res.Halted || got.Outcome != res.Outcome ||
+		got.Stages.IssuedUops != 42 {
+		t.Errorf("round trip mismatch: got %+v want %+v", got, res)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	gets, hits, puts, putErrs := s.Stats()
+	if gets != 2 || hits != 1 || puts != 1 || putErrs != 0 {
+		t.Errorf("stats = %d/%d/%d/%d, want 2/1/1/0", gets, hits, puts, putErrs)
+	}
+}
+
+// TestReopenSurvivesRestart is the restart half of the service's acceptance
+// scenario at store granularity: a fresh Store over the same root and the
+// same build identity sees the previous process's entries.
+func TestReopenSurvivesRestart(t *testing.T) {
+	root := t.TempDir()
+	s1, err := OpenFor(root, testInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Put(key, pipeline.Result{Cycles: 7})
+	s2, err := OpenFor(root, testInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(key); !ok || got.Cycles != 7 {
+		t.Fatalf("reopened store: got %+v / %v, want cycles 7", got, ok)
+	}
+}
+
+// TestBuildIdentityNamespacing: a different build identity must not see the
+// old namespace's entries.
+func TestBuildIdentityNamespacing(t *testing.T) {
+	root := t.TempDir()
+	s1, err := OpenFor(root, testInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Put(key, pipeline.Result{Cycles: 7})
+
+	other := testInfo
+	other.Revision = "def456"
+	s2, err := OpenFor(root, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key); ok {
+		t.Fatal("entry leaked across build identities")
+	}
+	if BuildID(testInfo) == BuildID(other) {
+		t.Fatal("distinct identities produced one BuildID")
+	}
+	dirty := testInfo
+	dirty.Dirty = true
+	if BuildID(testInfo) == BuildID(dirty) {
+		t.Fatal("dirty flag must change the namespace")
+	}
+}
+
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	s, err := OpenFor(t.TempDir(), testInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(key, pipeline.Result{Cycles: 7})
+	p, _ := s.path(key)
+	if err := os.WriteFile(p, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry reported as hit")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Error("corrupt entry not removed")
+	}
+	// A key stored under the wrong filename is likewise a miss.
+	s.Put(key, pipeline.Result{Cycles: 7})
+	otherKey := "ff" + key[2:]
+	dir := filepath.Join(s.Dir(), otherKey[:2])
+	os.MkdirAll(dir, 0o755)
+	b, _ := os.ReadFile(p)
+	os.WriteFile(filepath.Join(dir, otherKey+".json"), b, 0o644)
+	if _, ok := s.Get(otherKey); ok {
+		t.Fatal("entry with mismatched key reported as hit")
+	}
+}
+
+func TestMalformedKeysRejected(t *testing.T) {
+	s, err := OpenFor(t.TempDir(), testInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "short", "../../../../etc/passwd",
+		strings.Repeat("zz", 32), strings.Repeat("AB", 32)} {
+		s.Put(bad, pipeline.Result{})
+		if _, ok := s.Get(bad); ok {
+			t.Errorf("malformed key %q round-tripped", bad)
+		}
+	}
+	if s.Len() != 0 {
+		t.Errorf("malformed keys created %d entries", s.Len())
+	}
+}
+
+func TestNilStoreIsNoop(t *testing.T) {
+	var s *Store
+	s.Put(key, pipeline.Result{})
+	if _, ok := s.Get(key); ok {
+		t.Fatal("nil store hit")
+	}
+	if s.Len() != 0 || s.Dir() != "" {
+		t.Fatal("nil store not inert")
+	}
+}

@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"encoding/hex"
+
+	"conspec/internal/pipeline"
+)
+
+// Cache tier labels carried by PhaseCached events' Tier field.
+const (
+	// TierMemory marks a hit in the Runner's in-process memo map,
+	// including duplicates coalesced onto an in-flight execution.
+	TierMemory = "memory"
+	// TierDisk marks a hit in the persistent ResultCache configured via
+	// RunnerOptions.Cache.
+	TierDisk = "disk"
+)
+
+// ResultCache is the persistent tier layered under the Runner's in-memory
+// memo map. Keys are the hex form of the deterministic runKey, so identical
+// (core, security, policy, workload, budget) runs share an entry across
+// processes and restarts. Implementations must be safe for concurrent use;
+// the in-memory tier already coalesces identical in-flight submissions, so
+// a given key is Get/Put by at most one goroutine of one Runner at a time,
+// but several Runners (server jobs, parallel CLIs) may share one store.
+//
+// Get returns the cached Result and true on a hit. A miss — including an
+// unreadable or corrupt entry — returns false; it must not fail the run.
+// Put persists a successfully completed run; errors are the store's to
+// swallow (a full disk degrades to a smaller cache, not a failed suite).
+type ResultCache interface {
+	Get(key string) (pipeline.Result, bool)
+	Put(key string, res pipeline.Result)
+}
+
+// String returns the hex form of the key used by persistent stores.
+func (k runKey) String() string { return hex.EncodeToString(k[:]) }

@@ -61,15 +61,21 @@ const (
 // func(string) callbacks. Engine-level events (run-start/run-done/cached)
 // describe individual simulations; suites additionally emit bench-done
 // events whose Line field preserves the legacy per-benchmark text.
+//
+// The type is JSON-serializable (wire.go) with stable phase strings, so the
+// serve layer's SSE stream and in-process callbacks share one shape.
 type ProgressEvent struct {
 	Suite     SuiteID
 	Benchmark string
 	Mechanism string
 	Phase     EventPhase
 	CacheHit  bool
-	Cycles    uint64
-	Wall      time.Duration
-	Err       error
+	// Tier names the cache tier that served a PhaseCached event: TierMemory
+	// for the in-process memo map, TierDisk for the persistent store.
+	Tier   string
+	Cycles uint64
+	Wall   time.Duration
+	Err    error
 	// Line is the pre-rendered human-readable form (bench-done events
 	// only); legacy func(string) adapters forward exactly these lines.
 	Line string
@@ -96,15 +102,18 @@ func (e ProgressEvent) String() string {
 type Stats struct {
 	// Executed is the number of unique simulations actually run.
 	Executed uint64
-	// Hits is the number of submitted runs served from the cache,
-	// including duplicates coalesced onto an in-flight execution.
+	// Hits is the number of submitted runs served from the in-memory memo
+	// map, including duplicates coalesced onto an in-flight execution.
 	Hits uint64
+	// DiskHits is the number of submitted runs served from the persistent
+	// ResultCache (zero unless RunnerOptions.Cache is set).
+	DiskHits uint64
 	// Panics counts runs whose goroutine panicked (isolated into errors).
 	Panics uint64
 }
 
 // Submitted returns the total number of runs requested from the Runner.
-func (s Stats) Submitted() uint64 { return s.Executed + s.Hits }
+func (s Stats) Submitted() uint64 { return s.Executed + s.Hits + s.DiskHits }
 
 // RunnerOptions configures a Runner.
 type RunnerOptions struct {
@@ -120,6 +129,11 @@ type RunnerOptions struct {
 	// run that exceeds it is recorded as a failed run (Errors) and its
 	// suite continues without it.
 	Timeout time.Duration
+	// Cache, when non-nil, is the persistent result tier consulted under
+	// the in-memory memo map: a run missing both tiers executes once and
+	// is written back, so identical runs are served from disk across
+	// processes and restarts.
+	Cache ResultCache
 }
 
 // RunError records one failed run: a simulation that deadlocked, failed a
@@ -145,6 +159,7 @@ type Runner struct {
 	workers int
 	onEvent func(ProgressEvent)
 	timeout time.Duration
+	store   ResultCache
 	sem     chan struct{}
 
 	evMu sync.Mutex // serializes onEvent
@@ -175,6 +190,7 @@ func NewRunner(opts RunnerOptions) *Runner {
 		workers: workers,
 		onEvent: opts.OnEvent,
 		timeout: opts.Timeout,
+		store:   opts.Cache,
 		sem:     make(chan struct{}, workers),
 		cache:   make(map[runKey]*cacheEntry),
 	}
@@ -256,8 +272,10 @@ func mechLabel(spec RunSpec) string {
 
 // run executes (or recalls) one simulation. Identical submissions share a
 // single execution: the first caller runs it, concurrent duplicates wait on
-// the same entry, later duplicates return instantly from the cache. Failed
-// or cancelled runs are not memoized.
+// the same entry, later duplicates return instantly from the memory tier.
+// With a persistent store configured, the owner of a memory miss consults
+// it before paying for a simulation, and writes completed runs back. Failed
+// or cancelled runs are not memoized in either tier.
 func (r *Runner) run(ctx context.Context, suite SuiteID, p workload.Profile, spec RunSpec) (pipeline.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return pipeline.Result{}, err
@@ -268,7 +286,8 @@ func (r *Runner) run(ctx context.Context, suite SuiteID, p workload.Profile, spe
 		r.stats.Hits++
 		r.mu.Unlock()
 		r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
-			Mechanism: mechLabel(spec), Phase: PhaseCached, CacheHit: true})
+			Mechanism: mechLabel(spec), Phase: PhaseCached, CacheHit: true,
+			Tier: TierMemory})
 		select {
 		case <-e.done:
 			return e.res, e.err
@@ -280,6 +299,23 @@ func (r *Runner) run(ctx context.Context, suite SuiteID, p workload.Profile, spe
 	r.cache[key] = e
 	r.mu.Unlock()
 
+	// Memory miss: this goroutine owns the entry. The persistent tier is
+	// read outside r.mu — duplicates wait on e.done as usual — and a hit
+	// fills the entry so later submissions are memory hits.
+	if r.store != nil {
+		if res, ok := r.store.Get(key.String()); ok {
+			e.res = res
+			r.mu.Lock()
+			r.stats.DiskHits++
+			r.mu.Unlock()
+			r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
+				Mechanism: mechLabel(spec), Phase: PhaseCached, CacheHit: true,
+				Tier: TierDisk})
+			close(e.done)
+			return e.res, nil
+		}
+	}
+
 	e.res, e.err = r.execute(ctx, suite, p, spec)
 
 	r.mu.Lock()
@@ -289,6 +325,9 @@ func (r *Runner) run(ctx context.Context, suite SuiteID, p workload.Profile, spe
 		r.stats.Executed++
 	}
 	r.mu.Unlock()
+	if e.err == nil && r.store != nil {
+		r.store.Put(key.String(), e.res)
+	}
 	close(e.done)
 	return e.res, e.err
 }

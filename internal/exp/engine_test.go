@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -278,6 +279,111 @@ func TestRunTimeout(t *testing.T) {
 		if e.Outcome != "timeout" {
 			t.Errorf("outcome %q, want timeout", e.Outcome)
 		}
+	}
+}
+
+// mapCache is an in-memory ResultCache standing in for the disk store.
+type mapCache struct {
+	mu   sync.Mutex
+	m    map[string]pipeline.Result
+	gets int
+	puts int
+}
+
+func newMapCache() *mapCache { return &mapCache{m: make(map[string]pipeline.Result)} }
+
+func (c *mapCache) Get(key string) (pipeline.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	res, ok := c.m[key]
+	return res, ok
+}
+
+func (c *mapCache) Put(key string, res pipeline.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.m[key] = res
+}
+
+// TestPersistentCacheTiers: a Runner with a ResultCache writes completed
+// runs through, and a fresh Runner (a restarted process) replays the same
+// evaluation entirely from the persistent tier — zero executions, with the
+// cached events labelled by tier.
+func TestPersistentCacheTiers(t *testing.T) {
+	store := newMapCache()
+	spec := tinySpec()
+	names := []string{"astar"}
+
+	cold := NewRunner(RunnerOptions{Cache: store})
+	ev1, err := cold.Evaluation(context.Background(), spec, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cold.Stats()
+	if st.Executed != 4 || st.DiskHits != 0 {
+		t.Fatalf("cold engine: %+v, want 4 executed / 0 disk hits", st)
+	}
+	if store.puts != 4 {
+		t.Fatalf("store received %d puts, want 4", store.puts)
+	}
+
+	var tiers []string
+	warm := NewRunner(RunnerOptions{Cache: store, OnEvent: func(ev ProgressEvent) {
+		if ev.Phase == PhaseCached {
+			tiers = append(tiers, ev.Tier)
+		}
+	}})
+	ev2, err := warm.Evaluation(context.Background(), spec, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = warm.Stats()
+	if st.Executed != 0 || st.DiskHits != 4 {
+		t.Fatalf("warm engine: %+v, want 0 executed / 4 disk hits", st)
+	}
+	if st.Submitted() != 4 {
+		t.Fatalf("Submitted() = %d, want 4", st.Submitted())
+	}
+	for _, tier := range tiers {
+		if tier != TierDisk {
+			t.Errorf("cached event tier %q, want %q", tier, TierDisk)
+		}
+	}
+	if ev1.Fig5Text() != ev2.Fig5Text() {
+		t.Error("disk-served fig5 text differs from executed run")
+	}
+
+	// A second pass on the warm engine is served by the memory tier.
+	tiers = nil
+	if _, err := warm.Evaluation(context.Background(), spec, names); err != nil {
+		t.Fatal(err)
+	}
+	st = warm.Stats()
+	if st.Hits != 4 || st.DiskHits != 4 || st.Executed != 0 {
+		t.Fatalf("re-run on warm engine: %+v, want 4 memory hits", st)
+	}
+	for _, tier := range tiers {
+		if tier != TierMemory {
+			t.Errorf("cached event tier %q, want %q", tier, TierMemory)
+		}
+	}
+}
+
+// TestPersistentCacheSkipsFailedRuns: failed runs must stay out of the
+// persistent tier just as they stay out of the memory tier.
+func TestPersistentCacheSkipsFailedRuns(t *testing.T) {
+	store := newMapCache()
+	r := NewRunner(RunnerOptions{Cache: store})
+	r.testExec = func(w *workload.Workload, spec RunSpec) pipeline.Result {
+		return pipeline.Result{Cycles: 1, Outcome: pipeline.OutcomeDeadlock}
+	}
+	if _, err := r.Evaluation(context.Background(), tinySpec(), []string{"astar"}); err != nil {
+		t.Fatal(err)
+	}
+	if store.puts != 0 {
+		t.Errorf("failed runs were persisted: %d puts", store.puts)
 	}
 }
 

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+)
+
+// This file pins the JSON wire format of the engine's progress and error
+// types. The serve layer streams ProgressEvents over SSE and conspec-bench
+// -json emits RunErrors in its errors array; both therefore share one
+// stable shape: snake_case field names, the EventPhase/outcome strings as
+// they appear in the constants, errors flattened to their text, and Wall
+// carried as integer nanoseconds. A decoded event is semantically
+// equivalent but not pointer-identical: Err round-trips as an opaque
+// errors.New of the original text.
+
+// progressEventWire is ProgressEvent's JSON shape.
+type progressEventWire struct {
+	Suite     string `json:"suite,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
+	Mechanism string `json:"mechanism,omitempty"`
+	Phase     string `json:"phase"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	Tier      string `json:"tier,omitempty"`
+	Cycles    uint64 `json:"cycles,omitempty"`
+	WallNS    int64  `json:"wall_ns,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Line      string `json:"line,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e ProgressEvent) MarshalJSON() ([]byte, error) {
+	w := progressEventWire{
+		Suite:     string(e.Suite),
+		Benchmark: e.Benchmark,
+		Mechanism: e.Mechanism,
+		Phase:     string(e.Phase),
+		CacheHit:  e.CacheHit,
+		Tier:      e.Tier,
+		Cycles:    e.Cycles,
+		WallNS:    int64(e.Wall),
+		Line:      e.Line,
+	}
+	if e.Err != nil {
+		w.Error = e.Err.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *ProgressEvent) UnmarshalJSON(b []byte) error {
+	var w progressEventWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*e = ProgressEvent{
+		Suite:     SuiteID(w.Suite),
+		Benchmark: w.Benchmark,
+		Mechanism: w.Mechanism,
+		Phase:     EventPhase(w.Phase),
+		CacheHit:  w.CacheHit,
+		Tier:      w.Tier,
+		Cycles:    w.Cycles,
+		Wall:      time.Duration(w.WallNS),
+		Line:      w.Line,
+	}
+	if w.Error != "" {
+		e.Err = errors.New(w.Error)
+	}
+	return nil
+}
+
+// runErrorWire is RunError's JSON shape — the same five fields, in the same
+// order, that conspec-bench -json has always emitted per failed run.
+type runErrorWire struct {
+	Suite     string `json:"suite"`
+	Benchmark string `json:"benchmark"`
+	Mechanism string `json:"mechanism"`
+	Outcome   string `json:"outcome"`
+	Error     string `json:"error"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e RunError) MarshalJSON() ([]byte, error) {
+	w := runErrorWire{
+		Suite:     string(e.Suite),
+		Benchmark: e.Benchmark,
+		Mechanism: e.Mechanism,
+		Outcome:   e.Outcome,
+	}
+	if e.Err != nil {
+		w.Error = e.Err.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *RunError) UnmarshalJSON(b []byte) error {
+	var w runErrorWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*e = RunError{
+		Suite:     SuiteID(w.Suite),
+		Benchmark: w.Benchmark,
+		Mechanism: w.Mechanism,
+		Outcome:   w.Outcome,
+	}
+	if w.Error != "" {
+		e.Err = errors.New(w.Error)
+	}
+	return nil
+}

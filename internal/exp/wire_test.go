@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestProgressEventJSONRoundTrip(t *testing.T) {
+	events := []ProgressEvent{
+		{Suite: SuiteFig5, Benchmark: "astar", Mechanism: "CacheHit+TPBuf",
+			Phase: PhaseRunDone, Cycles: 123456, Wall: 42 * time.Millisecond},
+		{Suite: SuiteLRU, Benchmark: "lbm", Mechanism: "Origin",
+			Phase: PhaseCached, CacheHit: true, Tier: TierDisk},
+		{Suite: SuiteScope, Benchmark: "hmmer", Phase: PhaseBenchDone,
+			Line: "hmmer  branch-only +1.0%  full +2.0%"},
+		{Suite: SuiteCompare, Benchmark: "mcf", Mechanism: "Baseline",
+			Phase: PhaseError, Err: errors.New("exp: run mcf timed out")},
+		{Phase: PhaseRunStart},
+	}
+	for _, in := range events {
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", in, err)
+		}
+		var out ProgressEvent
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		// Err round-trips by text, not identity: compare it separately.
+		wantErr, gotErr := "", ""
+		if in.Err != nil {
+			wantErr = in.Err.Error()
+		}
+		if out.Err != nil {
+			gotErr = out.Err.Error()
+		}
+		if wantErr != gotErr {
+			t.Errorf("error text: got %q want %q", gotErr, wantErr)
+		}
+		in.Err, out.Err = nil, nil
+		if in != out {
+			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v\nwire: %s", in, out, b)
+		}
+	}
+}
+
+// TestProgressEventWireFieldNames pins the snake_case field names and the
+// stable phase strings: the SSE stream and any stored event logs depend on
+// them not drifting.
+func TestProgressEventWireFieldNames(t *testing.T) {
+	ev := ProgressEvent{Suite: SuiteFig5, Benchmark: "astar", Mechanism: "Origin",
+		Phase: PhaseCached, CacheHit: true, Tier: TierMemory, Cycles: 7,
+		Wall: time.Microsecond, Err: errors.New("x"), Line: "l"}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"suite", "benchmark", "mechanism", "phase",
+		"cache_hit", "tier", "cycles", "wall_ns", "error", "line"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("wire field %q missing in %s", k, b)
+		}
+	}
+	if m["phase"] != "cached" {
+		t.Errorf("phase string = %v, want cached", m["phase"])
+	}
+	for _, phase := range []EventPhase{PhaseRunStart, PhaseRunDone, PhaseCached,
+		PhaseBenchDone, PhaseError} {
+		b, _ := json.Marshal(ProgressEvent{Phase: phase})
+		var out ProgressEvent
+		if err := json.Unmarshal(b, &out); err != nil || out.Phase != phase {
+			t.Errorf("phase %q did not survive the wire: %v %v", phase, out.Phase, err)
+		}
+	}
+}
+
+func TestRunErrorJSONRoundTrip(t *testing.T) {
+	in := RunError{Suite: SuiteTable6, Benchmark: "sjeng", Mechanism: "Baseline",
+		Outcome: "deadlock", Err: errors.New("exp: run sjeng ended deadlock")}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"suite", "benchmark", "mechanism", "outcome", "error"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("wire field %q missing in %s", k, b)
+		}
+	}
+	var out RunError
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Suite != in.Suite || out.Benchmark != in.Benchmark ||
+		out.Mechanism != in.Mechanism || out.Outcome != in.Outcome ||
+		out.Err == nil || out.Err.Error() != in.Err.Error() {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}

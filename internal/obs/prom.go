@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders every metric of r in Prometheus text exposition
+// format (version 0.0.4), prefixing each name with prefix and sanitizing
+// the registry's dotted column names into the [a-zA-Z0-9_:] charset
+// ("suspect_window.count" -> "suspect_window_count").
+//
+// The registry does not distinguish counters from gauges at read time —
+// both reduce to sampled columns — so scalar columns are exported as
+// untyped samples, which Prometheus treats like gauges. Histograms are
+// exported in the native histogram text format: cumulative _bucket series
+// with le labels, plus _sum and _count.
+//
+// The caller owns synchronization: the registry itself is not locked, so a
+// server exposing live counters must hold whatever mutex guards its
+// writers for the duration of the call.
+func WritePrometheus(w io.Writer, prefix string, r *Registry) error {
+	// Histogram summary columns (<name>.count/.sum/.max) are emitted by
+	// the histogram exposition below; suppress the flat duplicates except
+	// .max, which the bucket format does not carry.
+	histCol := make(map[string]string, 3*len(r.hists))
+	for _, name := range r.hname {
+		histCol[name+".count"] = ""
+		histCol[name+".sum"] = ""
+		histCol[name+".max"] = "max"
+	}
+	for _, c := range r.cols {
+		kind, isHist := histCol[c.name]
+		if isHist && kind == "" {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promName(prefix, c.name), c.read()); err != nil {
+			return err
+		}
+	}
+	for i, h := range r.hists {
+		name := promName(prefix, r.hname[i])
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for j, bound := range h.bounds {
+			cum += h.counts[j]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, cum, name, h.sum, name, h.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a registry column name into a Prometheus metric name.
+func promName(prefix, name string) string {
+	var sb strings.Builder
+	sb.WriteString(prefix)
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			sb.WriteRune(c)
+		case c >= '0' && c <= '9' && (i > 0 || prefix != ""):
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

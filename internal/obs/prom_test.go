@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusScalars(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_done_total")
+	g := r.Gauge("jobs_running")
+	r.GaugeFunc(
+		"weird.name-1", func() uint64 { return 9 })
+	c.Add(3)
+	g.Set(2)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, "conspec_served_", r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"conspec_served_jobs_done_total 3\n",
+		"conspec_served_jobs_running 2\n",
+		"conspec_served_weird_name_1 9\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []uint64{1, 4, 16})
+	for _, v := range []uint64{1, 2, 3, 20, 100} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, "x_", r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE x_lat histogram\n",
+		"x_lat_bucket{le=\"1\"} 1\n",
+		"x_lat_bucket{le=\"4\"} 3\n",
+		"x_lat_bucket{le=\"16\"} 3\n",
+		"x_lat_bucket{le=\"+Inf\"} 5\n",
+		"x_lat_sum 126\n",
+		"x_lat_count 5\n",
+		"x_lat_max 100\n", // summary column kept: buckets don't carry max
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The flat .count/.sum summary columns must not duplicate the
+	// histogram series.
+	if strings.Contains(out, "x_lat_count ") && strings.Count(out, "x_lat_count") > 1 {
+		t.Errorf("duplicated count series:\n%s", out)
+	}
+	if strings.Contains(out, "x_lat_sum ") && strings.Count(out, "x_lat_sum") > 1 {
+		t.Errorf("duplicated sum series:\n%s", out)
+	}
+}

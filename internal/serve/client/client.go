@@ -1,0 +1,210 @@
+// Package client is the Go client for the conspec-served HTTP API. It is
+// the library behind conspec-ctl and the serve-smoke harness, and keeps the
+// wire types (serve.JobSpec, serve.JobStatus, serve.Event) as the single
+// source of truth for both sides.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"conspec/internal/serve"
+)
+
+// Client talks to one conspec-served instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8344".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Watch streams
+	// indefinitely, so the client must not set an overall Timeout; bound
+	// watches with the context instead.
+	HTTPClient *http.Client
+}
+
+// New returns a client for baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response, carrying the server's error body.
+type APIError struct {
+	StatusCode int
+	Message    string
+	// RetryAfter is the parsed Retry-After header, if the server sent one
+	// (429 queue-full and 503 draining responses do).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.StatusCode)
+	}
+	return fmt.Sprintf("server: HTTP %d", e.StatusCode)
+}
+
+// IsRetryable reports whether the request can be retried later (queue full
+// or draining).
+func (e *APIError) IsRetryable() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode == http.StatusServiceUnavailable
+}
+
+func apiErr(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body)
+	e := &APIError{StatusCode: resp.StatusCode, Message: body.Error}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		var secs int
+		if _, err := fmt.Sscanf(ra, "%d", &secs); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiErr(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit queues a job and returns its initial status.
+func (c *Client) Submit(ctx context.Context, spec serve.JobSpec) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Get fetches one job, including the result document once it is done.
+func (c *Client) Get(ctx context.Context, id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches all jobs, newest first (no result bodies).
+func (c *Client) List(ctx context.Context) ([]serve.JobStatus, error) {
+	var out []serve.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Metrics fetches the Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiErr(resp)
+	}
+	out, err := io.ReadAll(resp.Body)
+	return string(out), err
+}
+
+// Watch streams a job's events, calling fn for each (history replay first,
+// then live frames). It returns nil when the stream ends with a terminal
+// state event, the first non-nil error from fn, or the transport error.
+func (c *Client) Watch(ctx context.Context, id string, fn func(serve.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	terminal := false
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue // event:/comment/blank lines
+		}
+		var ev serve.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("bad event frame: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		if ev.Terminal() {
+			terminal = true
+			break
+		}
+	}
+	if err := sc.Err(); err != nil && !terminal {
+		return err
+	}
+	if !terminal {
+		return fmt.Errorf("event stream ended before the job finished")
+	}
+	return nil
+}
+
+// WaitDone watches id until it reaches a terminal state and returns the
+// final status (with the result document).
+func (c *Client) WaitDone(ctx context.Context, id string) (serve.JobStatus, error) {
+	err := c.Watch(ctx, id, func(serve.Event) error { return nil })
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	return c.Get(ctx, id)
+}

@@ -1,0 +1,325 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"conspec/internal/exp"
+	"conspec/internal/exp/report"
+	"conspec/internal/workload"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	// StatusQueued: accepted, waiting for a worker slot.
+	StatusQueued Status = "queued"
+	// StatusRunning: executing on a worker.
+	StatusRunning Status = "running"
+	// StatusDone: completed; the result document is available. Individual
+	// runs may still have failed — see JobStatus.FailedRuns and the result
+	// document's errors array.
+	StatusDone Status = "done"
+	// StatusFailed: the job could not produce a result document.
+	StatusFailed Status = "failed"
+	// StatusCanceled: canceled by DELETE, client disconnect (with
+	// cancel_on_disconnect), or a forced server stop.
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// JobSpec is a submission: which suite(s) to run and the per-run budget.
+// The zero value of each budget field means the server-side default, so
+// {"suite":"fig5"} is a complete submission.
+type JobSpec struct {
+	// Suite is one of conspec-bench's suite names, or "all".
+	Suite string `json:"suite"`
+	// Benches restricts suites to a benchmark subset (nil = all 22).
+	Benches []string `json:"benches,omitempty"`
+	// Warmup and Measure are committed-instruction budgets per run.
+	Warmup  uint64 `json:"warmup,omitempty"`
+	Measure uint64 `json:"measure,omitempty"`
+	// MetricsInterval samples the obs registry every N cycles of each
+	// measured phase; the result document then carries time series.
+	MetricsInterval uint64 `json:"metrics_interval,omitempty"`
+	// SelfCheck audits pipeline/security invariants every N cycles.
+	SelfCheck uint64 `json:"selfcheck,omitempty"`
+	// RunTimeoutMS bounds each simulation's wall-clock time, overriding
+	// the server default (0 = inherit).
+	RunTimeoutMS int64 `json:"run_timeout_ms,omitempty"`
+	// Workers caps this job's concurrent simulations below the server's
+	// per-job allowance (0 = inherit).
+	Workers int `json:"workers,omitempty"`
+	// CancelOnDisconnect cancels the job when its last event-stream
+	// watcher disconnects while it is still queued or running.
+	CancelOnDisconnect bool `json:"cancel_on_disconnect,omitempty"`
+}
+
+// suiteIDs validates Suite and expands "all". Table5 is omitted from the
+// expansion because it is the same evaluation as fig5; AddSuite fills both
+// sections from either.
+func (s JobSpec) suiteIDs() ([]exp.SuiteID, error) {
+	if s.Suite == "all" {
+		ids := make([]exp.SuiteID, 0, len(exp.Suites))
+		for _, id := range exp.Suites {
+			if id != exp.SuiteTable5 {
+				ids = append(ids, id)
+			}
+		}
+		return ids, nil
+	}
+	for _, id := range exp.Suites {
+		if exp.SuiteID(s.Suite) == id {
+			return []exp.SuiteID{id}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown suite %q", s.Suite)
+}
+
+// validate rejects a spec the workers could not execute, so submission is
+// the only place a client sees a 400 rather than a failed job.
+func (s JobSpec) validate() error {
+	if _, err := s.suiteIDs(); err != nil {
+		return err
+	}
+	for _, name := range s.Benches {
+		if _, ok := workload.ByName(name); !ok {
+			return fmt.Errorf("unknown benchmark %q", name)
+		}
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("negative workers")
+	}
+	if s.RunTimeoutMS < 0 {
+		return fmt.Errorf("negative run_timeout_ms")
+	}
+	return nil
+}
+
+// JobStatus is a job's wire representation. Result is populated only on
+// single-job GETs once the job is done; list responses omit it.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	Spec     JobSpec    `json:"spec"`
+	Status   Status     `json:"status"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	// FailedRuns counts simulations excluded from the result's aggregates
+	// (the result document's errors array has the details).
+	FailedRuns int                 `json:"failed_runs,omitempty"`
+	Engine     *report.EngineStats `json:"engine,omitempty"`
+	Result     *report.Report      `json:"result,omitempty"`
+}
+
+// Event is one SSE frame: either an engine ProgressEvent forwarded from
+// the job's Runner ("progress") or a job lifecycle transition ("state").
+// Seq is the frame's position in the job's event history, so a client that
+// reconnects can detect replayed frames.
+type Event struct {
+	Type     string             `json:"type"` // "state" | "progress"
+	Job      string             `json:"job"`
+	Seq      int                `json:"seq"`
+	Status   Status             `json:"status,omitempty"`
+	Error    string             `json:"error,omitempty"`
+	Progress *exp.ProgressEvent `json:"progress,omitempty"`
+}
+
+// Terminal reports whether the event announces a final job state (the
+// frame after which the stream ends).
+func (e Event) Terminal() bool {
+	return e.Type == "state" && e.Status.Terminal()
+}
+
+// subEventBuf bounds each subscriber's channel. A subscriber that falls
+// this far behind is disconnected (channel closed) rather than allowed to
+// stall the worker; the client re-fetches via GET, which never misses
+// state.
+const subEventBuf = 1024
+
+// job is the server-side job record: spec, lifecycle, result, and the
+// event history with its subscribers.
+type job struct {
+	id   string
+	spec JobSpec
+
+	mu         sync.Mutex
+	status     Status
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	err        string
+	failedRuns int
+	engine     *report.EngineStats
+	result     *report.Report
+
+	events  []Event
+	subs    map[int]chan Event
+	nextSub int
+
+	// cancel is armed while running; cancelASAP marks a cancel request
+	// received before (or without) a running context.
+	cancel     context.CancelFunc
+	cancelASAP bool
+
+	// onAbandoned is called (outside mu) when the last subscriber leaves a
+	// live job that asked for cancel_on_disconnect.
+	onAbandoned func()
+
+	done chan struct{} // closed at terminal state
+}
+
+func newJob(id string, spec JobSpec) *job {
+	j := &job{
+		id:      id,
+		spec:    spec,
+		status:  StatusQueued,
+		created: time.Now().UTC(),
+		subs:    make(map[int]chan Event),
+		done:    make(chan struct{}),
+	}
+	j.publishLocked(Event{Type: "state", Status: StatusQueued})
+	return j
+}
+
+// publishLocked appends ev to the history and fans it out. Callers must
+// NOT hold j.mu for the initial newJob call; every other caller must.
+func (j *job) publishLocked(ev Event) {
+	ev.Job = j.id
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	for id, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Slow consumer: close and drop rather than block the worker.
+			close(ch)
+			delete(j.subs, id)
+		}
+	}
+}
+
+// progress forwards one engine event to subscribers (the Runner serializes
+// OnEvent calls, but j.mu also guards against concurrent state publishes).
+func (j *job) progress(ev exp.ProgressEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	evCopy := ev
+	j.publishLocked(Event{Type: "progress", Progress: &evCopy})
+}
+
+// subscribe returns a snapshot of the history and a channel of subsequent
+// events. The returned cancel func must be called exactly once; it
+// unregisters the subscriber and, for cancel_on_disconnect jobs, cancels
+// the job when the last watcher leaves while it is still live.
+func (j *job) subscribe() (history []Event, ch chan Event, unsub func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history = append([]Event(nil), j.events...)
+	ch = make(chan Event, subEventBuf)
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	return history, ch, func() {
+		j.mu.Lock()
+		if _, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+		}
+		abandoned := j.spec.CancelOnDisconnect && len(j.subs) == 0 && !j.status.Terminal()
+		cb := j.onAbandoned
+		j.mu.Unlock()
+		if abandoned && cb != nil {
+			cb()
+		}
+	}
+}
+
+// requestCancel cancels a live job: a running job's context is canceled, a
+// queued job is marked so the worker skips it the moment it is dequeued.
+// Terminal jobs are left untouched (returns false).
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return false
+	}
+	j.cancelASAP = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+// begin transitions queued -> running and arms the cancel func. It returns
+// false — and does nothing — if the job was canceled while queued.
+func (j *job) begin(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelASAP || j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now().UTC()
+	j.cancel = cancel
+	j.publishLocked(Event{Type: "state", Status: StatusRunning})
+	return true
+}
+
+// finish records the terminal state and result, publishes the final state
+// event, disconnects subscribers after the final frame, and closes done.
+func (j *job) finish(status Status, rep *report.Report, engine *report.EngineStats, failedRuns int, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return
+	}
+	j.status = status
+	j.finished = time.Now().UTC()
+	j.result = rep
+	j.engine = engine
+	j.failedRuns = failedRuns
+	j.err = errMsg
+	j.cancel = nil
+	j.publishLocked(Event{Type: "state", Status: status, Error: errMsg})
+	for id, ch := range j.subs {
+		close(ch)
+		delete(j.subs, id)
+	}
+	close(j.done)
+}
+
+// snapshot renders the wire form. withResult includes the (potentially
+// large) result document.
+func (j *job) snapshot(withResult bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:         j.id,
+		Spec:       j.spec,
+		Status:     j.status,
+		Created:    j.created,
+		Error:      j.err,
+		FailedRuns: j.failedRuns,
+		Engine:     j.engine,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if withResult {
+		st.Result = j.result
+	}
+	return st
+}

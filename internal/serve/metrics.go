@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"io"
+	"sync"
+
+	"conspec/internal/exp"
+	"conspec/internal/obs"
+)
+
+// serverMetrics aggregates server-level counters into an obs.Registry and
+// renders them on demand. The obs registry's counters are plain (non-atomic)
+// uint64 columns — the registry contract makes synchronization the caller's
+// job — so every write and the exposition read happen under mu.
+type serverMetrics struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+
+	submittedC *obs.Counter
+	rejectedC  *obs.Counter
+	doneC      *obs.Counter
+	failedC    *obs.Counter
+	canceledC  *obs.Counter
+
+	executedC *obs.Counter
+	memHitsC  *obs.Counter
+	diskHitsC *obs.Counter
+
+	queuedG  *obs.Gauge
+	runningG *obs.Gauge
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := obs.NewRegistry()
+	return &serverMetrics{
+		reg:        reg,
+		submittedC: reg.Counter("jobs_submitted_total"),
+		rejectedC:  reg.Counter("jobs_rejected_total"),
+		doneC:      reg.Counter("jobs_done_total"),
+		failedC:    reg.Counter("jobs_failed_total"),
+		canceledC:  reg.Counter("jobs_canceled_total"),
+		executedC:  reg.Counter("runs_executed_total"),
+		memHitsC:   reg.Counter("cache_hits_memory_total"),
+		diskHitsC:  reg.Counter("cache_hits_disk_total"),
+		queuedG:    reg.Gauge("jobs_queued"),
+		runningG:   reg.Gauge("jobs_running"),
+	}
+}
+
+func (m *serverMetrics) submitted() {
+	m.mu.Lock()
+	m.submittedC.Add(1)
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) rejected() {
+	m.mu.Lock()
+	m.rejectedC.Add(1)
+	m.mu.Unlock()
+}
+
+// jobFinished records a terminal job plus its engine-level run accounting.
+func (m *serverMetrics) jobFinished(status Status, st exp.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch status {
+	case StatusDone:
+		m.doneC.Add(1)
+	case StatusFailed:
+		m.failedC.Add(1)
+	case StatusCanceled:
+		m.canceledC.Add(1)
+	}
+	m.executedC.Add(st.Executed)
+	m.memHitsC.Add(st.Hits)
+	m.diskHitsC.Add(st.DiskHits)
+}
+
+func (m *serverMetrics) setQueue(queued, running int) {
+	m.mu.Lock()
+	m.queuedG.Set(uint64(queued))
+	m.runningG.Set(uint64(running))
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) write(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return obs.WritePrometheus(w, "conspec_served_", m.reg)
+}

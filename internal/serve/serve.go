@@ -1,0 +1,454 @@
+// Package serve is the simulation-as-a-service layer: an HTTP JSON daemon
+// that accepts experiment-suite submissions, executes them on a bounded
+// worker pool over the exp.Runner engine, streams typed progress events to
+// clients via SSE, and persists results through the engine's disk cache so
+// identical runs are served without simulation across restarts and across
+// clients.
+//
+// API (all JSON):
+//
+//	POST   /v1/jobs             submit a JobSpec  -> 202 JobStatus
+//	                            (429 + Retry-After when the queue is full,
+//	                             503 while draining)
+//	GET    /v1/jobs             list jobs (newest first, no result bodies)
+//	GET    /v1/jobs/{id}        job status; includes the result document
+//	                            (the same shape as conspec-bench -json)
+//	                            once the job is done
+//	GET    /v1/jobs/{id}/events SSE stream: full event history replay, then
+//	                            live "progress"/"state" frames; the stream
+//	                            ends after the terminal state frame
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /metrics             Prometheus text exposition (server counters)
+//	GET    /healthz             liveness + drain state
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"conspec/internal/exp"
+	"conspec/internal/exp/report"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds concurrently executing jobs (default 2). Each running
+	// job drives its own exp.Runner, whose simulation concurrency is
+	// bounded by SimWorkers.
+	Workers int
+	// QueueCap bounds jobs accepted but not yet running (default 16).
+	// Submissions beyond it are rejected with 429 + Retry-After.
+	QueueCap int
+	// SimWorkers bounds each job's concurrent simulations (default:
+	// GOMAXPROCS via the engine).
+	SimWorkers int
+	// RunTimeout is the default per-simulation wall-clock bound; a job
+	// spec's run_timeout_ms overrides it.
+	RunTimeout time.Duration
+	// Cache, when non-nil, is the persistent result store shared by every
+	// job's Runner (and with conspec-bench -cache-dir users of the same
+	// directory).
+	Cache exp.ResultCache
+	// Logf, when non-nil, receives one line per job lifecycle transition.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the job table, the queue, and the worker pool. Create with
+// New, expose via Handler, stop with Drain (graceful) or Close (forced).
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order; listings walk it newest-first
+	queued   int
+	running  int
+	draining bool
+
+	metrics *serverMetrics
+
+	// exec runs one job's suites (test seam). The default implementation
+	// builds an exp.Runner over cfg.Cache and runs the spec's suites.
+	exec func(ctx context.Context, j *job, emit func(exp.ProgressEvent)) (*report.Report, exp.Stats, int, error)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueCap),
+		quit:    make(chan struct{}),
+		jobs:    make(map[string]*job),
+		metrics: newServerMetrics(),
+	}
+	s.exec = s.runSuites
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving the API above.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// worker pulls jobs until quit closes. Drain closes quit only once the
+// queue is empty, so a worker never abandons queued work.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.process(j)
+		case <-s.quit:
+			// Drain any job that raced in between the counter check and
+			// the close; requestCancel marked them, process() skips fast.
+			for {
+				select {
+				case j := <-s.queue:
+					s.process(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// process executes one dequeued job end to end and maintains the
+// queued/running accounting and server counters.
+func (s *Server) process(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if !j.begin(cancel) {
+		// Canceled while queued.
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+		j.finish(StatusCanceled, nil, nil, 0, "canceled while queued")
+		s.metrics.jobFinished(StatusCanceled, exp.Stats{})
+		s.logf("job %s: canceled while queued", j.id)
+		return
+	}
+	s.mu.Lock()
+	s.queued--
+	s.running++
+	s.mu.Unlock()
+	s.metrics.setQueue(s.counts())
+	s.logf("job %s: running (suite %s)", j.id, j.spec.Suite)
+
+	rep, stats, failedRuns, err := s.exec(ctx, j, j.progress)
+
+	status := StatusDone
+	errMsg := ""
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) && j.canceled():
+		status, errMsg = StatusCanceled, "canceled"
+		rep = nil
+	default:
+		status, errMsg = StatusFailed, err.Error()
+		rep = nil
+	}
+	j.finish(status, rep, report.Engine(stats), failedRuns, errMsg)
+
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+	s.metrics.jobFinished(status, stats)
+	s.metrics.setQueue(s.counts())
+	s.logf("job %s: %s (executed %d, mem hits %d, disk hits %d, failed runs %d)",
+		j.id, status, stats.Executed, stats.Hits, stats.DiskHits, failedRuns)
+}
+
+// canceled reports whether a cancel was requested for the job.
+func (j *job) canceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelASAP
+}
+
+// runSuites is the production job executor: one engine per job (per-job
+// progress attribution and stats), the shared persistent cache underneath.
+func (s *Server) runSuites(ctx context.Context, j *job, emit func(exp.ProgressEvent)) (*report.Report, exp.Stats, int, error) {
+	spec := exp.DefaultSpec()
+	if j.spec.Warmup > 0 {
+		spec.Warmup = j.spec.Warmup
+	}
+	if j.spec.Measure > 0 {
+		spec.Measure = j.spec.Measure
+	}
+	spec.MetricsInterval = j.spec.MetricsInterval
+	spec.SelfCheck = j.spec.SelfCheck
+
+	timeout := s.cfg.RunTimeout
+	if j.spec.RunTimeoutMS > 0 {
+		timeout = time.Duration(j.spec.RunTimeoutMS) * time.Millisecond
+	}
+	workers := s.cfg.SimWorkers
+	if j.spec.Workers > 0 && (workers <= 0 || j.spec.Workers < workers) {
+		workers = j.spec.Workers
+	}
+	runner := exp.NewRunner(exp.RunnerOptions{
+		Workers: workers,
+		OnEvent: emit,
+		Timeout: timeout,
+		Cache:   s.cfg.Cache,
+	})
+	suites, err := j.spec.suiteIDs() // validated at submit; re-checked for defense
+	if err != nil {
+		return nil, exp.Stats{}, 0, err
+	}
+	rep := report.New()
+	for _, id := range suites {
+		res, err := runner.RunSuite(ctx, id, exp.Options{Spec: spec, Benches: j.spec.Benches})
+		if err != nil {
+			return nil, runner.Stats(), len(runner.Errors()), err
+		}
+		rep.AddSuite(res)
+	}
+	rep.Finish(runner)
+	return rep, runner.Stats(), len(runner.Errors()), nil
+}
+
+// counts returns (queued, running) under the server lock.
+func (s *Server) counts() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued, s.running
+}
+
+// newJobID returns a fresh random job id ("j" + 12 hex chars).
+func newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: rand: %v", err)) // crypto/rand never fails on supported platforms
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Drain gracefully stops the server: new submissions are rejected with
+// 503, queued and running jobs are completed (losing none of their
+// results), and the worker pool exits. If ctx expires first, live jobs are
+// canceled, the pool is still waited for, and ctx.Err() is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.logf("draining: waiting for queued and running jobs")
+
+	var err error
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+wait:
+	for {
+		if q, r := s.counts(); q == 0 && r == 0 {
+			break
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			err = ctx.Err()
+			s.logf("drain deadline: canceling live jobs")
+			s.cancelAll()
+			break wait
+		}
+	}
+	if err != nil {
+		// Canceled jobs unwind quickly; wait for the counters to settle so
+		// workers are idle before quit closes.
+		for q, r := s.counts(); q != 0 || r != 0; q, r = s.counts() {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	close(s.quit)
+	s.wg.Wait()
+	s.logf("drained")
+	return err
+}
+
+// Close force-stops the server: reject new work, cancel everything live,
+// and wait for the pool. For tests and fatal shutdown paths.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.mu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(ctx)
+}
+
+// cancelAll requests cancellation of every non-terminal job.
+func (s *Server) cancelAll() {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.requestCancel()
+	}
+}
+
+// ---- handlers ----
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	if err := spec.validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "10")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
+		return
+	}
+	id := newJobID()
+	for s.jobs[id] != nil {
+		id = newJobID()
+	}
+	j := newJob(id, spec)
+	// Arm before the job becomes visible to workers/subscribers.
+	j.onAbandoned = func() {
+		if j.requestCancel() {
+			s.logf("job %s: canceled (last watcher disconnected)", j.id)
+		}
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		s.queued++
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.metrics.rejected()
+		w.Header().Set("Retry-After", "2")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "job queue is full"})
+		return
+	}
+	s.metrics.submitted()
+	s.metrics.setQueue(s.counts())
+	s.logf("job %s: queued (suite %s)", id, spec.Suite)
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, j.snapshot(false))
+}
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.snapshot(false))
+	}
+	sort.SliceStable(out, func(i, k int) bool { return out[i].Created.After(out[k].Created) })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	if j.requestCancel() {
+		s.logf("job %s: cancel requested", j.id)
+	}
+	writeJSON(w, http.StatusOK, j.snapshot(false))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.counts()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": draining,
+		"queued":   queued,
+		"running":  running,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.setQueue(s.counts())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w)
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// sseKeepalive is how often an idle event stream emits a comment frame so
+// intermediaries don't drop the connection.
+const sseKeepalive = 15 * time.Second
+
+// handleEvents streams a job's events as Server-Sent Events: first the full
+// history (a late subscriber misses nothing), then live frames until the
+// terminal state frame, after which the stream ends. Each frame is
+//
+//	event: state|progress
+//	data: <Event JSON>
+//
+// Closing the request (client disconnect) unsubscribes; if the job asked
+// for cancel_on_disconnect and this was its last watcher, it is canceled.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	history, ch, unsub := j.subscribe()
+	defer unsub()
+
+	for _, ev := range history {
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+		if ev.Terminal() {
+			fl.Flush()
+			return
+		}
+	}
+	fl.Flush()
+
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				// Evicted as a slow consumer or the job finished and closed
+				// the channel after its final frame was delivered.
+				return
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			fl.Flush()
+			if ev.Terminal() {
+				return
+			}
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one SSE frame.
+func writeSSE(w http.ResponseWriter, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
+}

@@ -1,0 +1,115 @@
+#!/bin/sh
+# serve-smoke: end-to-end check of the simulation service.
+#
+# Builds conspec-served and conspec-ctl, starts the daemon on a random port
+# with a fresh persistent result store, submits a small real suite through
+# conspec-ctl, and asserts it completes. Then it restarts the server
+# (graceful SIGTERM drain) over the same store and resubmits the identical
+# job: the rerun must execute ZERO simulations — every run served from the
+# disk tier, verified through the server's own /metrics counters — and must
+# produce the identical result document.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+srv_pid=
+cleanup() {
+    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building binaries"
+$GO build -o "$tmp/bin/" ./cmd/conspec-served ./cmd/conspec-ctl
+
+log="$tmp/served.log"
+start_server() {
+    : >"$log"
+    "$tmp/bin/conspec-served" -addr 127.0.0.1:0 -cache-dir "$tmp/cache" -workers 1 >>"$log" 2>&1 &
+    srv_pid=$!
+    i=0
+    while [ $i -lt 100 ]; do
+        CONSPEC_SERVER=$(sed -n 's#.*listening on \(http://[0-9.:]*\).*#\1#p' "$log" | head -1)
+        if [ -n "$CONSPEC_SERVER" ]; then
+            export CONSPEC_SERVER
+            return 0
+        fi
+        if ! kill -0 "$srv_pid" 2>/dev/null; then
+            echo "serve-smoke: server exited during startup" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "serve-smoke: server never announced its address" >&2
+    cat "$log" >&2
+    exit 1
+}
+
+stop_server() {
+    kill -TERM "$srv_pid"
+    wait "$srv_pid" || true
+    srv_pid=
+}
+
+submit() {
+    "$tmp/bin/conspec-ctl" submit -suite lru -benches astar \
+        -warmup 2000 -measure 8000 -watch 2>"$tmp/watch.log"
+}
+
+# The result documents embed the engine's cache accounting, which is the
+# one part expected to differ between the cold and warm runs; strip those
+# lines before comparing.
+strip_engine_stats() {
+    grep -v '"executed"\|"mem_hits"\|"disk_hits"\|"submitted"' "$1"
+}
+
+assert_metric() {
+    # assert_metric <name> <expected-value>
+    got=$("$tmp/bin/conspec-ctl" metrics | sed -n "s/^conspec_served_$1 //p")
+    if [ "$got" != "$2" ]; then
+        echo "serve-smoke: conspec_served_$1 = ${got:-<missing>}, want $2" >&2
+        "$tmp/bin/conspec-ctl" metrics >&2
+        exit 1
+    fi
+}
+
+echo "serve-smoke: cold run (fresh store)"
+start_server
+submit >"$tmp/cold.json"
+grep -q '"lru"' "$tmp/cold.json" || {
+    echo "serve-smoke: cold result has no lru section" >&2
+    cat "$tmp/cold.json" >&2
+    exit 1
+}
+assert_metric jobs_done_total 1
+cold_executed=$("$tmp/bin/conspec-ctl" metrics | sed -n 's/^conspec_served_runs_executed_total //p')
+if [ "${cold_executed:-0}" -eq 0 ]; then
+    echo "serve-smoke: cold run executed no simulations" >&2
+    exit 1
+fi
+
+echo "serve-smoke: graceful restart (SIGTERM drain)"
+stop_server
+
+echo "serve-smoke: warm run (same store, restarted server)"
+start_server
+submit >"$tmp/warm.json"
+# The acceptance criterion: after a restart the identical submission is
+# served entirely from the disk store — zero simulations, all runs counted
+# as disk hits by the server's own exposition.
+assert_metric runs_executed_total 0
+assert_metric cache_hits_disk_total "$cold_executed"
+assert_metric jobs_done_total 1
+
+if ! strip_engine_stats "$tmp/cold.json" >"$tmp/cold.stripped" ||
+    ! strip_engine_stats "$tmp/warm.json" >"$tmp/warm.stripped" ||
+    ! cmp -s "$tmp/cold.stripped" "$tmp/warm.stripped"; then
+    echo "serve-smoke: warm result differs from cold result" >&2
+    diff "$tmp/cold.stripped" "$tmp/warm.stripped" >&2 || true
+    exit 1
+fi
+
+stop_server
+echo "serve-smoke: OK (cold executed $cold_executed runs; warm rerun executed 0, all disk hits)"
