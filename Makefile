@@ -5,9 +5,10 @@
 #                         engine's worker pool, the obs sinks, and the serve
 #                         daemon, the chaos gate (fault-injection corpus +
 #                         self-checking stress), a one-iteration
-#                         BenchmarkFig5 smoke run, and the conspec-served
+#                         BenchmarkFig5 smoke run, the conspec-served
 #                         end-to-end smoke (submit, drain, warm-cache
-#                         restart).
+#                         restart), and the defense smoke matrix (every
+#                         registered backend vs the Spectre V1 PoC).
 #   make chaos          — the robustness gate on its own: every fault class
 #                         must be caught, and every mechanism must survive
 #                         a per-cycle invariant audit over the random-program
@@ -22,7 +23,7 @@ GO ?= go
 # the end-to-end Figure 5 evaluation plus the per-component microbenches.
 TRACKED_BENCHES = ^(BenchmarkFig5|BenchmarkSimulatorThroughput|BenchmarkSecMatrixDispatch|BenchmarkSecMatrixHazardCheck|BenchmarkTPBufQuery|BenchmarkCacheAccess)$$
 
-.PHONY: all build fmt vet lint test race chaos benchsmoke serve-smoke tier1 bench bench-snapshot bench-compare
+.PHONY: all build fmt vet lint lint-defense test race chaos benchsmoke serve-smoke defense-matrix tier1 bench bench-snapshot bench-compare
 
 all: tier1
 
@@ -37,7 +38,12 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 	    echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-lint: fmt vet
+# lint-defense keeps the pipeline mechanism-agnostic: only the registry
+# bridge (internal/pipeline/defense.go) may name concrete mechanisms.
+lint-defense:
+	sh scripts/lint_defense.sh
+
+lint: fmt vet lint-defense
 
 test:
 	$(GO) test ./...
@@ -72,7 +78,14 @@ benchsmoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-tier1: build lint test race chaos benchsmoke serve-smoke
+# The defense smoke matrix: every registered backend runs two workloads for
+# overhead and faces the canonical Spectre V1 PoC; each verdict must match
+# the backend's documented expectation (origin and SSBD leak, the rest
+# block).
+defense-matrix:
+	$(GO) test -count=1 -run '^(TestDefenseMatrix|TestDefenseHooksGolden)$$' ./internal/exp ./internal/pipeline
+
+tier1: build lint test race chaos benchsmoke serve-smoke defense-matrix
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -32,7 +32,7 @@ func main() {
 		runFile   = flag.String("run", "", "assemble and run this file")
 		disasm    = flag.String("disasm", "", "assemble this file and print the listing")
 		base      = flag.Uint64("base", 0x1000, "load address")
-		mech      = flag.String("mech", "origin", "origin|baseline|cachehit|tpbuf|invisispec")
+		mech      = flag.String("mech", "origin", "defense: "+strings.Join(core.DefenseNames(), "|"))
 		maxCycles = flag.Uint64("maxcycles", 10_000_000, "cycle budget")
 		trace     = flag.Bool("trace", false, "print a pipeline event trace")
 		pipeview  = flag.String("pipeview", "", "write an O3PipeView trace (Konata-compatible) to FILE")
@@ -71,26 +71,19 @@ func main() {
 		return
 	}
 
-	var m core.Mechanism
-	switch strings.ToLower(*mech) {
-	case "origin", "":
-		m = core.Origin
-	case "baseline":
-		m = core.Baseline
-	case "cachehit", "cache-hit":
-		m = core.CacheHit
-	case "tpbuf":
-		m = core.CacheHitTPBuf
-	case "invisispec":
-		m = core.InvisiSpec
-	default:
-		fatal(fmt.Errorf("unknown mechanism %q", *mech))
+	name := *mech
+	if name == "" {
+		name = "origin"
+	}
+	d, err := core.LookupDefense(name)
+	if err != nil {
+		fatal(err)
 	}
 
 	backing := isa.NewFlatMem()
 	prog.Load(backing)
 	cpu := pipeline.NewWithMemory(config.PaperCore(),
-		pipeline.SecurityConfig{Mechanism: m}, backing)
+		pipeline.SecurityConfig{Mechanism: d.Mechanism(), SSBD: d.SSBD()}, backing)
 	if *trace {
 		cpu.AttachTracer(os.Stderr)
 	}
@@ -111,7 +104,7 @@ func main() {
 	if !cpu.Halted() {
 		fmt.Fprintf(os.Stderr, "warning: no HALT within %d cycles\n", *maxCycles)
 	}
-	fmt.Printf("mechanism: %v\n", m)
+	fmt.Printf("mechanism: %v\n", d.Title())
 	fmt.Printf("committed: %d instructions in %d cycles (IPC %.2f)\n",
 		res.Committed, res.Cycles, res.IPC())
 	fmt.Printf("L1D hit  : %.1f%%   branch mispredict: %.1f%%   squashes: %d\n",

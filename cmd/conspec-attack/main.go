@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 
 	"conspec/internal/attack"
@@ -37,7 +36,7 @@ func main() {
 		list      = flag.Bool("list", false, "list scenarios and exit")
 		all       = flag.Bool("all", false, "run every scenario under every mechanism (Table IV)")
 		scenario  = flag.String("scenario", "", "scenario name (see -list)")
-		mech      = flag.String("mech", "", "mechanism: origin|baseline|cachehit|tpbuf (empty = all)")
+		mech      = flag.String("mech", "", "defense: origin|baseline|cachehit|cachehit+tpbuf|ssbd|fence|delay-on-miss|invisispec (empty = the four paper variants)")
 		lru       = flag.Bool("lru", false, "run the §VII.A LRU side channel across update policies")
 		crossCore = flag.Bool("crosscore", false, "run the two-core, two-program attack (victim per mechanism)")
 		tlb       = flag.Bool("tlb", false, "run the DTLB-refill side channel and its filter extension")
@@ -155,27 +154,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scenario %q (try -list)\n", *scenario)
 		os.Exit(2)
 	}
-	mechs := core.Mechanisms
+	// Empty -mech keeps the historical default: the four paper variants.
+	names := []string{"origin", "baseline", "cachehit", "cachehit+tpbuf"}
 	if *mech != "" {
-		switch strings.ToLower(*mech) {
-		case "origin":
-			mechs = []core.Mechanism{core.Origin}
-		case "baseline":
-			mechs = []core.Mechanism{core.Baseline}
-		case "cachehit", "cache-hit":
-			mechs = []core.Mechanism{core.CacheHit}
-		case "tpbuf", "cachehit+tpbuf":
-			mechs = []core.Mechanism{core.CacheHitTPBuf}
-		default:
-			fmt.Fprintf(os.Stderr, "unknown mechanism %q\n", *mech)
+		names = []string{*mech}
+	}
+	var secs []pipeline.SecurityConfig
+	for _, n := range names {
+		d, err := core.LookupDefense(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		secs = append(secs, pipeline.SecurityConfig{Mechanism: d.Mechanism(), SSBD: d.SSBD()})
 	}
-	if *pipeview != "" && len(mechs) != 1 {
+	if *pipeview != "" && len(secs) != 1 {
 		fmt.Fprintln(os.Stderr, "-pipeview traces one run: pick a mechanism with -mech")
 		os.Exit(2)
 	}
-	for _, m := range mechs {
+	for _, sec := range secs {
 		checkCancelled()
 		setup := func(*pipeline.CPU) {}
 		if *pipeview != "" {
@@ -187,7 +184,7 @@ func main() {
 			defer f.Close()
 			setup = func(c *pipeline.CPU) { c.AttachSink(obs.NewPipeViewSink(f)) }
 		}
-		o := h.RunWith(cfg, pipeline.SecurityConfig{Mechanism: m}, setup)
+		o := h.RunWith(cfg, sec, setup)
 		fmt.Println(o)
 		fmt.Printf("    secret %x, recovered %x (%d cycles)\n", o.Secret, o.Recovered, o.Cycles)
 	}

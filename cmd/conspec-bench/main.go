@@ -10,6 +10,7 @@
 //	-suite dtlb     extension (DTLB-hit filter)
 //	-suite compare  extension (CH+TPBuf vs InvisiSpec-like vs LFENCE baseline)
 //	-suite overhead §VI.E     (area/timing model)
+//	-suite defenses extension (every registered defense backend: overhead vs V1 leak verdict)
 //	-suite all      everything above
 //
 // Figure 5 and Table V come from the same runs and are always printed
@@ -43,8 +44,9 @@ import (
 
 func main() {
 	var (
-		suite    = flag.String("suite", "all", "fig5|table4|table5|table6|scope|lru|icache|dtlb|compare|overhead|all")
+		suite    = flag.String("suite", "all", "fig5|table4|table5|table6|scope|lru|icache|dtlb|compare|overhead|defenses|all")
 		benches  = flag.String("benches", "", "comma-separated benchmark subset (default: all 22)")
+		defenses = flag.String("defenses", "", "comma-separated defense subset for -suite defenses (default: all registered; see conspec-sim -mech for names)")
 		warmup   = flag.Uint64("warmup", 20_000, "warmup instructions per run")
 		measure  = flag.Uint64("measure", 120_000, "measured instructions per run")
 		interval = flag.Uint64("metrics-interval", 0, "sample the obs metric registry every N cycles of the measured phase; the -json fig5/table5 output then carries the per-run time series (0 = off)")
@@ -73,6 +75,10 @@ func main() {
 	if *benches != "" {
 		names = strings.Split(*benches, ",")
 	}
+	var defNames []string
+	if *defenses != "" {
+		defNames = strings.Split(*defenses, ",")
+	}
 	spec := exp.DefaultSpec()
 	spec.Warmup = *warmup
 	spec.Measure = *measure
@@ -99,7 +105,7 @@ func main() {
 		ropts.Cache = store
 	}
 	runner := exp.NewRunner(ropts)
-	opts := exp.Options{Spec: spec, Benches: names}
+	opts := exp.Options{Spec: spec, Benches: names, Defenses: defNames}
 
 	want := func(s string) bool { return *suite == "all" || *suite == s }
 	start := time.Now()
@@ -151,6 +157,7 @@ func main() {
 		{"dtlb", exp.SuiteDTLB, "=== DTLB-hit filter extension ==="},
 		{"compare", exp.SuiteCompare, "=== Defense comparison: CH+TPBuf vs InvisiSpec vs SW fence ==="},
 		{"overhead", exp.SuiteOverhead, "=== §VI.E: hardware overhead model ==="},
+		{"defenses", exp.SuiteDefenses, "=== Defense matrix: overhead vs Spectre V1 verdict ==="},
 	}
 	for _, s := range textSuites {
 		if !want(s.name) {

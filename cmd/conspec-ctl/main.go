@@ -71,7 +71,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: conspec-ctl [-server URL] <command> [args]
 
 commands:
-  submit -suite S [-benches a,b] [-warmup N] [-measure N] [-run-timeout D]
+  submit -suite S [-benches a,b] [-defenses d,e] [-warmup N] [-measure N] [-run-timeout D]
          [-cancel-on-disconnect] [-watch]    queue a job
   watch  <job-id>                            stream a job's progress events
   get    <job-id>                            print the job (with result JSON)
@@ -92,8 +92,9 @@ func envOr(key, def string) string {
 func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	var (
-		suite    = fs.String("suite", "all", "suite to run (fig5|table4|table5|table6|scope|lru|icache|dtlb|compare|overhead|all)")
+		suite    = fs.String("suite", "all", "suite to run (fig5|table4|table5|table6|scope|lru|icache|dtlb|compare|overhead|defenses|all)")
 		benches  = fs.String("benches", "", "comma-separated benchmark subset")
+		defenses = fs.String("defenses", "", "comma-separated defense subset for the defenses suite")
 		warmup   = fs.Uint64("warmup", 0, "warmup instructions per run (0 = server default)")
 		measure  = fs.Uint64("measure", 0, "measured instructions per run (0 = server default)")
 		interval = fs.Uint64("metrics-interval", 0, "metric sampling interval in cycles (0 = off)")
@@ -116,6 +117,9 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 	}
 	if *benches != "" {
 		spec.Benches = strings.Split(*benches, ",")
+	}
+	if *defenses != "" {
+		spec.Defenses = strings.Split(*defenses, ",")
 	}
 	st, err := c.Submit(ctx, spec)
 	if err != nil {

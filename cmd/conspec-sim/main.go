@@ -1,13 +1,16 @@
 // Command conspec-sim runs one synthetic benchmark on one simulated core
-// under one Conditional Speculation mechanism and prints the detailed
-// statistics: cycles, IPC, cache behaviour, and the security-filter
-// counters behind Table V.
+// under one defense backend and prints the detailed statistics: cycles,
+// IPC, cache behaviour, and the security-filter counters behind Table V.
+// -mech accepts any name in the core defense registry (the four paper
+// variants plus ssbd, fence, delay-on-miss, invisispec); the historical
+// spellings ("tpbuf", "cache-hit") are aliases.
 //
 // Usage:
 //
 //	conspec-sim -list
 //	conspec-sim -bench lbm -mech tpbuf
 //	conspec-sim -bench astar -mech baseline -core xeon -measure 200000
+//	conspec-sim -bench lbm -mech delay-on-miss
 //
 // The hardening layer is exposed for reproduction and debugging: -selfcheck
 // audits the machine's invariants in-run, and -inject plants one seeded
@@ -51,18 +54,14 @@ func coreByName(name string) (config.Core, bool) {
 	return config.Core{}, false
 }
 
-func mechByName(name string) (core.Mechanism, bool) {
-	switch strings.ToLower(name) {
-	case "origin", "":
-		return core.Origin, true
-	case "baseline":
-		return core.Baseline, true
-	case "cachehit", "cache-hit":
-		return core.CacheHit, true
-	case "tpbuf", "cachehit+tpbuf":
-		return core.CacheHitTPBuf, true
+// defenseByName resolves a -mech value through the core defense registry
+// ("" keeps the historical origin default). The old per-CLI spellings
+// ("tpbuf", "cache-hit") are registered aliases, so they keep working.
+func defenseByName(name string) (core.Defense, error) {
+	if name == "" {
+		name = "origin"
 	}
-	return 0, false
+	return core.LookupDefense(name)
 }
 
 func lruByName(name string) (mem.UpdatePolicy, bool) {
@@ -81,7 +80,7 @@ func main() {
 	var (
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		bench   = flag.String("bench", "", "benchmark name (see -list)")
-		mech    = flag.String("mech", "origin", "mechanism: origin|baseline|cachehit|tpbuf")
+		mech    = flag.String("mech", "origin", "defense: "+strings.Join(core.DefenseNames(), "|")+" (aliases: tpbuf, lfence, dom, ...)")
 		coreF   = flag.String("core", "paper", "core: paper|a57|i7|xeon")
 		scope   = flag.String("scope", "full", "matrix scope: full|branch-only")
 		icache  = flag.Bool("icache", false, "enable the §VII.B ICache-hit filter")
@@ -135,11 +134,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown core %q\n", *coreF)
 		os.Exit(2)
 	}
-	m, ok := mechByName(*mech)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown mechanism %q\n", *mech)
+	d, err := defenseByName(*mech)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	hooks := d.Hooks()
 	pol, ok := lruByName(*lru)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown lru policy %q\n", *lru)
@@ -157,8 +157,8 @@ func main() {
 	}
 	spec := exp.RunSpec{
 		Core: cfg,
-		Sec: pipeline.SecurityConfig{Mechanism: m, Scope: sc,
-			ICacheFilter: *icache, SSBD: *ssbd, DTLBFilter: *dtlbF},
+		Sec: pipeline.SecurityConfig{Mechanism: d.Mechanism(), Scope: sc,
+			ICacheFilter: *icache, SSBD: *ssbd || d.SSBD(), DTLBFilter: *dtlbF},
 		L1DUpdate: pol,
 		Warmup:    *warmup,
 		Measure:   *measure,
@@ -236,7 +236,7 @@ func main() {
 	}
 
 	fmt.Printf("benchmark   : %s on %s\n", prof.Name, cfg.Name)
-	fmt.Printf("mechanism   : %v (scope %v, icache-filter %v, lru %v)\n", m, sc, *icache, pol)
+	fmt.Printf("mechanism   : %v (scope %v, icache-filter %v, lru %v)\n", d.Title(), sc, *icache, pol)
 	fmt.Printf("instructions: %d (after %d warmup)\n", res.Committed, *warmup)
 	fmt.Printf("cycles      : %d  (IPC %.3f)\n", res.Cycles, res.IPC())
 	fmt.Printf("L1D         : %.2f%% hit (%d accesses)\n", 100*res.L1D.HitRate(), res.L1D.Accesses)
@@ -244,13 +244,13 @@ func main() {
 	fmt.Printf("branches    : %.2f%% mispredicted (%d predicts)\n",
 		100*res.Branch.MispredictRate(), res.Branch.CondPredicts)
 	fmt.Printf("squashes    : %d (%d memory-order violations)\n", res.Squashes, res.MemViolations)
-	if m.TracksDependence() {
+	if hooks.TracksDependence {
 		fmt.Printf("suspect     : %d issued, %.2f%% hit L1D\n",
 			res.Filter.SuspectIssued, 100*res.Filter.SpecHitRate())
 		fmt.Printf("blocked     : %.2f%% of committed memory instructions (%d events)\n",
 			100*res.Filter.BlockedRate(), res.Filter.BlockedEvents)
 	}
-	if m.UsesTPBuf() {
+	if hooks.TPBufFilter {
 		fmt.Printf("TPBuf       : %d queries, %.2f%% S-Pattern mismatch (safe)\n",
 			res.TPBuf.Queries, 100*res.TPBuf.MismatchRate())
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,8 +26,9 @@ import (
 
 func main() {
 	fmt.Println("-- performance (overhead vs the unprotected core) --")
-	r, err := exp.RunComparison(exp.DefaultSpec(),
-		[]string{"astar", "hmmer", "lbm", "libquantum"}, nil)
+	runner := exp.NewRunner(exp.RunnerOptions{})
+	r, err := runner.Compare(context.Background(), exp.DefaultSpec(),
+		[]string{"astar", "hmmer", "lbm", "libquantum"})
 	if err != nil {
 		log.Fatal(err)
 	}

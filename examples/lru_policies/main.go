@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,8 +35,12 @@ func main() {
 
 	// Part 2: the performance cost, as in §VII.A.
 	fmt.Println("-- performance (CacheHit+TPBuf, three benchmarks) --")
-	r, err := exp.RunLRU(exp.DefaultSpec(), []string{"astar", "bzip2", "sphinx3"},
-		func(line string) { fmt.Println("  ", line) })
+	runner := exp.NewRunner(exp.RunnerOptions{OnEvent: func(ev exp.ProgressEvent) {
+		if ev.Line != "" {
+			fmt.Println("  ", ev.Line)
+		}
+	}})
+	r, err := runner.LRU(context.Background(), exp.DefaultSpec(), []string{"astar", "bzip2", "sphinx3"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Hooks is a defense's compiled-down contract with the pipeline: a flat
+// struct of booleans the cycle loop reads directly. Devirtualizing the
+// Defense interface into plain flags at CPU construction keeps the steady
+// state at zero allocations and zero dynamic dispatch — the pipeline never
+// holds a Defense value, only its Hooks.
+//
+// The hook points, in pipeline order:
+//
+//   - TracksDependence: maintain the security dependence matrix (suspect
+//     tagging at dispatch, row clears at branch resolution/squash). Off for
+//     defenses that do not classify loads (origin, fence, invisispec).
+//   - SerializeBranches: no instruction younger than an unresolved branch
+//     may leave the issue queue (the LFENCE-after-branch model).
+//   - BlockAtIssue: suspect memory instructions are held in the issue queue
+//     until their dependences clear (the paper's Baseline policy).
+//   - CacheHitFilter: suspect loads probe the L1D without refilling; hits
+//     proceed (they cannot change cache content, §V.C), misses fall through
+//     to the miss policy below.
+//   - TPBufFilter: suspect L1D misses consult the Trusted Pages Buffer; a
+//     miss that does not complete an S-Pattern may refill (§V.D).
+//   - DelayOnMiss: suspect L1D misses (not rescued by the TPBuf) park in
+//     place and retry when their row clears, instead of being discarded and
+//     re-dispatched through the scheduler.
+//   - InvisibleLoads: speculative loads fetch data without refilling any
+//     cache level; the visible access replays at commit (InvisiSpec model).
+type Hooks struct {
+	TracksDependence  bool
+	SerializeBranches bool
+	BlockAtIssue      bool
+	CacheHitFilter    bool
+	TPBufFilter       bool
+	DelayOnMiss       bool
+	InvisibleLoads    bool
+}
+
+// Defense is one registered defense backend: a named configuration of
+// pipeline hooks plus the run-key identity (Mechanism, SSBD) the experiment
+// layer caches under. Implementations must be stateless values — the same
+// Defense is shared by every simulation.
+type Defense interface {
+	// Name is the canonical registry key ("cachehit+tpbuf"); every CLI flag
+	// and JobSpec field resolves through it.
+	Name() string
+	// Title is the display name used in tables and attack verdicts; for the
+	// paper variants it equals Mechanism().String().
+	Title() string
+	// Describe is a one-line summary for help text and error messages.
+	Describe() string
+	// Hooks returns the pipeline contract (see Hooks).
+	Hooks() Hooks
+	// Mechanism is the enum value carried in SecurityConfig — the memo run
+	// key for existing mechanisms must not change, so defenses map onto
+	// Mechanism constants rather than replacing them.
+	Mechanism() Mechanism
+	// SSBD reports whether the backend also enables Speculative Store
+	// Bypass Disable (the store-queue watermark).
+	SSBD() bool
+}
+
+// defense is the built-in Defense implementation: a plain value struct.
+type defense struct {
+	name     string
+	title    string // display override; empty = mech.String()
+	describe string
+	hooks    Hooks
+	mech     Mechanism
+	ssbd     bool
+}
+
+func (d defense) Name() string { return d.name }
+func (d defense) Title() string {
+	if d.title != "" {
+		return d.title
+	}
+	return d.mech.String()
+}
+func (d defense) Describe() string     { return d.describe }
+func (d defense) Hooks() Hooks         { return d.hooks }
+func (d defense) Mechanism() Mechanism { return d.mech }
+func (d defense) SSBD() bool           { return d.ssbd }
+
+var (
+	defenseOrder []Defense          // registration order, canonical names only
+	defenseByKey map[string]Defense // canonical names and aliases
+	defenseAlias map[string]string  // alias -> canonical name
+)
+
+// RegisterDefense adds d to the registry under its canonical Name plus any
+// aliases. It panics on a duplicate key — registration is an init-time,
+// programmer-error-only path.
+func RegisterDefense(d Defense, aliases ...string) {
+	if defenseByKey == nil {
+		defenseByKey = make(map[string]Defense)
+		defenseAlias = make(map[string]string)
+	}
+	name := d.Name()
+	if name == "" {
+		panic("core: RegisterDefense with empty name")
+	}
+	if _, dup := defenseByKey[name]; dup {
+		panic(fmt.Sprintf("core: duplicate defense %q", name))
+	}
+	defenseByKey[name] = d
+	defenseOrder = append(defenseOrder, d)
+	for _, a := range aliases {
+		if _, dup := defenseByKey[a]; dup {
+			panic(fmt.Sprintf("core: duplicate defense alias %q", a))
+		}
+		defenseByKey[a] = d
+		defenseAlias[a] = name
+	}
+}
+
+// LookupDefense resolves a canonical name or alias (case-insensitively) to
+// its Defense. Unknown names return an error listing the registry contents,
+// so every CLI and the serve JobSpec reject typos with the same message.
+func LookupDefense(name string) (Defense, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if d, ok := defenseByKey[key]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("unknown defense %q (registered: %s)", name, strings.Join(DefenseNames(), ", "))
+}
+
+// Defenses lists the registered backends in registration order (paper
+// variants first, then SSBD, then the comparison points).
+func Defenses() []Defense {
+	out := make([]Defense, len(defenseOrder))
+	copy(out, defenseOrder)
+	return out
+}
+
+// DefenseNames lists the canonical registry keys in registration order.
+func DefenseNames() []string {
+	names := make([]string, len(defenseOrder))
+	for i, d := range defenseOrder {
+		names[i] = d.Name()
+	}
+	return names
+}
+
+// DefenseAliases maps each alias to its canonical name, sorted by alias —
+// for help text.
+func DefenseAliases() [][2]string {
+	out := make([][2]string, 0, len(defenseAlias))
+	for a, n := range defenseAlias {
+		out = append(out, [2]string{a, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// HooksFor resolves the pipeline contract for a bare Mechanism value — the
+// path SecurityConfig takes into the pipeline, where only the enum travels
+// (the memo run key hashes SecurityConfig, so it cannot carry a Defense).
+// The first registered non-SSBD defense with that mechanism wins; SSBD is
+// excluded because it is a SecurityConfig flag orthogonal to the mechanism.
+func HooksFor(m Mechanism) (Hooks, bool) {
+	for _, d := range defenseOrder {
+		if d.Mechanism() == m && !d.SSBD() {
+			return d.Hooks(), true
+		}
+	}
+	return Hooks{}, false
+}
+
+func init() {
+	// The four paper variants (§VI.A), under the names the CLIs have always
+	// accepted; the per-CLI spellings become aliases.
+	RegisterDefense(defense{
+		name:     "origin",
+		describe: "unprotected out-of-order baseline (no defense)",
+		mech:     Origin,
+	})
+	RegisterDefense(defense{
+		name:     "baseline",
+		describe: "block every suspect memory access at issue until dependences clear",
+		hooks:    Hooks{TracksDependence: true, BlockAtIssue: true},
+		mech:     Baseline,
+	})
+	RegisterDefense(defense{
+		name:     "cachehit",
+		describe: "suspect loads proceed on L1D hits; misses are blocked (§V.C)",
+		hooks:    Hooks{TracksDependence: true, CacheHitFilter: true},
+		mech:     CacheHit,
+	}, "cache-hit")
+	RegisterDefense(defense{
+		name:     "cachehit+tpbuf",
+		describe: "cache-hit filter plus Trusted Pages Buffer screening of misses (§V.D)",
+		hooks:    Hooks{TracksDependence: true, CacheHitFilter: true, TPBufFilter: true},
+		mech:     CacheHitTPBuf,
+	}, "tpbuf", "cachehit-tpbuf")
+	// SSBD rides on Origin's mechanism: the store-queue watermark is a
+	// SecurityConfig flag, not a Mechanism, so the run key stays
+	// {Mechanism: Origin, SSBD: true} — exactly what existing caches hold.
+	RegisterDefense(defense{
+		name:     "ssbd",
+		title:    "SSBD (store bypass disable)",
+		describe: "Speculative Store Bypass Disable: loads wait for older store addresses",
+		mech:     Origin,
+		ssbd:     true,
+	})
+	// Comparison points.
+	RegisterDefense(defense{
+		name:     "fence",
+		describe: "LFENCE after every branch: nothing issues past an unresolved branch",
+		hooks:    Hooks{SerializeBranches: true},
+		mech:     Fence,
+	}, "lfence")
+	RegisterDefense(defense{
+		name:     "delay-on-miss",
+		describe: "suspect L1D misses park until their dependences clear (no re-issue)",
+		hooks:    Hooks{TracksDependence: true, CacheHitFilter: true, DelayOnMiss: true},
+		mech:     DelayOnMiss,
+	}, "delayonmiss", "dom")
+	RegisterDefense(defense{
+		name:     "invisispec",
+		describe: "speculative loads skip refills; the visible access replays at commit",
+		hooks:    Hooks{InvisibleLoads: true},
+		mech:     InvisiSpec,
+	}, "invisi")
+}

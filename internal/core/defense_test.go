@@ -1,0 +1,150 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDefenseRegistry pins the registry's public contract: the paper
+// variants and the comparison backends are registered under their canonical
+// names, in registration order, with the documented aliases.
+func TestDefenseRegistry(t *testing.T) {
+	want := []string{"origin", "baseline", "cachehit", "cachehit+tpbuf",
+		"ssbd", "fence", "delay-on-miss", "invisispec"}
+	got := DefenseNames()
+	if len(got) != len(want) {
+		t.Fatalf("DefenseNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DefenseNames()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(Defenses()) != len(want) {
+		t.Fatalf("Defenses() has %d entries, want %d", len(Defenses()), len(want))
+	}
+}
+
+// TestLookupDefense covers canonical names, aliases, normalization, and the
+// unknown-name error that lists the registry contents.
+func TestLookupDefense(t *testing.T) {
+	for alias, canon := range map[string]string{
+		"origin":         "origin",
+		"tpbuf":          "cachehit+tpbuf",
+		"cachehit-tpbuf": "cachehit+tpbuf",
+		"cache-hit":      "cachehit",
+		"lfence":         "fence",
+		"dom":            "delay-on-miss",
+		"delayonmiss":    "delay-on-miss",
+		"invisi":         "invisispec",
+		"  CacheHit  ":   "cachehit", // trimmed, case-insensitive
+	} {
+		d, err := LookupDefense(alias)
+		if err != nil {
+			t.Errorf("LookupDefense(%q): %v", alias, err)
+			continue
+		}
+		if d.Name() != canon {
+			t.Errorf("LookupDefense(%q) = %q, want %q", alias, d.Name(), canon)
+		}
+	}
+
+	_, err := LookupDefense("nope")
+	if err == nil {
+		t.Fatal("unknown defense must be rejected")
+	}
+	for _, name := range DefenseNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-defense error does not list %q: %v", name, err)
+		}
+	}
+}
+
+// TestDefenseAliases checks the help-text listing maps every alias to its
+// canonical name.
+func TestDefenseAliases(t *testing.T) {
+	pairs := DefenseAliases()
+	if len(pairs) == 0 {
+		t.Fatal("no aliases registered")
+	}
+	for _, p := range pairs {
+		d, err := LookupDefense(p[0])
+		if err != nil {
+			t.Fatalf("alias %q does not resolve: %v", p[0], err)
+		}
+		if d.Name() != p[1] {
+			t.Errorf("alias %q -> %q, listing says %q", p[0], d.Name(), p[1])
+		}
+	}
+}
+
+// TestHooksMatchReference is the registry half of the differential golden
+// test: every paper mechanism's registered hook set must equal the
+// pre-refactor predicate table (ReferenceHooks). The pipeline half runs the
+// simulator under both (see pipeline's TestDefenseHooksGolden).
+func TestHooksMatchReference(t *testing.T) {
+	for _, m := range []Mechanism{Origin, Baseline, CacheHit, CacheHitTPBuf, InvisiSpec} {
+		ref, ok := ReferenceHooks(m)
+		if !ok {
+			t.Fatalf("no reference hooks for %v", m)
+		}
+		reg, ok := HooksFor(m)
+		if !ok {
+			t.Fatalf("no registered defense for %v", m)
+		}
+		if reg != ref {
+			t.Errorf("%v: registry hooks %+v != reference %+v", m, reg, ref)
+		}
+	}
+}
+
+// TestHooksMatchPredicates cross-checks the registry against the legacy
+// Mechanism predicate methods the CLIs used before the Defense interface.
+func TestHooksMatchPredicates(t *testing.T) {
+	for _, m := range []Mechanism{Origin, Baseline, CacheHit, CacheHitTPBuf, InvisiSpec} {
+		h, ok := HooksFor(m)
+		if !ok {
+			t.Fatalf("no registered defense for %v", m)
+		}
+		if h.TracksDependence != m.TracksDependence() {
+			t.Errorf("%v: TracksDependence hook %v != predicate %v", m, h.TracksDependence, m.TracksDependence())
+		}
+		if h.BlockAtIssue != m.BlocksSuspectAtIssue() {
+			t.Errorf("%v: BlockAtIssue hook %v != predicate %v", m, h.BlockAtIssue, m.BlocksSuspectAtIssue())
+		}
+		if h.CacheHitFilter != m.UsesCacheHitFilter() {
+			t.Errorf("%v: CacheHitFilter hook %v != predicate %v", m, h.CacheHitFilter, m.UsesCacheHitFilter())
+		}
+		if h.TPBufFilter != m.UsesTPBuf() {
+			t.Errorf("%v: TPBufFilter hook %v != predicate %v", m, h.TPBufFilter, m.UsesTPBuf())
+		}
+		if h.InvisibleLoads != m.InvisibleLoads() {
+			t.Errorf("%v: InvisibleLoads hook %v != predicate %v", m, h.InvisibleLoads, m.InvisibleLoads())
+		}
+	}
+}
+
+// TestDefenseTitles pins the display names tables and attack verdicts use.
+func TestDefenseTitles(t *testing.T) {
+	for name, title := range map[string]string{
+		"origin":         "Origin",
+		"baseline":       "Baseline",
+		"cachehit":       "Cache-hit Filter",
+		"cachehit+tpbuf": "Cache-hit Filter + TPBuf Filter",
+		"ssbd":           "SSBD (store bypass disable)",
+		"fence":          "LFENCE-after-branch",
+		"delay-on-miss":  "Delay-on-Miss",
+		"invisispec":     "InvisiSpec-like (comparator)",
+	} {
+		d, err := LookupDefense(name)
+		if err != nil {
+			t.Fatalf("LookupDefense(%q): %v", name, err)
+		}
+		if d.Title() != title {
+			t.Errorf("%s: Title() = %q, want %q", name, d.Title(), title)
+		}
+		if d.Describe() == "" {
+			t.Errorf("%s: empty Describe()", name)
+		}
+	}
+}

@@ -30,6 +30,19 @@ const (
 // refill reuse.
 const InvisiSpec Mechanism = 100
 
+// Fence models the software mitigation of inserting an LFENCE after every
+// conditional/indirect branch: no instruction younger than an unresolved
+// branch may issue. It is the most conservative comparison point — total
+// serialization of speculation past branches — and needs no dependence
+// matrix because nothing speculative ever reaches the memory system.
+const Fence Mechanism = 101
+
+// DelayOnMiss is the delay-based related-work point (SoK taxonomy): suspect
+// loads that miss the L1D are parked in place until their security
+// dependences clear, instead of being discarded and re-issued through the
+// scheduler. Hits proceed as under the cache-hit filter.
+const DelayOnMiss Mechanism = 102
+
 // Mechanisms lists the paper's variants in evaluation order (InvisiSpec,
 // the related-work comparator, is deliberately not included).
 var Mechanisms = []Mechanism{Origin, Baseline, CacheHit, CacheHitTPBuf}
@@ -47,6 +60,10 @@ func (m Mechanism) String() string {
 		return "Cache-hit Filter + TPBuf Filter"
 	case InvisiSpec:
 		return "InvisiSpec-like (comparator)"
+	case Fence:
+		return "LFENCE-after-branch"
+	case DelayOnMiss:
+		return "Delay-on-Miss"
 	default:
 		return "mechanism(?)"
 	}

@@ -1,0 +1,29 @@
+package core
+
+// ReferenceHooks encodes the pre-refactor predicate logic as a plain table:
+// the literal truth values the inline Mechanism predicates
+// (TracksDependence, BlocksSuspectAtIssue, UsesCacheHitFilter, UsesTPBuf,
+// InvisibleLoads) produced before the Defense registry existed. The
+// differential golden test runs every paper mechanism through both this
+// table and the registered backends and asserts byte-identical simulator
+// output — if a registry entry drifts from the predicates it replaced, that
+// test names the divergent hook rather than failing on a stats diff.
+//
+// Only the mechanisms that existed before the redesign appear here; the new
+// backends (fence, delay-on-miss) have no pre-refactor behavior to mirror.
+func ReferenceHooks(m Mechanism) (Hooks, bool) {
+	switch m {
+	case Origin:
+		return Hooks{}, true
+	case Baseline:
+		return Hooks{TracksDependence: true, BlockAtIssue: true}, true
+	case CacheHit:
+		return Hooks{TracksDependence: true, CacheHitFilter: true}, true
+	case CacheHitTPBuf:
+		return Hooks{TracksDependence: true, CacheHitFilter: true, TPBufFilter: true}, true
+	case InvisiSpec:
+		return Hooks{InvisibleLoads: true}, true
+	default:
+		return Hooks{}, false
+	}
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"conspec/internal/config"
+	"conspec/internal/core"
+)
+
+// TestDefenseMatrix is the smoke matrix behind `make defense-matrix`: every
+// registered defense backend runs two workloads for overhead and faces the
+// canonical Spectre V1 Flush+Reload PoC for a leak verdict. The verdicts
+// are the security half of the redesign's contract: fence and delay-on-miss
+// must block V1, origin must leak, SSBD must not help against V1.
+func TestDefenseMatrix(t *testing.T) {
+	cfg := config.PaperCore()
+	cfg.Mem.L2Size = 256 * 1024
+	cfg.Mem.L3Size = 1024 * 1024
+
+	r := NewRunner(RunnerOptions{})
+	res, err := r.Defenses(context.Background(), fastSpec(),
+		[]string{"astar", "lbm"}, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(core.Defenses()) {
+		t.Fatalf("got %d rows for %d registered defenses", len(res.Rows), len(core.Defenses()))
+	}
+	for _, row := range res.Rows {
+		if row.Leaked == row.ExpectBlock {
+			verb := "leaked"
+			if !row.Leaked {
+				verb = "blocked"
+			}
+			t.Errorf("%s: V1 %s (%d/%d bytes), expected the opposite",
+				row.Name, verb, row.Recovered, row.SecretLen)
+		}
+		if row.Name == "origin" && row.Overhead != 0 {
+			t.Errorf("origin overhead vs itself = %v, want 0", row.Overhead)
+		}
+		if row.Overhead < -0.05 {
+			t.Errorf("%s: overhead %.3f — a defense should not beat the unprotected core", row.Name, row.Overhead)
+		}
+	}
+
+	txt := DefensesText(res)
+	for _, want := range []string{"fence", "delay-on-miss", "invisispec", "DEFENDED", "LEAKED"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("defenses table missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+// TestDefensesSubsetAndUnknown covers the name-resolution path shared with
+// the CLIs and the serve JobSpec.
+func TestDefensesSubsetAndUnknown(t *testing.T) {
+	cfg := config.PaperCore()
+	cfg.Mem.L2Size = 256 * 1024
+	cfg.Mem.L3Size = 1024 * 1024
+
+	r := NewRunner(RunnerOptions{})
+	res, err := r.Defenses(context.Background(), fastSpec(),
+		[]string{"astar"}, []string{"origin", "lfence"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[1].Name != "fence" {
+		t.Fatalf("alias subset resolved to %+v", res.Rows)
+	}
+
+	if _, err := r.Defenses(context.Background(), fastSpec(),
+		[]string{"astar"}, []string{"nope"}, cfg); err == nil {
+		t.Fatal("unknown defense name must be rejected")
+	} else if !strings.Contains(err.Error(), "cachehit+tpbuf") {
+		t.Errorf("rejection should list the registry: %v", err)
+	}
+}

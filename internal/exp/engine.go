@@ -32,11 +32,15 @@ const (
 	SuiteDTLB     SuiteID = "dtlb"
 	SuiteCompare  SuiteID = "compare"
 	SuiteOverhead SuiteID = "overhead"
+	SuiteDefenses SuiteID = "defenses"
 )
 
 // Suites lists every suite in cmd/conspec-bench's "-suite all" order.
+// SuiteDefenses is deliberately last: "suite all" output for the suites
+// before it is byte-identical to what pre-registry releases printed.
 var Suites = []SuiteID{SuiteFig5, SuiteTable4, SuiteTable5, SuiteTable6,
-	SuiteScope, SuiteLRU, SuiteICache, SuiteDTLB, SuiteCompare, SuiteOverhead}
+	SuiteScope, SuiteLRU, SuiteICache, SuiteDTLB, SuiteCompare, SuiteOverhead,
+	SuiteDefenses}
 
 // EventPhase classifies a ProgressEvent.
 type EventPhase string
@@ -472,6 +476,9 @@ type Options struct {
 	// AttackCore overrides the machine used by the table4 attack suite
 	// (zero Name = PaperCore with the slimmed L2/L3 the PoCs use).
 	AttackCore config.Core
+	// Defenses restricts the defenses suite to a subset of registered
+	// backends, by canonical name or alias (nil = all registered).
+	Defenses []string
 }
 
 func (o Options) spec() RunSpec {
@@ -505,6 +512,7 @@ type SuiteResult struct {
 	compare    *CompareResult
 	table4     []attack.Outcome
 	overhead   string
+	defenses   *DefensesResult
 }
 
 // Evaluation returns the fig5/table5 dataset (nil for other suites).
@@ -533,6 +541,9 @@ func (s *SuiteResult) Compare() *CompareResult { return s.compare }
 // ctx.Err().
 func (s *SuiteResult) Table4() []attack.Outcome { return s.table4 }
 
+// Defenses returns the defense-matrix results (nil for other suites).
+func (s *SuiteResult) Defenses() *DefensesResult { return s.defenses }
+
 // Text renders the suite's result in the standard text form.
 func (s *SuiteResult) Text() string {
 	switch s.Suite {
@@ -556,6 +567,8 @@ func (s *SuiteResult) Text() string {
 		return CompareText(s.compare)
 	case SuiteOverhead:
 		return s.overhead
+	case SuiteDefenses:
+		return DefensesText(s.defenses)
 	}
 	return ""
 }
@@ -585,6 +598,8 @@ func (r *Runner) RunSuite(ctx context.Context, id SuiteID, opts Options) (*Suite
 		out.compare, err = r.Compare(ctx, opts.spec(), opts.Benches)
 	case SuiteOverhead:
 		out.overhead = OverheadText()
+	case SuiteDefenses:
+		out.defenses, err = r.Defenses(ctx, opts.spec(), opts.Benches, opts.Defenses, opts.attackCore())
 	default:
 		return nil, fmt.Errorf("exp: unknown suite %q", id)
 	}

@@ -100,7 +100,7 @@ func TestCrossSuiteDedup(t *testing.T) {
 }
 
 // TestGoldenCachedMatchesUncached renders fig5 from a cold engine, a warm
-// engine, and the deprecated wrapper; all three must be byte-identical.
+// engine, and an independent fresh engine; all three must be byte-identical.
 func TestGoldenCachedMatchesUncached(t *testing.T) {
 	spec := tinySpec()
 	names := []string{"astar", "lbm"}
@@ -125,12 +125,12 @@ func TestGoldenCachedMatchesUncached(t *testing.T) {
 		t.Error("cached table5 text differs from uncached")
 	}
 
-	legacy, err := RunEvaluation(spec, names, nil)
+	fresh, err := NewRunner(RunnerOptions{}).Evaluation(context.Background(), spec, names)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if legacy.Fig5Text() != cold.Fig5Text() {
-		t.Error("deprecated wrapper fig5 text differs from Runner output")
+	if fresh.Fig5Text() != cold.Fig5Text() {
+		t.Error("independent engine fig5 text differs from Runner output")
 	}
 }
 

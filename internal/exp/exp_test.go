@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -68,7 +69,7 @@ func TestOverheadHelper(t *testing.T) {
 }
 
 func TestEvaluationShape(t *testing.T) {
-	ev, err := RunEvaluation(fastSpec(), fastNames, nil)
+	ev, err := NewRunner(RunnerOptions{}).Evaluation(context.Background(), fastSpec(), fastNames)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestEvaluationShape(t *testing.T) {
 }
 
 func TestEvaluationUnknownBenchmark(t *testing.T) {
-	if _, err := RunEvaluation(fastSpec(), []string{"nope"}, nil); err == nil {
+	if _, err := NewRunner(RunnerOptions{}).Evaluation(context.Background(), fastSpec(), []string{"nope"}); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
 }
@@ -160,7 +161,7 @@ func TestL1HitRatesTrackPaper(t *testing.T) {
 }
 
 func TestScopeDecomposition(t *testing.T) {
-	r, err := RunScope(fastSpec(), []string{"astar", "lbm"}, nil)
+	r, err := NewRunner(RunnerOptions{}).Scope(context.Background(), fastSpec(), []string{"astar", "lbm"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestScopeDecomposition(t *testing.T) {
 }
 
 func TestLRUSuite(t *testing.T) {
-	r, err := RunLRU(fastSpec(), []string{"astar", "bzip2"}, nil)
+	r, err := NewRunner(RunnerOptions{}).LRU(context.Background(), fastSpec(), []string{"astar", "bzip2"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestLRUSuite(t *testing.T) {
 }
 
 func TestICacheSuite(t *testing.T) {
-	r, err := RunICache(fastSpec(), []string{"astar"}, nil)
+	r, err := NewRunner(RunnerOptions{}).ICache(context.Background(), fastSpec(), []string{"astar"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestICacheSuite(t *testing.T) {
 
 func TestTable6Ordering(t *testing.T) {
 	spec := fastSpec()
-	cores, err := RunTable6(spec, []string{"astar", "hmmer"}, nil)
+	cores, err := NewRunner(RunnerOptions{}).Table6(context.Background(), spec, []string{"astar", "hmmer"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,10 @@ func TestTable4Driver(t *testing.T) {
 	cfg := config.PaperCore()
 	cfg.Mem.L2Size = 256 * 1024
 	cfg.Mem.L3Size = 1024 * 1024
-	outcomes := RunTable4(cfg, nil)
+	outcomes, err := NewRunner(RunnerOptions{}).Table4(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(outcomes) != 10*len(core.Mechanisms) {
 		t.Fatalf("got %d outcomes", len(outcomes))
 	}
@@ -257,7 +261,7 @@ func TestOverheadText(t *testing.T) {
 }
 
 func TestComparisonSuite(t *testing.T) {
-	r, err := RunComparison(fastSpec(), []string{"astar", "lbm"}, nil)
+	r, err := NewRunner(RunnerOptions{}).Compare(context.Background(), fastSpec(), []string{"astar", "lbm"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +282,7 @@ func TestComparisonSuite(t *testing.T) {
 }
 
 func TestDTLBFilterSuite(t *testing.T) {
-	r, err := RunDTLBFilter(fastSpec(), []string{"astar", "milc"}, nil)
+	r, err := NewRunner(RunnerOptions{}).DTLB(context.Background(), fastSpec(), []string{"astar", "milc"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -112,6 +112,18 @@ type Compare struct {
 	Average CompareRow   `json:"average"`
 }
 
+// DefenseRow is one registered backend's overhead-vs-security position in
+// the defenses suite.
+type DefenseRow struct {
+	Defense        string  `json:"defense"`
+	Backend        string  `json:"backend"`
+	NormRuntime    float64 `json:"norm_runtime"`
+	Leaked         bool    `json:"leaked"`
+	BytesRecovered int     `json:"bytes_recovered"`
+	BytesTotal     int     `json:"bytes_total"`
+	ExpectBlock    bool    `json:"expect_block"`
+}
+
 // SeriesEntry is one run's sampled metric time series (fig5/table5 runs
 // with a non-zero MetricsInterval only).
 type SeriesEntry struct {
@@ -160,6 +172,7 @@ type Report struct {
 	ICache   *ICache        `json:"icache,omitempty"`
 	DTLB     *DTLB          `json:"dtlb,omitempty"`
 	Compare  *Compare       `json:"compare,omitempty"`
+	Defenses []DefenseRow   `json:"defenses,omitempty"`
 	Overhead string         `json:"overhead_text,omitempty"`
 	Series   []SeriesEntry  `json:"series,omitempty"`
 	Errors   []exp.RunError `json:"errors,omitempty"`
@@ -198,6 +211,8 @@ func (r *Report) AddSuite(res *exp.SuiteResult) {
 		r.DTLB = &DTLB{Without: v.Without, With: v.With, Blocks: v.Blocks}
 	case exp.SuiteCompare:
 		r.Compare = compareDoc(res.Compare())
+	case exp.SuiteDefenses:
+		r.Defenses = defenseRows(res.Defenses())
 	case exp.SuiteOverhead:
 		r.Overhead = res.Text()
 	}
@@ -314,6 +329,22 @@ func scopeDoc(r *exp.ScopeResult) *Scope {
 		})
 	}
 	return out
+}
+
+func defenseRows(r *exp.DefensesResult) []DefenseRow {
+	rows := make([]DefenseRow, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, DefenseRow{
+			Defense:        row.Name,
+			Backend:        row.Title,
+			NormRuntime:    1 + row.Overhead,
+			Leaked:         row.Leaked,
+			BytesRecovered: row.Recovered,
+			BytesTotal:     row.SecretLen,
+			ExpectBlock:    row.ExpectBlock,
+		})
+	}
+	return rows
 }
 
 func compareDoc(r *exp.CompareResult) *Compare {

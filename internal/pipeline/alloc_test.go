@@ -49,6 +49,12 @@ func TestZeroAllocSteadyState(t *testing.T) {
 		{"origin", SecurityConfig{Mechanism: core.Origin}, false},
 		{"cachehit-tpbuf", SecurityConfig{Mechanism: core.CacheHitTPBuf, Scope: core.ScopeBranchMem}, false},
 		{"ssbd", SecurityConfig{Mechanism: core.Origin, SSBD: true}, false},
+		// The new Defense backends must keep the property: the fence
+		// watermark is a scalar, parked delay-on-miss loads reuse a
+		// preallocated slice, and invisible loads change no bookkeeping.
+		{"fence", SecurityConfig{Mechanism: core.Fence}, false},
+		{"delay-on-miss", SecurityConfig{Mechanism: core.DelayOnMiss, Scope: core.ScopeBranchMem}, false},
+		{"invisispec", SecurityConfig{Mechanism: core.InvisiSpec}, false},
 		// The obs contract: an attached registry with interval sampling
 		// costs array writes only — still zero allocations per cycle.
 		{"origin-metrics", SecurityConfig{Mechanism: core.Origin}, true},

@@ -124,7 +124,7 @@ func (c *CPU) auditTPBuf() error {
 		}
 		// InvisiSpec-style comparators never mark loads suspect in the
 		// buffer; everything else records the issuing uop's suspect flag.
-		if u.issued && !(isLoad && c.sec.Mechanism.InvisibleLoads()) && s != u.suspect {
+		if u.issued && !(isLoad && c.def.InvisibleLoads) && s != u.suspect {
 			return fmt.Errorf("tpbuf: entry %d (seq %d) S=%v but uop suspect=%v", i, u.seq, s, u.suspect)
 		}
 	}

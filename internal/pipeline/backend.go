@@ -46,6 +46,7 @@ func (c *CPU) srcVal(p int) uint64 {
 // store-set stall accounting) that the full-queue scan used to apply; this
 // keeps Result values byte-identical to the pre-ready-list implementation.
 func (c *CPU) issueStage() {
+	c.resumeParked()
 	issued := 0
 	var violation *uop // oldest memory-order-violating load this cycle
 
@@ -105,6 +106,12 @@ func (c *CPU) eligible(u *uop) bool {
 	if c.fenceSeq != 0 && u.seq > c.fenceSeq {
 		return false
 	}
+	if c.serializeSeq != 0 && u.seq > c.serializeSeq {
+		// Fence defense: nothing younger than an unresolved branch issues.
+		// The watermark branch itself (seq == serializeSeq) stays eligible,
+		// as does everything older, so resolution always makes progress.
+		return false
+	}
 	if c.fuUsed[u.inst.Op.Unit()] >= c.fuLimit(u.inst.Op.Unit()) {
 		return false
 	}
@@ -127,7 +134,7 @@ func (c *CPU) eligible(u *uop) bool {
 			// dispatch until every security dependence resolved.
 			c.m.suspectWindow.Observe(c.cycle - u.dispatchCycle)
 		}
-		if c.sec.Mechanism.BlocksSuspectAtIssue() && c.secmat.Peek(u.iqIdx) {
+		if c.def.BlockAtIssue && c.secmat.Peek(u.iqIdx) {
 			// Baseline: suspect memory instructions do not issue at all.
 			if !u.blockedSec {
 				u.blockedSec = true
@@ -152,7 +159,7 @@ func (c *CPU) tryIssue(u *uop) *uop {
 	// Security hazard detection (3rd select stage of Fig. 2): the issuing
 	// memory instruction is tagged with the suspect speculation flag when
 	// its matrix row is non-empty. Baseline never reaches here suspect.
-	if c.secmat != nil && u.class() == core.ClassMem && !c.sec.Mechanism.BlocksSuspectAtIssue() {
+	if c.secmat != nil && u.class() == core.ClassMem && !c.def.BlockAtIssue {
 		u.suspect = c.secmat.HasHazard(u.iqIdx)
 	}
 
@@ -320,8 +327,7 @@ func (c *CPU) issueLoad(u *uop, base uint64) *uop {
 	}
 
 	// Cache path: this is where Conditional Speculation decides.
-	mechanism := c.sec.Mechanism
-	if mechanism.InvisibleLoads() {
+	if c.def.InvisibleLoads {
 		// InvisiSpec comparator: fetch the data without touching any cache
 		// level; the visible (refilling) access happens at commit.
 		res := c.hier.AccessDataNoRefill(u.memAddr)
@@ -356,7 +362,7 @@ func (c *CPU) issueLoad(u *uop, base uint64) *uop {
 			return nil
 		}
 		c.stats.Filter.SuspectL1Misses++
-		if mechanism.UsesTPBuf() && c.tpbuf.QuerySafe(tp, c.tpTag(u.memAddr, res.PPN)) {
+		if c.def.TPBufFilter && c.tpbuf.QuerySafe(tp, c.tpTag(u.memAddr, res.PPN)) {
 			// The miss does not complete an S-Pattern: allowed to refill.
 			if !c.mshrAvailable(u.memAddr) {
 				return nil
@@ -370,13 +376,21 @@ func (c *CPU) issueLoad(u *uop, base uint64) *uop {
 		}
 		// Unsafe: the miss request is discarded; the load waits in the
 		// issue queue for its security dependences to clear (§V.C).
-		if mechanism.UsesTPBuf() {
+		if c.def.TPBufFilter {
 			u.tpbufUnsafe = true
 		}
 		u.blockedSec = true
 		u.wasBlocked = true
 		u.discardedAt = c.cycle
 		c.stats.Filter.BlockedEvents++
+		if c.def.DelayOnMiss {
+			// Delay-on-miss: park in place instead of re-entering selection.
+			// The load leaves the ready list and resumeParked retries it once
+			// its security row clears (or a squash removes it).
+			c.readyRemove(u)
+			u.parked = true
+			c.parked = append(c.parked, u)
+		}
 		return nil
 	}
 
@@ -390,6 +404,48 @@ func (c *CPU) issueLoad(u *uop, base uint64) *uop {
 	c.claimMSHR(u, res.Level)
 	c.acceptIssue(u, 1+res.Latency, 0)
 	return nil
+}
+
+// resumeParked retries delay-on-miss loads whose security dependence row
+// has cleared. A resumed load re-runs the full issue path — including store
+// disambiguation, which may have changed while parked — but no longer as a
+// suspect, so it refills normally. Resumption happens outside wakeup-select
+// and does not consume issue width or FU ports: the load issued once
+// already and is draining a stalled access, not competing for a slot. A
+// resume that cannot complete (store conflict, MSHRs full) stays parked and
+// retries next cycle. Squashed entries never appear here: squashFrom
+// filters the parked list before their uops can be recycled.
+func (c *CPU) resumeParked() {
+	if len(c.parked) == 0 {
+		return
+	}
+	keep := c.parked[:0]
+	for _, u := range c.parked {
+		if c.secmat != nil && c.secmat.Peek(u.iqIdx) {
+			keep = append(keep, u)
+			continue
+		}
+		if u.blockedSec {
+			u.blockedSec = false
+			u.suspect = false
+			// The suspect window just closed (cf. the re-issue path in
+			// eligible): this load waited from dispatch until every security
+			// dependence resolved.
+			c.m.suspectWindow.Observe(c.cycle - u.dispatchCycle)
+		}
+		// memAddr was computed before parking; recover the AGU input so the
+		// issue path recomputes it identically.
+		c.issueLoad(u, u.memAddr-uint64(int64(u.inst.Imm)))
+		if u.iqIdx >= 0 {
+			keep = append(keep, u) // not accepted yet: retry next cycle
+		} else {
+			u.parked = false // accepted: the IQ slot was released
+		}
+	}
+	for i := len(keep); i < len(c.parked); i++ {
+		c.parked[i] = nil
+	}
+	c.parked = keep
 }
 
 // mshrAvailable reports whether a new L1D miss may start. Hits never need
@@ -521,6 +577,12 @@ func (c *CPU) writebackStage() {
 		}
 		if u.isBranch {
 			c.resolveBranch(u)
+			if u.seq == c.serializeSeq {
+				// The watermark branch resolved (serializeSeq is only ever
+				// non-zero under the fence defense): advance to the next
+				// oldest unresolved branch, if any.
+				c.rescanSerialize()
+			}
 		}
 	}
 }
@@ -625,6 +687,21 @@ func (c *CPU) squashFrom(fromSeq uint64, redirectPC uint64, cp *branch.Checkpoin
 		}
 		c.awaitingData = keep
 	}
+	if len(c.parked) > 0 {
+		// Parked delay-on-miss loads: drop squashed entries NOW — their uops
+		// return to the pool above and are recycled at the next fetch, so a
+		// stale parked pointer would alias a different instruction.
+		keep := c.parked[:0]
+		for _, u := range c.parked {
+			if !u.squashed {
+				keep = append(keep, u)
+			}
+		}
+		for i := len(keep); i < len(c.parked); i++ {
+			c.parked[i] = nil
+		}
+		c.parked = keep
+	}
 	c.fqFlush()
 	c.noteSquashWatermark(fromSeq)
 	if cp != nil {
@@ -636,6 +713,7 @@ func (c *CPU) squashFrom(fromSeq uint64, redirectPC uint64, cp *branch.Checkpoin
 		c.fetchStallUntil = c.cycle + 1 // one-cycle re-steer bubble
 	}
 	c.rescanFence()
+	c.rescanSerialize()
 }
 
 func (c *CPU) rescanFence() {
@@ -644,6 +722,23 @@ func (c *CPU) rescanFence() {
 		u := c.robAt(i)
 		if u.inst.Op == isa.OpFence && !u.completed {
 			c.fenceSeq = u.seq
+			return
+		}
+	}
+}
+
+// rescanSerialize recomputes the fence-defense watermark: the seq of the
+// oldest unresolved branch in the ROB (0 = none). A no-op — and always zero
+// — unless the active defense serializes branches.
+func (c *CPU) rescanSerialize() {
+	c.serializeSeq = 0
+	if !c.def.SerializeBranches {
+		return
+	}
+	for i := 0; i < c.robCount; i++ {
+		u := c.robAt(i)
+		if u.isBranch && !u.completed {
+			c.serializeSeq = u.seq
 			return
 		}
 	}
@@ -674,7 +769,7 @@ func (c *CPU) commitStage() {
 		case op == isa.OpClflush:
 			c.hier.Flush(u.memAddr)
 		case op.IsLoad():
-			if c.sec.Mechanism.InvisibleLoads() {
+			if c.def.InvisibleLoads {
 				// InvisiSpec exposure: the load becomes architecturally
 				// visible, refilling the hierarchy like a normal access.
 				c.hier.AccessData(u.memAddr, false)

@@ -107,6 +107,7 @@ type uop struct {
 	wasBlocked   bool // blocked at least once (Table V blocked-rate numerator)
 	tpbufUnsafe  bool // a TPBuf UNSAFE verdict blocked this load at least once
 	pendingTouch bool // deferred LRU update owed at commit (§VII.A delayed)
+	parked       bool // delay-on-miss: waiting in place, off the ready list
 
 	// Observability stamps (cycle numbers; 0 = never happened, cycles
 	// start at 1). dispatchCycle anchors the suspect-window histogram;
@@ -203,6 +204,12 @@ type CPU struct {
 	hier *mem.Hierarchy
 	bp   *branch.Predictor
 
+	// def is sec.Mechanism's defense contract, resolved once at construction
+	// from the core defense registry (see defense.go). The cycle loop reads
+	// these plain flags instead of dispatching through the Defense interface,
+	// which is what keeps the steady state allocation- and virtual-call-free.
+	def core.Hooks
+
 	secmat *core.SecMatrix
 	tpbuf  *core.TPBuf
 
@@ -246,12 +253,22 @@ type CPU struct {
 	inflight []pendingExec
 	// Stores whose address issued but whose data operand is still pending.
 	awaitingData []*uop
+	// Parked suspect-miss loads (delay-on-miss backend): held in their IQ
+	// slot, off the ready list, retried by resumeParked when their security
+	// dependence row clears. Capacity LDQ — each parked load owns an LDQ slot.
+	parked []*uop
 
 	// Per-cycle functional unit usage (reset each cycle).
 	fuUsed [isa.FUCount]int
 
 	// Active FENCE tracking: the oldest uncommitted fence's seq (0 = none).
 	fenceSeq uint64
+
+	// Serialization watermark (fence defense backend): seq of the oldest
+	// unresolved branch (0 = none). While set, nothing younger may issue —
+	// the LFENCE-after-branch model. Maintained at dispatch, branch
+	// writeback, and squash; always 0 unless def.SerializeBranches.
+	serializeSeq uint64
 
 	// SSBD watermark: seq of the oldest STQ entry with an unresolved
 	// address (0 = all resolved). Maintained in ready.go; replaces the
@@ -335,8 +352,10 @@ func New(cfg config.Core, sec SecurityConfig, hier *mem.Hierarchy) *CPU {
 		inflight:     make([]pendingExec, 0, cfg.ROB),
 		wbScratch:    make([]*uop, 0, cfg.ROB),
 		awaitingData: make([]*uop, 0, cfg.STQ),
+		parked:       make([]*uop, 0, cfg.LDQ),
 	}
-	if sec.Mechanism.TracksDependence() {
+	c.def = resolveHooks(sec)
+	if c.def.TracksDependence {
 		c.secmat = core.NewSecMatrix(cfg.IQ, sec.Scope)
 	}
 	if cfg.StoreSets {

@@ -135,7 +135,7 @@ func (c *CPU) InjectTPBufBit(n int, field byte) bool {
 		case 'W':
 			return true
 		case 'S':
-			return u.issued && !(i < c.cfg.LDQ && c.sec.Mechanism.InvisibleLoads())
+			return u.issued && !(i < c.cfg.LDQ && c.def.InvisibleLoads)
 		case 'P':
 			return v
 		default:

@@ -186,6 +186,11 @@ func (c *CPU) dispatchStage() {
 		c.robPush(u)
 		u.dispatched = true
 		u.dispatchCycle = c.cycle
+		if c.def.SerializeBranches && u.isBranch && c.serializeSeq == 0 {
+			// Fence defense: a newly dispatched branch is the youngest, so it
+			// only becomes the watermark when no older branch is unresolved.
+			c.serializeSeq = u.seq
+		}
 
 		switch op {
 		case isa.OpNop, isa.OpHalt:

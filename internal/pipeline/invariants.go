@@ -131,7 +131,7 @@ func (c *CPU) CheckInvariants() error {
 		}
 		ready := c.srcReady(u.psrc1) &&
 			((!c.cfg.FusedStores && u.inst.Op.IsStore()) || c.srcReady(u.psrc2))
-		if ready && !u.inReady {
+		if ready && !u.inReady && !u.parked {
 			return fmt.Errorf("IQ seq %d is data-ready but not on the ready list", u.seq)
 		}
 		if !ready && u.inReady {
@@ -151,6 +151,48 @@ func (c *CPU) CheckInvariants() error {
 	}
 	if c.unresolvedStoreSeq != want {
 		return fmt.Errorf("unresolvedStoreSeq=%d, expected %d", c.unresolvedStoreSeq, want)
+	}
+
+	// Fence-defense watermark: oldest unresolved branch in the ROB, or 0.
+	wantSer := uint64(0)
+	if c.def.SerializeBranches {
+		for i := 0; i < c.robCount; i++ {
+			u := c.robAt(i)
+			if u.isBranch && !u.completed {
+				wantSer = u.seq
+				break
+			}
+		}
+	}
+	if c.serializeSeq != wantSer {
+		return fmt.Errorf("serializeSeq=%d, expected %d", c.serializeSeq, wantSer)
+	}
+
+	// Parked delay-on-miss loads: the parked list holds exactly the live IQ
+	// entries flagged parked, each off the ready list and not yet issued.
+	parkedFlagged := 0
+	for _, u := range c.iq {
+		if u != nil && u.parked {
+			parkedFlagged++
+		}
+	}
+	if len(c.parked) != parkedFlagged {
+		return fmt.Errorf("parked list has %d entries but %d IQ entries are flagged parked",
+			len(c.parked), parkedFlagged)
+	}
+	for i, u := range c.parked {
+		if !u.parked {
+			return fmt.Errorf("parked[%d] (seq %d) not flagged parked", i, u.seq)
+		}
+		if u.iqIdx < 0 || c.iq[u.iqIdx] != u {
+			return fmt.Errorf("parked[%d] (seq %d) not a live IQ entry", i, u.seq)
+		}
+		if u.inReady {
+			return fmt.Errorf("parked[%d] (seq %d) still on the ready list", i, u.seq)
+		}
+		if u.issued {
+			return fmt.Errorf("parked[%d] (seq %d) marked issued", i, u.seq)
+		}
 	}
 
 	// Fetch ring bounds.

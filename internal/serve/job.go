@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"conspec/internal/core"
 	"conspec/internal/exp"
 	"conspec/internal/exp/report"
 	"conspec/internal/workload"
@@ -43,6 +44,9 @@ type JobSpec struct {
 	Suite string `json:"suite"`
 	// Benches restricts suites to a benchmark subset (nil = all 22).
 	Benches []string `json:"benches,omitempty"`
+	// Defenses restricts the defenses suite to a subset of registered
+	// backends, by canonical name or alias (nil = all registered).
+	Defenses []string `json:"defenses,omitempty"`
 	// Warmup and Measure are committed-instruction budgets per run.
 	Warmup  uint64 `json:"warmup,omitempty"`
 	Measure uint64 `json:"measure,omitempty"`
@@ -92,6 +96,11 @@ func (s JobSpec) validate() error {
 	for _, name := range s.Benches {
 		if _, ok := workload.ByName(name); !ok {
 			return fmt.Errorf("unknown benchmark %q", name)
+		}
+	}
+	for _, name := range s.Defenses {
+		if _, err := core.LookupDefense(name); err != nil {
+			return err
 		}
 	}
 	if s.Workers < 0 {

@@ -233,7 +233,7 @@ func (s *Server) runSuites(ctx context.Context, j *job, emit func(exp.ProgressEv
 	}
 	rep := report.New()
 	for _, id := range suites {
-		res, err := runner.RunSuite(ctx, id, exp.Options{Spec: spec, Benches: j.spec.Benches})
+		res, err := runner.RunSuite(ctx, id, exp.Options{Spec: spec, Benches: j.spec.Benches, Defenses: j.spec.Defenses})
 		if err != nil {
 			return nil, runner.Stats(), len(runner.Errors()), err
 		}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# lint_defense.sh — enforce the Defense-registry boundary.
+#
+# The pipeline must be mechanism-agnostic: it reads the core.Hooks flag
+# struct resolved once at CPU construction (internal/pipeline/defense.go)
+# and never names a concrete mechanism. A new `case core.CacheHit:` creeping
+# into a pipeline stage would silently bypass the registry, so this script
+# fails if any non-test pipeline source outside the bridge file references a
+# concrete mechanism constant.
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern='core\.(Origin|Baseline|CacheHit|CacheHitTPBuf|InvisiSpec|Fence|DelayOnMiss)\b'
+bad=0
+for f in internal/pipeline/*.go; do
+    case "$f" in
+    *_test.go | internal/pipeline/defense.go) continue ;;
+    esac
+    if grep -En "$pattern" "$f"; then
+        bad=1
+    fi
+done
+if [ "$bad" -ne 0 ]; then
+    echo "defense lint: the files above reference concrete mechanism constants." >&2
+    echo "Pipeline code must consult the resolved core.Hooks (c.def) instead;" >&2
+    echo "only internal/pipeline/defense.go may touch the registry." >&2
+    exit 1
+fi
+echo "defense lint: internal/pipeline is mechanism-agnostic"
