@@ -15,7 +15,10 @@
 #                         corpus.
 #   make bench-snapshot — run the tracked benchmark set and write
 #                         BENCH_<sha>.json via cmd/conspec-benchstat.
-#   make bench-compare  — diff the two most recent BENCH_*.json snapshots.
+#   make bench-compare  — diff the two most recent BENCH_*.json snapshots
+#                         and FAIL (exit 1) if BenchmarkFig5 or any
+#                         BenchmarkSecMatrix* regressed ns/op by more than
+#                         5% — the perf gate for perf-sensitive PRs.
 
 GO ?= go
 
@@ -98,7 +101,9 @@ bench-snapshot:
 	@echo wrote BENCH_$$(git rev-parse --short HEAD).json
 
 # Compare the two most recently modified snapshots (older as the base).
+# The gate fails the target when a perf-critical benchmark (Fig5 or the
+# SecMatrix kernels) regressed its ns/op by more than 5%.
 bench-compare:
 	@set -- $$(ls -1t BENCH_*.json | head -2); \
 	if [ $$# -lt 2 ]; then echo "need two BENCH_*.json snapshots"; exit 1; fi; \
-	$(GO) run ./cmd/conspec-benchstat -compare "$$2" "$$1"
+	$(GO) run ./cmd/conspec-benchstat -compare -fail-on-regress 5 "$$2" "$$1"

@@ -172,15 +172,17 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	cpu.RunFor(uint64(b.N), ^uint64(0))
 }
 
+// BenchmarkSecMatrixDispatch drives the dispatch stage's production path
+// (OnDispatchMask over a word-wide producer mask) at worst-case density:
+// every other issue-queue slot holds a valid, unissued memory producer.
 func BenchmarkSecMatrixDispatch(b *testing.B) {
 	m := core.NewSecMatrix(64, core.ScopeBranchMem)
-	entries := make([]core.EntryState, 64)
-	for i := range entries {
-		entries[i] = core.EntryState{Valid: true, Class: core.ClassMem}
-	}
+	producers := make([]uint64, m.Words())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.OnDispatch(i%64, core.ClassMem, entries)
+		x := i % 64
+		producers[0] = ^(uint64(1) << uint(x)) // everyone but the new occupant
+		m.OnDispatchMask(x, core.ClassMem, producers)
 	}
 }
 

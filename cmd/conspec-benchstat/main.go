@@ -14,6 +14,12 @@
 //
 //	conspec-benchstat -compare BENCH_old.json BENCH_new.json
 //
+// With -fail-on-regress N, compare mode becomes a gate: it exits 1 when
+// any benchmark matched by -gate regresses its ns/op by more than N
+// percent. `make bench-compare` runs the gate at 5% over the tracked
+// perf-critical set, so a slowdown fails the build instead of landing
+// silently.
+//
 // The parser keeps every metric a benchmark reports — the standard
 // ns/op, B/op, allocs/op triple as well as custom b.ReportMetric units
 // like baseline-ovh-% — and derives ops/sec from ns/op so throughput
@@ -27,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -60,6 +67,8 @@ func main() {
 		compare  = flag.Bool("compare", false, "diff two snapshot files: -compare old.json new.json")
 		sha      = flag.String("sha", "", "git sha to record in the snapshot")
 		out      = flag.String("out", "", "snapshot output file (default stdout)")
+		failPct  = flag.Float64("fail-on-regress", 0, "exit 1 when a gated benchmark's ns/op regresses by more than this percentage (0 disables the gate)")
+		gatePat  = flag.String("gate", "^(BenchmarkFig5|BenchmarkSecMatrix)", "regexp selecting the benchmarks the -fail-on-regress gate covers")
 		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -77,7 +86,7 @@ func main() {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("-compare needs exactly two snapshot files, got %d", flag.NArg()))
 		}
-		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *failPct, *gatePat); err != nil {
 			fatal(err)
 		}
 	default:
@@ -182,7 +191,7 @@ func lowerIsBetter(unit string) bool {
 	return false
 }
 
-func runCompare(oldPath, newPath string) error {
+func runCompare(oldPath, newPath string, failPct float64, gatePat string) error {
 	oldS, err := readSnapshot(oldPath)
 	if err != nil {
 		return err
@@ -190,6 +199,13 @@ func runCompare(oldPath, newPath string) error {
 	newS, err := readSnapshot(newPath)
 	if err != nil {
 		return err
+	}
+	var gate *regexp.Regexp
+	if failPct > 0 {
+		gate, err = regexp.Compile(gatePat)
+		if err != nil {
+			return fmt.Errorf("-gate: %w", err)
+		}
 	}
 	oldBy := map[string]Benchmark{}
 	for _, b := range oldS.Benchmarks {
@@ -200,6 +216,7 @@ func runCompare(oldPath, newPath string) error {
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
+	var regressions []string
 	for _, nb := range newS.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		fmt.Fprintf(w, "%s\n", nb.Name)
@@ -208,6 +225,15 @@ func runCompare(oldPath, newPath string) error {
 			continue
 		}
 		delete(oldBy, nb.Name)
+		if gate != nil && gate.MatchString(nb.Name) {
+			ov, nv := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+			if ov > 0 && nv > 0 {
+				if pct := 100 * (nv - ov) / ov; pct > failPct {
+					regressions = append(regressions,
+						fmt.Sprintf("%s ns/op %+.1f%% (limit +%.1f%%)", nb.Name, pct, failPct))
+				}
+			}
+		}
 		units := make([]string, 0, len(nb.Metrics))
 		for u := range nb.Metrics {
 			units = append(units, u)
@@ -232,6 +258,15 @@ func runCompare(oldPath, newPath string) error {
 		if _, gone := oldBy[ob.Name]; gone {
 			fmt.Fprintf(w, "%s\n  (removed, no new data)\n", ob.Name)
 		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(w, "\nGATE FAILED (%s):\n", gatePat)
+		for _, r := range regressions {
+			fmt.Fprintf(w, "  %s\n", r)
+		}
+		w.Flush()
+		return fmt.Errorf("%d gated benchmark(s) regressed ns/op beyond %.1f%%",
+			len(regressions), failPct)
 	}
 	return nil
 }

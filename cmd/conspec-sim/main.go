@@ -90,6 +90,7 @@ func main() {
 		warmup  = flag.Uint64("warmup", 20_000, "warmup instructions")
 		measure = flag.Uint64("measure", 120_000, "measured instructions")
 		stages  = flag.Bool("stages", false, "print per-stage cycle-accounting counters")
+		noSkip  = flag.Bool("no-skip", false, "disable event-driven stall skipping (debug escape hatch; results must not change)")
 
 		selfchk    = flag.Uint64("selfcheck", 0, "audit pipeline and security invariants every N cycles; a violation fails the run (0 = off)")
 		injectF    = flag.String("inject", "", "fault class to inject: secmatrix-bit|suspect-clear|tpbuf-bit|dropped-wakeup|lru-skew")
@@ -195,6 +196,9 @@ func main() {
 	var closers []io.Closer
 	setup := func(c *pipeline.CPU) {
 		sim = c
+		if *noSkip {
+			c.SetStallSkip(false)
+		}
 		if inj != nil {
 			c.SetFaultHook(inj.Hook())
 		}
@@ -338,4 +342,6 @@ func printStages(res pipeline.Result) {
 		float64(st.IssuedUops)/cyc, 100*float64(st.IssueIdleCycles)/cyc)
 	fmt.Printf("commit      : %.1f%% stall cycles (ROB non-empty, nothing committed)\n",
 		100*float64(st.CommitStalls)/cyc)
+	fmt.Printf("stall skip  : %d cycles fast-forwarded in %d spans (%.1f%% of cycles)\n",
+		st.SkippedCycles, st.SkipSpans, 100*float64(st.SkippedCycles)/cyc)
 }

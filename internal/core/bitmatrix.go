@@ -15,7 +15,10 @@
 // with Match the "accesses a different physical page" vector per Table II.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 const wordBits = 64
 
@@ -27,11 +30,19 @@ const wordBits = 64
 // RowAny — the hazard reduction the select stage evaluates for every
 // candidate every cycle — is a single counter test instead of an O(words)
 // OR over the row.
+//
+// Columns keep a one-bit conservative summary (colAny): a column's bit is
+// set whenever any row MAY reference it, and only ClearCol/ClearColumnBatch
+// — which scan the column anyway — prove it empty and clear it. Set-side
+// maintenance is therefore a word-wide OR (no per-bit loop on the dispatch
+// path); clear-side operations (Clear, ClearRow) may leave the bit stale,
+// costing the next ClearCol one redundant scan before it self-heals.
 type BitMatrix struct {
 	n      int
 	words  int // words per row
 	bits   []uint64
-	rowCnt []int // set bits per row (cached row-OR summary)
+	rowCnt []int    // set bits per row (cached row-OR summary)
+	colAny []uint64 // conservative per-column non-empty summary, 1 bit/col
 }
 
 // NewBitMatrix returns an n x n zero matrix.
@@ -40,11 +51,20 @@ func NewBitMatrix(n int) *BitMatrix {
 		panic(fmt.Sprintf("core: bit matrix size %d", n))
 	}
 	w := (n + wordBits - 1) / wordBits
-	return &BitMatrix{n: n, words: w, bits: make([]uint64, n*w), rowCnt: make([]int, n)}
+	return &BitMatrix{
+		n: n, words: w,
+		bits:   make([]uint64, n*w),
+		rowCnt: make([]int, n),
+		colAny: make([]uint64, w),
+	}
 }
 
 // Size returns n.
 func (m *BitMatrix) Size() int { return m.n }
+
+// Words returns the number of 64-bit words in a row (and in the column
+// masks consumed by the batched kernels below).
+func (m *BitMatrix) Words() int { return m.words }
 
 func (m *BitMatrix) check(i int) {
 	if i < 0 || i >= m.n {
@@ -62,9 +82,11 @@ func (m *BitMatrix) Set(i, j int) {
 		*w |= bit
 		m.rowCnt[i]++
 	}
+	m.colAny[j/wordBits] |= bit
 }
 
-// Clear clears bit [i,j].
+// Clear clears bit [i,j]. The column summary is left as is: other rows may
+// still reference the column, and ClearCol self-heals a stale bit.
 func (m *BitMatrix) Clear(i, j int) {
 	m.check(i)
 	m.check(j)
@@ -110,12 +132,101 @@ func (m *BitMatrix) ClearCol(j int) {
 	m.check(j)
 	w, b := j/wordBits, uint(j)%wordBits
 	bit := uint64(1) << b
+	if m.colAny[w]&bit == 0 {
+		return // no row can reference this column: skip the strided walk
+	}
 	for i := 0; i < m.n; i++ {
+		if m.rowCnt[i] == 0 {
+			continue // empty row: skip the strided column read
+		}
 		if m.bits[i*m.words+w]&bit != 0 {
 			m.bits[i*m.words+w] &^= bit
 			m.rowCnt[i]--
 		}
 	}
+	m.colAny[w] &^= bit
+}
+
+func (m *BitMatrix) checkMask(mask []uint64) {
+	if len(mask) != m.words {
+		panic(fmt.Sprintf("core: mask has %d words, matrix rows have %d", len(mask), m.words))
+	}
+}
+
+// MergeRowMasked ORs a whole column mask into row i in one word-wide pass
+// and returns the number of newly set bits — the batched form of the
+// per-entry Set loop the dispatch stage used to run. Mask bits at positions
+// >= Size() are ignored.
+func (m *BitMatrix) MergeRowMasked(i int, mask []uint64) int {
+	m.check(i)
+	m.checkMask(mask)
+	row := m.bits[i*m.words : (i+1)*m.words]
+	added := 0
+	for k, w := range mask {
+		if k == m.words-1 {
+			w &= m.tailMask()
+		}
+		nw := w &^ row[k]
+		if nw != 0 {
+			row[k] |= nw
+			m.colAny[k] |= nw
+			added += bits.OnesCount64(nw)
+		}
+	}
+	m.rowCnt[i] += added
+	return added
+}
+
+// ClearColumnBatch clears every column whose bit is set in mask, across all
+// rows, using one ANDN+popcount pass per non-empty row. It is equivalent to
+// calling ClearCol once per set mask bit.
+func (m *BitMatrix) ClearColumnBatch(mask []uint64) {
+	m.checkMask(mask)
+	for i := 0; i < m.n; i++ {
+		if m.rowCnt[i] == 0 {
+			continue
+		}
+		row := m.bits[i*m.words : (i+1)*m.words]
+		cleared := 0
+		for k, w := range mask {
+			hit := row[k] & w
+			if hit != 0 {
+				row[k] &^= hit
+				cleared += bits.OnesCount64(hit)
+			}
+		}
+		m.rowCnt[i] -= cleared
+	}
+	// Every masked column is now provably empty.
+	for k, w := range mask {
+		m.colAny[k] &^= w
+	}
+}
+
+// RowAndNotAny reports whether row i has any bit set OUTSIDE mask — the
+// word-wide AND-NOT reduction audits use to ask "does this row reference a
+// column it should not?".
+func (m *BitMatrix) RowAndNotAny(i int, mask []uint64) bool {
+	m.check(i)
+	m.checkMask(mask)
+	if m.rowCnt[i] == 0 {
+		return false
+	}
+	row := m.bits[i*m.words : (i+1)*m.words]
+	for k, w := range row {
+		if w&^mask[k] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// tailMask returns the valid-bit mask for the final word of a row.
+func (m *BitMatrix) tailMask() uint64 {
+	if r := uint(m.n) % wordBits; r != 0 {
+		return (uint64(1) << r) - 1
+	}
+	return ^uint64(0)
 }
 
 // PopCount returns the number of set bits (diagnostics and area modelling).
@@ -134,5 +245,8 @@ func (m *BitMatrix) Reset() {
 	}
 	for i := range m.rowCnt {
 		m.rowCnt[i] = 0
+	}
+	for i := range m.colAny {
+		m.colAny[i] = 0
 	}
 }

@@ -40,6 +40,28 @@ func (m *naiveMatrix) rowAny(i int) bool {
 	}
 	return false
 }
+func (m *naiveMatrix) mergeRowMasked(i int, mask []uint64) {
+	for j := 0; j < m.n; j++ {
+		if mask[j/64]&(1<<(uint(j)%64)) != 0 {
+			m.b[i][j] = true
+		}
+	}
+}
+func (m *naiveMatrix) clearColumnBatch(mask []uint64) {
+	for j := 0; j < m.n; j++ {
+		if mask[j/64]&(1<<(uint(j)%64)) != 0 {
+			m.clearCol(j)
+		}
+	}
+}
+func (m *naiveMatrix) rowAndNotAny(i int, mask []uint64) bool {
+	for j := 0; j < m.n; j++ {
+		if m.b[i][j] && mask[j/64]&(1<<(uint(j)%64)) == 0 {
+			return true
+		}
+	}
+	return false
+}
 func (m *naiveMatrix) popCount() int {
 	n := 0
 	for i := range m.b {
@@ -52,11 +74,27 @@ func (m *naiveMatrix) popCount() int {
 	return n
 }
 
+// opMask derives a deterministic pseudo-random column mask from the op
+// coordinates (splitmix64 over each word index), so scripted and fuzzed op
+// sequences exercise the batched kernels without extra input bytes.
+func opMask(m *BitMatrix, i, j int) []uint64 {
+	mask := make([]uint64, m.Words())
+	x := uint64(i)*0x9E3779B97F4A7C15 + uint64(j) + 1
+	for k := range mask {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		mask[k] = z ^ (z >> 31)
+	}
+	return mask
+}
+
 // applyOp drives one mutation on both implementations and cross-checks the
 // queryable state. op selects the operation, i/j the coordinates.
 func applyOp(t *testing.T, m *BitMatrix, ref *naiveMatrix, op, i, j int) {
 	t.Helper()
-	switch op % 6 {
+	switch op % 9 {
 	case 0:
 		m.Set(i, j)
 		ref.set(i, j)
@@ -79,6 +117,19 @@ func applyOp(t *testing.T, m *BitMatrix, ref *naiveMatrix, op, i, j int) {
 		for r := 0; r < ref.n; r++ {
 			ref.clearRow(r)
 		}
+	case 6:
+		mask := opMask(m, i, j)
+		m.MergeRowMasked(i, mask)
+		ref.mergeRowMasked(i, mask)
+	case 7:
+		mask := opMask(m, j, i)
+		m.ClearColumnBatch(mask)
+		ref.clearColumnBatch(mask)
+	case 8:
+		mask := opMask(m, i+1, j)
+		if got, want := m.RowAndNotAny(i, mask), ref.rowAndNotAny(i, mask); got != want {
+			t.Fatalf("RowAndNotAny(%d) = %v, reference %v", i, got, want)
+		}
 	}
 	if got, want := m.Get(i, j), ref.b[i][j]; got != want {
 		t.Fatalf("Get(%d,%d) = %v, reference %v", i, j, got, want)
@@ -88,6 +139,42 @@ func applyOp(t *testing.T, m *BitMatrix, ref *naiveMatrix, op, i, j int) {
 	}
 	if got, want := m.PopCount(), ref.popCount(); got != want {
 		t.Fatalf("PopCount = %d, reference %d", got, want)
+	}
+	auditCounts(t, m)
+}
+
+// auditCounts recomputes the cached row counts and checks the conservative
+// column summary from the raw words. The summaries gate early-outs (RowAny,
+// ClearCol's skip), so a drifted one silently corrupts later operations
+// rather than failing loudly — this catches the drift at the op that
+// introduced it. rowCnt must be exact; colAny must cover every non-empty
+// column (a stale set bit over an empty column is legal — Clear and
+// ClearRow leave it for ClearCol to self-heal — but a clear bit over a
+// non-empty column would make ClearCol skip live dependences).
+func auditCounts(t *testing.T, m *BitMatrix) {
+	t.Helper()
+	for i := 0; i < m.n; i++ {
+		cnt := 0
+		for j := 0; j < m.n; j++ {
+			if m.Get(i, j) {
+				cnt++
+			}
+		}
+		if m.rowCnt[i] != cnt {
+			t.Fatalf("rowCnt[%d] = %d, recount %d", i, m.rowCnt[i], cnt)
+		}
+	}
+	for j := 0; j < m.n; j++ {
+		any := false
+		for i := 0; i < m.n; i++ {
+			if m.Get(i, j) {
+				any = true
+				break
+			}
+		}
+		if any && m.colAny[j/64]&(1<<(uint(j)%64)) == 0 {
+			t.Fatalf("colAny[%d] clear but column has set bits", j)
+		}
 	}
 }
 

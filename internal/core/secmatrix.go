@@ -1,5 +1,7 @@
 package core
 
+import "math/bits"
+
 // Class is the instruction classification the security dependence matrix
 // operates on. The matrix does not care about opcodes, only whether an
 // entry is a memory access, a speculation source (branch), or neither.
@@ -55,16 +57,28 @@ type SecMatrixStats struct {
 // indexed by issue-queue position, plus the Update Vector Register that
 // defers column clears by one cycle.
 type SecMatrix struct {
-	m         *BitMatrix
-	scope     Scope
-	updateVec []bool // set at issue; columns cleared at the next ClockEdge
+	m     *BitMatrix
+	scope Scope
+	// updateVec is the Update Vector Register as a column bit mask: bit x is
+	// set at issue and the column is cleared at the next ClockEdge, in one
+	// word-wide ClearColumnBatch pass instead of a per-column row walk.
+	updateVec []uint64
 	pending   bool
 	Stats     SecMatrixStats
 }
 
 // NewSecMatrix builds a matrix for an issue queue of n entries.
 func NewSecMatrix(n int, scope Scope) *SecMatrix {
-	return &SecMatrix{m: NewBitMatrix(n), scope: scope, updateVec: make([]bool, n)}
+	m := NewBitMatrix(n)
+	return &SecMatrix{m: m, scope: scope, updateVec: make([]uint64, m.Words())}
+}
+
+func (s *SecMatrix) updBit(x int) bool {
+	return s.updateVec[x/wordBits]&(1<<(uint(x)%wordBits)) != 0
+}
+
+func (s *SecMatrix) updClear(x int) {
+	s.updateVec[x/wordBits] &^= 1 << (uint(x) % wordBits)
 }
 
 // Size returns the issue queue size the matrix was built for.
@@ -95,20 +109,15 @@ func (s *SecMatrix) IsProducer(c Class) bool { return s.producer(c) }
 //	            & entries[Y].Valid & !entries[Y].Issued
 //
 // Row x is cleared first (the entry is being reallocated).
+//
+// OnDispatch is the scalar reference implementation: the hot dispatch path
+// uses OnDispatchMask, and differential tests pin the two against each
+// other.
 func (s *SecMatrix) OnDispatch(x int, xClass Class, entries []EntryState) {
-	s.m.ClearRow(x)
-	if s.updateVec[x] {
-		// The previous occupant issued and was deallocated before its
-		// pending column clear fired; apply the clear now so the stale
-		// dependence does not transfer to the new occupant.
-		s.m.ClearCol(x)
-		s.updateVec[x] = false
-	}
-	s.Stats.Dispatches++
+	s.dispatchProlog(x, xClass)
 	if xClass != ClassMem {
 		return
 	}
-	s.Stats.MemDispatches++
 	for y, e := range entries {
 		if y == x {
 			continue
@@ -117,6 +126,34 @@ func (s *SecMatrix) OnDispatch(x int, xClass Class, entries []EntryState) {
 			s.m.Set(x, y)
 			s.Stats.DepsRecorded++
 		}
+	}
+}
+
+// OnDispatchMask is the word-wide form of OnDispatch: producers is a column
+// bit mask with bit y set iff issue-queue entry y is valid, unissued, and
+// of a producer class under this matrix's scope (the caller maintains it
+// incrementally). Bit x must not be set — the dispatching entry is its own
+// slot's new occupant. Statistics match OnDispatch bit for bit.
+func (s *SecMatrix) OnDispatchMask(x int, xClass Class, producers []uint64) {
+	s.dispatchProlog(x, xClass)
+	if xClass != ClassMem {
+		return
+	}
+	s.Stats.DepsRecorded += uint64(s.m.MergeRowMasked(x, producers))
+}
+
+func (s *SecMatrix) dispatchProlog(x int, xClass Class) {
+	s.m.ClearRow(x)
+	if s.updBit(x) {
+		// The previous occupant issued and was deallocated before its
+		// pending column clear fired; apply the clear now so the stale
+		// dependence does not transfer to the new occupant.
+		s.m.ClearCol(x)
+		s.updClear(x)
+	}
+	s.Stats.Dispatches++
+	if xClass == ClassMem {
+		s.Stats.MemDispatches++
 	}
 }
 
@@ -138,7 +175,7 @@ func (s *SecMatrix) Peek(x int) bool { return s.m.RowAny(x) }
 // the next ClockEdge, exactly one cycle later, via the Update Vector
 // Register — younger instructions stop depending on x then.
 func (s *SecMatrix) OnIssue(x int) {
-	s.updateVec[x] = true
+	s.updateVec[x/wordBits] |= 1 << (uint(x) % wordBits)
 	s.pending = true
 }
 
@@ -147,20 +184,25 @@ func (s *SecMatrix) OnIssue(x int) {
 func (s *SecMatrix) OnSquash(x int) {
 	s.m.ClearRow(x)
 	s.m.ClearCol(x)
-	s.updateVec[x] = false
+	s.updClear(x)
 }
 
-// ClockEdge applies pending column clears from the Update Vector Register.
-// Call once per simulated cycle, after issue selection.
+// ClockEdge applies pending column clears from the Update Vector Register
+// in a single word-wide ClearColumnBatch pass. Call once per simulated
+// cycle, after issue selection.
 func (s *SecMatrix) ClockEdge() {
 	if !s.pending {
 		return
 	}
-	for x, set := range s.updateVec {
-		if set {
-			s.m.ClearCol(x)
-			s.updateVec[x] = false
-			s.Stats.ColumnClears++
+	cols := 0
+	for _, w := range s.updateVec {
+		cols += bits.OnesCount64(w)
+	}
+	if cols > 0 {
+		s.m.ClearColumnBatch(s.updateVec)
+		s.Stats.ColumnClears += uint64(cols)
+		for k := range s.updateVec {
+			s.updateVec[k] = 0
 		}
 	}
 	s.pending = false
@@ -180,11 +222,25 @@ func (s *SecMatrix) Flip(x, y int) {
 	}
 }
 
+// Words returns the number of 64-bit words in the column masks
+// OnDispatchMask consumes (and in updateVec).
+func (s *SecMatrix) Words() int { return s.m.Words() }
+
+// RowOutside reports whether entry x's row references any column outside
+// mask — a word-wide audit primitive (see pipeline.CheckInvariants).
+func (s *SecMatrix) RowOutside(x int, mask []uint64) bool {
+	return s.m.RowAndNotAny(x, mask)
+}
+
+// UpdatePending reports whether column x has a clear pending in the Update
+// Vector Register (audit use).
+func (s *SecMatrix) UpdatePending(x int) bool { return s.updBit(x) }
+
 // Reset clears all state between runs.
 func (s *SecMatrix) Reset() {
 	s.m.Reset()
 	for i := range s.updateVec {
-		s.updateVec[i] = false
+		s.updateVec[i] = 0
 	}
 	s.pending = false
 }

@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 // entriesWith builds an issue-queue snapshot with the given occupied slots.
 func entriesWith(n int, occupied map[int]EntryState) []EntryState {
@@ -185,5 +188,79 @@ func TestSecMatrixSelfDependenceExcluded(t *testing.T) {
 	s.OnDispatch(1, ClassMem, snap)
 	if s.Get(1, 1) {
 		t.Fatal("an instruction cannot be security dependent on itself")
+	}
+}
+
+// TestSecMatrixDispatchMaskDifferential drives long random dispatch / issue
+// / squash / clock-edge sequences through two matrices — one using the
+// scalar OnDispatch reference, one using the word-wide OnDispatchMask — and
+// requires identical matrix contents and statistics after every step.
+func TestSecMatrixDispatchMaskDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		scope Scope
+	}{{8, ScopeBranchMem}, {40, ScopeBranchMem}, {40, ScopeBranchOnly}, {64, ScopeBranchMem}, {65, ScopeBranchMem}, {128, ScopeBranchOnly}} {
+		rng := rand.New(rand.NewSource(int64(1000*tc.n) + int64(tc.scope)))
+		ref := NewSecMatrix(tc.n, tc.scope)
+		fast := NewSecMatrix(tc.n, tc.scope)
+		// Issue-queue model: class per occupied slot, ClassOther+!occ = free.
+		occ := make([]bool, tc.n)
+		cls := make([]Class, tc.n)
+		snap := make([]EntryState, tc.n)
+		mask := make([]uint64, fast.Words())
+		rebuild := func(exclude int) {
+			for i := range snap {
+				snap[i] = EntryState{}
+				if occ[i] && i != exclude {
+					snap[i] = EntryState{Valid: true, Class: cls[i]}
+				}
+			}
+			for k := range mask {
+				mask[k] = 0
+			}
+			for i := range occ {
+				if occ[i] && i != exclude && ref.IsProducer(cls[i]) {
+					mask[i/64] |= 1 << (uint(i) % 64)
+				}
+			}
+		}
+		for step := 0; step < 6000; step++ {
+			x := rng.Intn(tc.n)
+			switch rng.Intn(5) {
+			case 0: // dispatch into a (possibly recycled) slot
+				occ[x] = true
+				cls[x] = Class(rng.Intn(3))
+				rebuild(x)
+				ref.OnDispatch(x, cls[x], snap)
+				fast.OnDispatchMask(x, cls[x], mask)
+			case 1:
+				if occ[x] {
+					occ[x] = false
+					ref.OnIssue(x)
+					fast.OnIssue(x)
+				}
+			case 2:
+				occ[x] = false
+				ref.OnSquash(x)
+				fast.OnSquash(x)
+			case 3:
+				ref.ClockEdge()
+				fast.ClockEdge()
+			case 4:
+				if ref.HasHazard(x) != fast.HasHazard(x) {
+					t.Fatalf("n=%d scope=%v step=%d: HasHazard(%d) diverged", tc.n, tc.scope, step, x)
+				}
+			}
+			if ref.Stats != fast.Stats {
+				t.Fatalf("n=%d scope=%v step=%d: stats diverged\nref  %+v\nfast %+v", tc.n, tc.scope, step, ref.Stats, fast.Stats)
+			}
+		}
+		for x := 0; x < tc.n; x++ {
+			for y := 0; y < tc.n; y++ {
+				if ref.Get(x, y) != fast.Get(x, y) {
+					t.Fatalf("n=%d scope=%v: bit (%d,%d) diverged", tc.n, tc.scope, x, y)
+				}
+			}
+		}
 	}
 }

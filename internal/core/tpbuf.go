@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // TPBuf is the Trusted Pages Buffer of §V.D: a small structure shadowing
 // the load/store queue 1:1 that records, per in-flight speculative memory
@@ -60,6 +63,7 @@ type TPBuf struct {
 	w       []bool
 	s       []bool
 	mask    [][]uint64 // mask[i] = bitvector of entries older than i
+	aM      []uint64   // word mask of the A bits (allocate snapshots copy it)
 	words   int
 	occ     int // population count of the A bits
 	Stats   TPBufStats
@@ -105,6 +109,7 @@ func NewTPBuf(n int) *TPBuf {
 		w:    make([]bool, n),
 		s:    make([]bool, n),
 		mask: make([][]uint64, n),
+		aM:   make([]uint64, w),
 	}
 	for i := range t.mask {
 		t.mask[i] = make([]uint64, w)
@@ -134,24 +139,20 @@ func (t *TPBuf) checkIdx(i int) {
 func (t *TPBuf) Allocate(i int) {
 	t.checkIdx(i)
 	t.Stats.Allocs++
-	for w := 0; w < t.words; w++ {
-		t.mask[i][w] = 0
-	}
-	for j := 0; j < t.n; j++ {
-		if j != i && t.a[j] {
-			t.mask[i][j/wordBits] |= 1 << (uint(j) % wordBits)
-		}
-	}
 	bit := uint64(1) << (uint(i) % wordBits)
+	iw := i / wordBits
+	copy(t.mask[i], t.aM)
+	t.mask[i][iw] &^= bit
 	for j := 0; j < t.n; j++ {
 		if j != i {
-			t.mask[j][i/wordBits] &^= bit
+			t.mask[j][iw] &^= bit
 		}
 	}
 	if !t.a[i] {
 		t.occ++
 	}
 	t.a[i] = true
+	t.aM[iw] |= bit
 	t.v[i] = false
 	t.w[i] = false
 	t.s[i] = false
@@ -189,6 +190,7 @@ func (t *TPBuf) Free(i int) {
 		t.occ--
 	}
 	t.a[i] = false
+	t.aM[i/wordBits] &^= 1 << (uint(i) % wordBits)
 	t.v[i] = false
 	t.w[i] = false
 	t.s[i] = false
@@ -202,14 +204,15 @@ func (t *TPBuf) Free(i int) {
 func (t *TPBuf) QuerySafe(i int, ppn uint64) bool {
 	t.checkIdx(i)
 	t.Stats.Queries++
-	for j := 0; j < t.n; j++ {
-		if t.mask[i][j/wordBits]&(1<<(uint(j)%wordBits)) == 0 {
-			continue
-		}
-		wOK := t.w[j] || t.variant == VariantNoW
-		if t.a[j] && t.v[j] && wOK && t.s[j] && t.ppn[j] != ppn {
-			t.Stats.Unsafe++
-			return false
+	for w, word := range t.mask[i] {
+		for word != 0 {
+			j := w*wordBits + bits.TrailingZeros64(word)
+			word &= word - 1
+			wOK := t.w[j] || t.variant == VariantNoW
+			if t.a[j] && t.v[j] && wOK && t.s[j] && t.ppn[j] != ppn {
+				t.Stats.Unsafe++
+				return false
+			}
 		}
 	}
 	t.Stats.Safe++

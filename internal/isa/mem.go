@@ -20,6 +20,12 @@ type Memory interface {
 // value is not usable; create one with NewFlatMem.
 type FlatMem struct {
 	pages map[uint64]*[PageSize]byte
+
+	// One-entry page cache: accesses are overwhelmingly sequential or
+	// within a working page, so remembering the last resident page turns
+	// the common case from a map lookup into one compare.
+	lastPPN  uint64
+	lastPage *[PageSize]byte
 }
 
 // NewFlatMem returns an empty sparse memory.
@@ -28,10 +34,16 @@ func NewFlatMem() *FlatMem {
 }
 
 func (m *FlatMem) page(ppn uint64, alloc bool) *[PageSize]byte {
+	if m.lastPage != nil && m.lastPPN == ppn {
+		return m.lastPage
+	}
 	p := m.pages[ppn]
 	if p == nil && alloc {
 		p = new([PageSize]byte)
 		m.pages[ppn] = p
+	}
+	if p != nil {
+		m.lastPPN, m.lastPage = ppn, p
 	}
 	return p
 }
@@ -52,6 +64,18 @@ func (m *FlatMem) SetByte(addr uint64, b byte) {
 
 // Read returns size bytes at addr, little-endian, zero-extended to 64 bits.
 func (m *FlatMem) Read(addr uint64, size int) uint64 {
+	off := addr & (PageSize - 1)
+	if off+uint64(size) <= PageSize {
+		p := m.page(addr>>PageBits, false)
+		if p == nil {
+			return 0
+		}
+		var v uint64
+		for i := 0; i < size; i++ {
+			v |= uint64(p[off+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
 	var v uint64
 	for i := 0; i < size; i++ {
 		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
@@ -61,6 +85,14 @@ func (m *FlatMem) Read(addr uint64, size int) uint64 {
 
 // Write stores the low size bytes of val at addr, little-endian.
 func (m *FlatMem) Write(addr uint64, size int, val uint64) {
+	off := addr & (PageSize - 1)
+	if off+uint64(size) <= PageSize {
+		p := m.page(addr>>PageBits, true)
+		for i := 0; i < size; i++ {
+			p[off+uint64(i)] = byte(val >> (8 * i))
+		}
+		return
+	}
 	for i := 0; i < size; i++ {
 		m.SetByte(addr+uint64(i), byte(val>>(8*i)))
 	}

@@ -12,6 +12,7 @@ type TLB struct {
 	Name    string
 	entries []line
 	clock   uint64
+	mru     int // index of the last entry that hit; checked first
 	WalkLat int // page-walk penalty charged on a miss, in cycles
 	Stats   CacheStats
 }
@@ -27,14 +28,25 @@ func (t *TLB) Translate(addr uint64) (ppn uint64, extraLat int) {
 	vpn := addr >> isa.PageBits
 	t.Stats.Accesses++
 	t.clock++
-	victim := 0
+	if e := &t.entries[t.mru]; e.valid && e.tag == vpn {
+		t.Stats.Hits++
+		e.lru = t.clock
+		return vpn, 0 // identity mapping
+	}
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.tag == vpn {
 			t.Stats.Hits++
 			e.lru = t.clock
+			t.mru = i
 			return vpn, 0 // identity mapping
 		}
+	}
+	// Miss: pick the victim — the last invalid entry if any, else min-LRU
+	// (same preference order the combined hit/victim scan used to produce).
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
 		if !e.valid {
 			victim = i
 		} else if t.entries[victim].valid && e.lru < t.entries[victim].lru {
@@ -47,6 +59,7 @@ func (t *TLB) Translate(addr uint64) (ppn uint64, extraLat int) {
 		t.Stats.Evictions++
 	}
 	t.entries[victim] = line{tag: vpn, valid: true, lru: t.clock}
+	t.mru = victim
 	return vpn, t.WalkLat
 }
 

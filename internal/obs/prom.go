@@ -39,6 +39,11 @@ func WritePrometheus(w io.Writer, prefix string, r *Registry) error {
 			return err
 		}
 	}
+	for _, c := range r.unsampled {
+		if _, err := fmt.Fprintf(w, "%s %d\n", promName(prefix, c.name), c.read()); err != nil {
+			return err
+		}
+	}
 	for i, h := range r.hists {
 		name := promName(prefix, r.hname[i])
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {

@@ -109,6 +109,26 @@ func (h *Histogram) Observe(v uint64) {
 	}
 }
 
+// ObserveN records n identical observations of v in O(1) — the bulk form
+// the event-driven stall skipper uses to credit an occupancy histogram for
+// a whole skipped span at once. Equivalent to calling Observe(v) n times.
+// Nil-safe.
+func (h *Histogram) ObserveN(v, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i] += n
+	h.count += n
+	h.sum += v * n
+	if v > h.max {
+		h.max = v
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -167,6 +187,9 @@ type Registry struct {
 	names map[string]bool
 	hists []*Histogram
 	hname []string
+	// unsampled holds metrics excluded from interval sample rows (see
+	// CounterUnsampled); Prometheus exposition still exports them.
+	unsampled []column
 }
 
 // NewRegistry builds an empty registry.
@@ -186,6 +209,22 @@ func (r *Registry) addColumn(name string, read func() uint64) {
 func (r *Registry) Counter(name string) *Counter {
 	c := &Counter{}
 	r.addColumn(name, c.Value)
+	return c
+}
+
+// CounterUnsampled registers and returns a counter that is exported by
+// WritePrometheus but excluded from interval sample rows. This is for
+// meta-metrics about the simulation itself (e.g. the stall skipper's
+// skipped_cycles/skip_spans): putting them in the sampled series would make
+// otherwise byte-identical runs differ just because one engaged a
+// simulator-level optimization.
+func (r *Registry) CounterUnsampled(name string) *Counter {
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.names[name] = true
+	c := &Counter{}
+	r.unsampled = append(r.unsampled, column{name: name, read: c.Value})
 	return c
 }
 

@@ -64,6 +64,18 @@ func (s *Sampler) MaybeSample(cycle uint64) {
 	s.rows = s.reg.AppendSample(s.rows)
 }
 
+// NextAt returns the cycle of the next sample boundary (the smallest cycle
+// at which MaybeSample would record a row). A nil sampler never samples:
+// NextAt returns ^uint64(0). The stall skipper uses this to split a skipped
+// span at every boundary it jumps across, so the sampled series is
+// byte-identical to stepping each cycle.
+func (s *Sampler) NextAt() uint64 {
+	if s == nil {
+		return ^uint64(0)
+	}
+	return s.next
+}
+
 // Reset discards every sampled row (statistics-reset boundary) without
 // releasing the backing array, and re-arms the next sample at the first
 // interval boundary after cycle.

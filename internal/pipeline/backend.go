@@ -50,21 +50,33 @@ func (c *CPU) issueStage() {
 	issued := 0
 	var violation *uop // oldest memory-order-violating load this cycle
 
+	// Each select pass resumes after the previous winner instead of
+	// rescanning the rejected prefix: entries older than an issued entry
+	// cannot become eligible later in the same cycle (wakeups happen at
+	// writeback, the security matrix only changes at dispatch and clock
+	// edge, FU budgets only tighten, and a prefix load's unresolved older
+	// stores are themselves stuck in the prefix), and re-running eligible
+	// on them is a no-op — their filter-block and stall transitions already
+	// fired on the first pass.
+	start := 0
 	for issued < c.cfg.IssueWidth {
 		var best *uop
-		for _, u := range c.readyList {
+		bestIdx := -1
+		for idx := start; idx < len(c.readyList); idx++ {
+			u := c.readyList[idx]
 			if u.triedCycle == c.cycle {
 				continue
 			}
 			if c.eligible(u) && best == nil {
 				best = u // list is seq-sorted: first eligible is oldest
+				bestIdx = idx
 			}
 		}
 		if best == nil {
 			break
 		}
 		best.triedCycle = c.cycle
-		fu := best.inst.Op.Unit()
+		fu := best.fu
 		c.fuUsed[fu]++
 		if v := c.tryIssue(best); v != nil {
 			if violation == nil || v.seq < violation.seq {
@@ -73,6 +85,13 @@ func (c *CPU) issueStage() {
 		}
 		if best.iqIdx == -1 {
 			issued++ // accepted (slot released)
+		}
+		if bestIdx < len(c.readyList) && c.readyList[bestIdx] == best {
+			start = bestIdx + 1 // replaying in place; triedCycle skips it
+		} else {
+			// best left the ready list (accepted, or parked by
+			// delay-on-miss) and everything after it shifted left.
+			start = bestIdx
 		}
 	}
 
@@ -112,7 +131,7 @@ func (c *CPU) eligible(u *uop) bool {
 		// as does everything older, so resolution always makes progress.
 		return false
 	}
-	if c.fuUsed[u.inst.Op.Unit()] >= c.fuLimit(u.inst.Op.Unit()) {
+	if c.fuUsed[u.fu] >= c.fuLim[u.fu] {
 		return false
 	}
 	if u.inst.Op.IsLoad() && c.loadMustWait(u) {
@@ -221,10 +240,12 @@ func (c *CPU) tryIssue(u *uop) *uop {
 func (c *CPU) acceptIssue(u *uop, lat int, extra int) {
 	if c.secmat != nil && u.iqIdx >= 0 {
 		c.secmat.OnIssue(u.iqIdx)
+		maskClear(c.prodMask, u.iqIdx)
 	}
 	if u.iqIdx >= 0 {
 		c.readyRemove(u)
 		c.iq[u.iqIdx] = nil
+		maskSet(c.iqFree, u.iqIdx)
 		u.iqIdx = -1
 		c.iqCount--
 	}
@@ -576,6 +597,7 @@ func (c *CPU) writebackStage() {
 			c.tpbuf.SetWriteback(u.ldqIdx)
 		}
 		if u.isBranch {
+			c.unresolvedBranches--
 			c.resolveBranch(u)
 			if u.seq == c.serializeSeq {
 				// The watermark branch resolved (serializeSeq is only ever
@@ -628,6 +650,9 @@ func (c *CPU) squashFrom(fromSeq uint64, redirectPC uint64, cp *branch.Checkpoin
 			break
 		}
 		u.squashed = true
+		if u.isBranch && !u.completed {
+			c.unresolvedBranches--
+		}
 		if u.pdst >= 0 {
 			c.renameMap[u.archRd] = u.oldPdst
 			c.freeList = append(c.freeList, u.pdst)
@@ -635,19 +660,23 @@ func (c *CPU) squashFrom(fromSeq uint64, redirectPC uint64, cp *branch.Checkpoin
 		if u.iqIdx >= 0 {
 			if c.secmat != nil {
 				c.secmat.OnSquash(u.iqIdx)
+				maskClear(c.prodMask, u.iqIdx)
 			}
 			c.readyRemove(u)
 			c.iq[u.iqIdx] = nil
+			maskSet(c.iqFree, u.iqIdx)
 			u.iqIdx = -1
 			c.iqCount--
 		}
 		if u.ldqIdx >= 0 {
 			c.ldq[u.ldqIdx] = nil
+			maskSet(c.ldqFree, u.ldqIdx)
 			c.tpbuf.Free(u.ldqIdx)
 			u.ldqIdx = -1
 		}
 		if u.stqIdx >= 0 {
 			c.stq[u.stqIdx] = nil
+			maskSet(c.stqFree, u.stqIdx)
 			c.tpbuf.Free(c.cfg.LDQ + u.stqIdx)
 			u.stqIdx = -1
 		}
@@ -794,10 +823,12 @@ func (c *CPU) commitStage() {
 		}
 		if u.ldqIdx >= 0 {
 			c.ldq[u.ldqIdx] = nil
+			maskSet(c.ldqFree, u.ldqIdx)
 			c.tpbuf.Free(u.ldqIdx)
 		}
 		if u.stqIdx >= 0 {
 			c.stq[u.stqIdx] = nil
+			maskSet(c.stqFree, u.stqIdx)
 			c.tpbuf.Free(c.cfg.LDQ + u.stqIdx)
 		}
 		c.traceEvent(obs.EvCommit, u)

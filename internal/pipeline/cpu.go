@@ -56,6 +56,7 @@ type uop struct {
 	seq  uint64
 	pc   uint64
 	inst isa.Inst
+	fu   isa.FU // inst.Op.Unit(), decoded once at fetch for the select loop
 
 	// Rename state. Physical register -1 means "none"/"not needed".
 	pdst, psrc1, psrc2 int
@@ -77,6 +78,9 @@ type uop struct {
 	// entry, replacing a per-cycle "tried" set (cycle numbers start at 1,
 	// so the zero value never matches a live cycle).
 	triedCycle uint64
+	// ssStallCycle stamps the last cycle a store-set conflict was tallied
+	// for this load, so repeated select passes count one stall per cycle.
+	ssStallCycle uint64
 
 	// Wakeup state (see ready.go). wait1/wait2 name the physical registers
 	// this issue-queue entry is registered on (-1 = none); waitCnt is how
@@ -187,6 +191,14 @@ type StageStats struct {
 	IssuedUops      uint64 // accepted issues
 	IssueIdleCycles uint64 // cycles with a non-empty IQ and no accepted issue
 	CommitStalls    uint64 // cycles with a non-empty ROB and no commit
+
+	// Stall-skipper meta-counters (see skip.go): simulated cycles the
+	// event-driven fast-forward credited without stepping, and the number
+	// of skipped spans. These describe the simulator, not the machine —
+	// every other statistic is byte-identical whether or not they are
+	// non-zero.
+	SkippedCycles uint64
+	SkipSpans     uint64
 }
 
 // IPC returns committed instructions per cycle.
@@ -244,6 +256,23 @@ type CPU struct {
 	readyList  []*uop
 	regWaiters [][]*uop
 
+	// Free-slot bitmaps (bit set = slot free) replacing the O(N) nil scans
+	// at dispatch; lowest set bit preserves the scans' lowest-index policy.
+	iqFree  []uint64
+	ldqFree []uint64
+	stqFree []uint64
+
+	// prodMask mirrors the issue queue for the security matrix: bit j is set
+	// iff iq[j] holds a valid, unissued entry of a producer class under the
+	// matrix scope. Maintained at dispatch, issue, and squash; it is the
+	// word-wide operand of SecMatrix.OnDispatchMask. Nil when secmat is nil.
+	prodMask []uint64
+
+	// unresolvedBranches counts dispatched, uncompleted branches — the O(1)
+	// replacement for the per-dispatch ROB scan (incremented at dispatch,
+	// decremented at branch writeback and at squash of uncompleted branches).
+	unresolvedBranches int
+
 	// Load/store queues: fixed slots, nil = free. TPBuf entry i maps to
 	// LDQ slot i; entry LDQ+j maps to STQ slot j.
 	ldq []*uop
@@ -260,6 +289,7 @@ type CPU struct {
 
 	// Per-cycle functional unit usage (reset each cycle).
 	fuUsed [isa.FUCount]int
+	fuLim  [isa.FUCount]int // per-FU port limits, flattened from cfg at New
 
 	// Active FENCE tracking: the oldest uncommitted fence's seq (0 = none).
 	fenceSeq uint64
@@ -277,10 +307,9 @@ type CPU struct {
 
 	// Steady-state allocation elision: retired/squashed uops are pooled
 	// and recycled at fetch; wbScratch is the writeback stage's completed
-	// list; esScratch backs iqSnapshot.
+	// list.
 	uopPool   []*uop
 	wbScratch []*uop
-	esScratch []core.EntryState
 
 	// Optional Store Sets memory-dependence predictor (ablation).
 	storeSets *storeSets
@@ -312,6 +341,17 @@ type CPU struct {
 	// nil pointers and each record site is a nil-receiver no-op (see
 	// metrics.go). Zero value = no metrics.
 	m Metrics
+
+	// Event-driven stall skipping (see skip.go). skipArmed is true only
+	// inside a RunFor with skipping engaged (never under StepCycle, a fault
+	// hook, or per-cycle self-checks); the signature pair detects inert
+	// steps, and inert hands RunFor the fast-forward decision.
+	skipDisabled bool
+	skipArmed    bool
+	sigValid     bool
+	inert        bool
+	sigs         [2]stepSig // alternating capture slots; sigCur indexes the next
+	sigCur       int
 
 	stats Result
 	// committedTarget lets RunFor stop exactly at an instruction budget.
@@ -348,15 +388,22 @@ func New(cfg config.Core, sec SecurityConfig, hier *mem.Hierarchy) *CPU {
 		fetchQCap:    fetchQCap,
 		readyList:    make([]*uop, 0, cfg.IQ),
 		regWaiters:   make([][]*uop, cfg.PhysRegs),
-		esScratch:    make([]core.EntryState, cfg.IQ),
 		inflight:     make([]pendingExec, 0, cfg.ROB),
 		wbScratch:    make([]*uop, 0, cfg.ROB),
 		awaitingData: make([]*uop, 0, cfg.STQ),
 		parked:       make([]*uop, 0, cfg.LDQ),
 	}
+	c.skipDisabled = skipDefaultDisabled.Load()
+	for f := isa.FU(0); f < isa.FUCount; f++ {
+		c.fuLim[f] = c.fuLimit(f)
+	}
+	c.iqFree = newFullMask(cfg.IQ)
+	c.ldqFree = newFullMask(cfg.LDQ)
+	c.stqFree = newFullMask(cfg.STQ)
 	c.def = resolveHooks(sec)
 	if c.def.TracksDependence {
 		c.secmat = core.NewSecMatrix(cfg.IQ, sec.Scope)
+		c.prodMask = make([]uint64, c.secmat.Words())
 	}
 	if cfg.StoreSets {
 		entries := cfg.StoreSetEntries
@@ -476,9 +523,22 @@ func (c *CPU) RunFor(insts, maxCycles uint64) Result {
 	if c.lastProgress < c.cycle {
 		c.lastProgress = c.cycle
 	}
+	// Arm the stall skipper (skip.go) unless an observer needs every cycle.
+	c.skipArmed = !c.skipDisabled && c.faultHook == nil && c.selfCheckEvery == 0
+	c.sigValid = false
+	c.inert = false
+	capCycle := start + maxCycles
+	if capCycle < start {
+		capCycle = ^uint64(0) // saturate
+	}
 	for !c.halted && c.runErr == nil && c.cycle-start < maxCycles && c.stats.Committed < c.committedTarget {
 		c.step()
+		if c.inert {
+			c.inert = false
+			c.fastForward(capCycle)
+		}
 	}
+	c.skipArmed = false
 	switch {
 	case c.runErr != nil:
 		// tripWatchdog/failAudit set stats.Outcome at trip time, but an
@@ -559,6 +619,9 @@ func (c *CPU) step() {
 			c.failAudit(err)
 		}
 	}
+	if c.skipArmed && c.runErr == nil {
+		c.noteSig()
+	}
 }
 
 // robAt returns the uop at ROB position (head+i)%size.
@@ -576,13 +639,9 @@ func (c *CPU) robPush(u *uop) {
 
 // unresolvedBranchInFlight reports whether any dispatched branch has not
 // completed — the §VII.B ICache filter's "unsafe NPC" condition and the
-// §VI.C(1) unresolved-branch statistic.
+// §VI.C(1) unresolved-branch statistic. O(1): the counter is maintained at
+// dispatch, branch writeback, and squash (CheckInvariants recomputes it
+// from the ROB).
 func (c *CPU) unresolvedBranchInFlight() bool {
-	for i := 0; i < c.robCount; i++ {
-		u := c.robAt(i)
-		if u.isBranch && !u.completed {
-			return true
-		}
-	}
-	return false
+	return c.unresolvedBranches > 0
 }

@@ -1,7 +1,6 @@
 package pipeline
 
 import (
-	"conspec/internal/core"
 	"conspec/internal/isa"
 	"conspec/internal/mem"
 	"conspec/internal/obs"
@@ -52,6 +51,7 @@ func (c *CPU) fetchStage() {
 			seq:   c.seq,
 			pc:    pc,
 			inst:  in,
+			fu:    in.Op.Unit(),
 			iqIdx: -1, ldqIdx: -1, stqIdx: -1,
 			pdst: -1, psrc1: -1, psrc2: -1, oldPdst: -1,
 			wait1: -1, wait2: -1,
@@ -134,19 +134,19 @@ func (c *CPU) dispatchStage() {
 		needsIQ := op != isa.OpNop && op != isa.OpHalt && op != isa.OpFence
 		var iqSlot, ldqSlot, stqSlot = -1, -1, -1
 		if needsIQ {
-			iqSlot = c.freeIQSlot()
+			iqSlot = maskFirstSet(c.iqFree)
 			if iqSlot < 0 {
 				return
 			}
 		}
 		if op.IsLoad() {
-			ldqSlot = freeSlot(c.ldq)
+			ldqSlot = maskFirstSet(c.ldqFree)
 			if ldqSlot < 0 {
 				return
 			}
 		}
 		if op.IsStore() {
-			stqSlot = freeSlot(c.stq)
+			stqSlot = maskFirstSet(c.stqFree)
 			if stqSlot < 0 {
 				return
 			}
@@ -186,6 +186,9 @@ func (c *CPU) dispatchStage() {
 		c.robPush(u)
 		u.dispatched = true
 		u.dispatchCycle = c.cycle
+		if u.isBranch {
+			c.unresolvedBranches++
+		}
 		if c.def.SerializeBranches && u.isBranch && c.serializeSeq == 0 {
 			// Fence defense: a newly dispatched branch is the youngest, so it
 			// only becomes the watermark when no older branch is unresolved.
@@ -205,56 +208,30 @@ func (c *CPU) dispatchStage() {
 			c.iq[iqSlot] = u
 			u.iqIdx = iqSlot
 			c.iqCount++
+			maskClear(c.iqFree, iqSlot)
 			if c.secmat != nil {
-				c.secmat.OnDispatch(iqSlot, u.class(), c.iqSnapshot(iqSlot))
+				// prodMask is exactly the snapshot the §V.B formula consumes:
+				// every occupied, unissued producer-class slot except iqSlot
+				// (the new occupant's bit is only set below).
+				c.secmat.OnDispatchMask(iqSlot, u.class(), c.prodMask)
+				if c.secmat.IsProducer(u.class()) {
+					maskSet(c.prodMask, iqSlot)
+				}
 			}
 			c.linkWakeups(u)
 		}
 		if ldqSlot >= 0 {
 			c.ldq[ldqSlot] = u
 			u.ldqIdx = ldqSlot
+			maskClear(c.ldqFree, ldqSlot)
 			c.tpbuf.Allocate(ldqSlot)
 		}
 		if stqSlot >= 0 {
 			c.stq[stqSlot] = u
 			u.stqIdx = stqSlot
+			maskClear(c.stqFree, stqSlot)
 			c.tpbuf.Allocate(c.cfg.LDQ + stqSlot)
 			c.noteStoreDispatched(u)
 		}
 	}
-}
-
-func (c *CPU) freeIQSlot() int {
-	for i, u := range c.iq {
-		if u == nil {
-			return i
-		}
-	}
-	return -1
-}
-
-func freeSlot(q []*uop) int {
-	for i, u := range q {
-		if u == nil {
-			return i
-		}
-	}
-	return -1
-}
-
-// iqSnapshot builds the EntryState view the security matrix formula
-// consumes at dispatch. Occupied slots are valid and (in this core) always
-// unissued: entries leave the queue the moment they successfully issue.
-// The backing array is a scratch slice on the CPU (SecMatrix.OnDispatch
-// consumes it synchronously and does not retain it).
-func (c *CPU) iqSnapshot(exclude int) []core.EntryState {
-	es := c.esScratch
-	for i, u := range c.iq {
-		if u == nil || i == exclude {
-			es[i] = core.EntryState{}
-			continue
-		}
-		es[i] = core.EntryState{Valid: true, Issued: false, Class: u.class()}
-	}
-	return es
 }

@@ -200,6 +200,56 @@ func (c *CPU) CheckInvariants() error {
 		return fmt.Errorf("fetch ring out of bounds: head=%d len=%d cap=%d", c.fqHead, c.fqLen, c.fetchQCap)
 	}
 
+	// Free-slot bitmaps: bit set iff the slot is nil.
+	for name, pair := range map[string]struct {
+		q    []*uop
+		free []uint64
+	}{"iq": {c.iq, c.iqFree}, "ldq": {c.ldq, c.ldqFree}, "stq": {c.stq, c.stqFree}} {
+		for i, u := range pair.q {
+			if maskHas(pair.free, i) != (u == nil) {
+				return fmt.Errorf("%sFree bit %d disagrees with slot occupancy", name, i)
+			}
+		}
+	}
+
+	// Unresolved-branch counter vs the ROB scan it replaced.
+	unresolved := 0
+	for i := 0; i < c.robCount; i++ {
+		u := c.robAt(i)
+		if u.isBranch && !u.completed {
+			unresolved++
+		}
+	}
+	if c.unresolvedBranches != unresolved {
+		return fmt.Errorf("unresolvedBranches=%d but ROB holds %d uncompleted branches",
+			c.unresolvedBranches, unresolved)
+	}
+
+	// Security producer mask: bit j iff iq[j] is an unissued producer-class
+	// entry; and no matrix row may reference a column outside the producer
+	// mask except columns with a clear still pending in the update vector
+	// (word-wide RowAndNotAny audit).
+	if c.secmat != nil {
+		for j, u := range c.iq {
+			want := u != nil && !u.issued && c.secmat.IsProducer(u.class())
+			if maskHas(c.prodMask, j) != want {
+				return fmt.Errorf("prodMask bit %d disagrees with iq[%d]", j, j)
+			}
+		}
+		allowed := make([]uint64, len(c.prodMask))
+		copy(allowed, c.prodMask)
+		for j := range c.iq {
+			if c.secmat.UpdatePending(j) {
+				maskSet(allowed, j)
+			}
+		}
+		for x := range c.iq {
+			if c.secmat.RowOutside(x, allowed) {
+				return fmt.Errorf("secmatrix row %d references a column outside producers+pending", x)
+			}
+		}
+	}
+
 	// Security structures (secmatrix, TPBuf) against the queues they shadow.
 	return c.auditSecurity()
 }

@@ -1,0 +1,35 @@
+package pipeline
+
+import "math/bits"
+
+// Slot bitmap helpers for the free-slot masks and the security producer
+// mask. Bit i of word i/64 corresponds to structure slot i.
+
+// newFullMask returns a mask of n slots with every valid bit set.
+func newFullMask(n int) []uint64 {
+	m := make([]uint64, (n+63)/64)
+	for i := range m {
+		m[i] = ^uint64(0)
+	}
+	if r := uint(n) % 64; r != 0 {
+		m[len(m)-1] = (uint64(1) << r) - 1
+	}
+	return m
+}
+
+func maskSet(m []uint64, i int)   { m[i>>6] |= 1 << (uint(i) & 63) }
+func maskClear(m []uint64, i int) { m[i>>6] &^= 1 << (uint(i) & 63) }
+func maskHas(m []uint64, i int) bool {
+	return m[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// maskFirstSet returns the lowest set bit index, or -1 when the mask is
+// empty — the bitmap form of the "first nil slot" allocation scan.
+func maskFirstSet(m []uint64) int {
+	for k, w := range m {
+		if w != 0 {
+			return k<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}

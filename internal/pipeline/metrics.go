@@ -49,6 +49,12 @@ type Metrics struct {
 	selfcheckSweeps     *obs.Counter
 	selfcheckViolations *obs.Counter
 	faultsInjected      *obs.Counter
+
+	// Stall-skipper activity (see skip.go). Registered unsampled: they
+	// describe the simulator, not the simulated machine, and must not make
+	// the sampled series differ between skip-enabled and -disabled runs.
+	skippedCycles *obs.Counter
+	skipSpans     *obs.Counter
 }
 
 // NewMetrics builds a registry populated with the pipeline's standard
@@ -72,6 +78,8 @@ func NewMetrics() *Metrics {
 		selfcheckSweeps:      r.Counter("selfcheck_sweeps"),
 		selfcheckViolations:  r.Counter("selfcheck_violations"),
 		faultsInjected:       r.Counter("faults_injected"),
+		skippedCycles:        r.CounterUnsampled("skipped_cycles"),
+		skipSpans:            r.CounterUnsampled("skip_spans"),
 	}
 }
 

@@ -74,7 +74,13 @@ func (c *CPU) loadMustWait(u *uop) bool {
 			continue
 		}
 		if c.storeSets.id(st.pc) == id {
-			c.storeSets.Stalls++
+			// Count one stall per load per cycle, however many select
+			// passes re-examine it, so the counter reads as deferred
+			// load-cycles rather than select-loop iterations.
+			if u.ssStallCycle != c.cycle {
+				u.ssStallCycle = c.cycle
+				c.storeSets.Stalls++
+			}
 			return true
 		}
 	}
