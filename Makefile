@@ -7,8 +7,10 @@
 #                         self-checking stress), a one-iteration
 #                         BenchmarkFig5 smoke run, the conspec-served
 #                         end-to-end smoke (submit, drain, warm-cache
-#                         restart), and the defense smoke matrix (every
-#                         registered backend vs the Spectre V1 PoC).
+#                         restart), the trace smoke (flight-recorder dump
+#                         on the deadlock reproducer + span-traced suite),
+#                         and the defense smoke matrix (every registered
+#                         backend vs the Spectre V1 PoC).
 #   make chaos          — the robustness gate on its own: every fault class
 #                         must be caught, and every mechanism must survive
 #                         a per-cycle invariant audit over the random-program
@@ -26,7 +28,7 @@ GO ?= go
 # the end-to-end Figure 5 evaluation plus the per-component microbenches.
 TRACKED_BENCHES = ^(BenchmarkFig5|BenchmarkSimulatorThroughput|BenchmarkSecMatrixDispatch|BenchmarkSecMatrixHazardCheck|BenchmarkTPBufQuery|BenchmarkCacheAccess)$$
 
-.PHONY: all build fmt vet lint lint-defense test race chaos benchsmoke serve-smoke defense-matrix tier1 bench bench-snapshot bench-compare
+.PHONY: all build fmt vet lint lint-defense test race chaos benchsmoke serve-smoke trace-smoke defense-matrix tier1 bench bench-snapshot bench-compare
 
 all: tier1
 
@@ -88,7 +90,15 @@ serve-smoke:
 defense-matrix:
 	$(GO) test -count=1 -run '^(TestDefenseMatrix|TestDefenseHooksGolden)$$' ./internal/exp ./internal/pipeline
 
-tier1: build lint test race chaos benchsmoke serve-smoke defense-matrix
+# Observability smoke: the deadlock reproducer with the flight recorder
+# armed must leave a parseable dump covering the final window before the
+# watchdog trip, and a span-traced suite run must export the
+# suite > run > phase tree as loadable Chrome trace JSON. Set TRACE_DIR to
+# keep the artifacts (CI uploads them).
+trace-smoke:
+	sh scripts/trace_smoke.sh
+
+tier1: build lint test race chaos benchsmoke serve-smoke trace-smoke defense-matrix
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

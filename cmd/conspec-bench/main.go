@@ -39,6 +39,7 @@ import (
 	"conspec/internal/diskcache"
 	"conspec/internal/exp"
 	"conspec/internal/exp/report"
+	"conspec/internal/obs/trace"
 	"conspec/internal/profutil"
 )
 
@@ -54,6 +55,8 @@ func main() {
 		runTmo   = flag.Duration("run-timeout", 0, "wall-clock bound per simulation; a run exceeding it is recorded as failed and its suite continues (0 = none)")
 		cacheDir = flag.String("cache-dir", "", "persist memoized simulation results under this directory and reuse them across invocations (content-addressed, namespaced by build identity; a warm rerun executes zero simulations)")
 		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS); values below GOMAXPROCS also cap GOMAXPROCS so -workers 1 -cpuprofile profiles a single attributable thread")
+		traceF   = flag.String("trace", "", "write a Chrome trace-event span trace of the whole invocation (suite > run > phase, with cache-tier annotations) to FILE; load it at https://ui.perfetto.dev")
+		flight   = flag.Uint64("flight-window", 0, "arm each run's microarchitectural flight recorder over the last N cycles; failed runs report the dump (0 = off)")
 		verbose  = flag.Bool("v", false, "print per-run progress")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text")
 		version  = flag.Bool("version", false, "print build information and exit")
@@ -84,6 +87,7 @@ func main() {
 	spec.Measure = *measure
 	spec.MetricsInterval = *interval
 	spec.SelfCheck = *selfchk
+	spec.FlightWindow = *flight
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -97,6 +101,11 @@ func main() {
 		}
 	}
 	ropts := exp.RunnerOptions{Workers: *workers, OnEvent: onEvent, Timeout: *runTmo}
+	var tracer *trace.Tracer
+	if *traceF != "" {
+		tracer = trace.New(0)
+		ropts.Trace = tracer
+	}
 	if *cacheDir != "" {
 		store, err := diskcache.Open(*cacheDir)
 		if err != nil {
@@ -115,6 +124,7 @@ func main() {
 	// document holds every suite that finished before cancellation.
 	fail := func(err error) {
 		profStop() // os.Exit skips deferred handlers: flush profiles first
+		writeTrace(*traceF, tracer)
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "interrupted: flushing completed suite results")
 			if *asJSON {
@@ -188,11 +198,35 @@ func main() {
 		rep.Finish(runner)
 		emitJSON(rep)
 	}
+	writeTrace(*traceF, tracer)
 	printEngineStats(runner, start)
 	if len(failed) > 0 {
 		profStop()
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the invocation's span trace as Chrome trace-event
+// JSON. A nil tracer (no -trace flag) is a no-op; export errors warn but do
+// not fail the run, since the results on stdout are already complete.
+func writeTrace(path string, tracer *trace.Tracer) {
+	if tracer == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		return
+	}
+	err = tracer.WriteChrome(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %s (load at https://ui.perfetto.dev)\n", path)
 }
 
 // printEngineStats reports the scheduler's deduplication work and the wall

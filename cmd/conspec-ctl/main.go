@@ -5,6 +5,7 @@
 //	conspec-ctl get <job-id> > fig5.json
 //	conspec-ctl list
 //	conspec-ctl cancel <job-id>
+//	conspec-ctl trace -o suite.trace.json <job-id>
 //	conspec-ctl metrics
 //
 // submit prints the job id (or, with -watch, streams progress to stderr and
@@ -18,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +56,8 @@ func main() {
 		err = cmdList(ctx, c)
 	case "cancel":
 		err = cmdCancel(ctx, c, args)
+	case "trace":
+		err = cmdTrace(ctx, c, args)
 	case "metrics":
 		err = cmdMetrics(ctx, c)
 	default:
@@ -77,6 +81,7 @@ commands:
   get    <job-id>                            print the job (with result JSON)
   list                                       list jobs, newest first
   cancel <job-id>                            cancel a queued or running job
+  trace  [-o FILE] <job-id>                  fetch the job's span trace (Perfetto JSON)
   metrics                                    dump the server's /metrics text
 `)
 	flag.PrintDefaults()
@@ -102,6 +107,7 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 		runTmo   = fs.Duration("run-timeout", 0, "wall-clock bound per simulation (0 = server default)")
 		workers  = fs.Int("workers", 0, "cap this job's concurrent simulations (0 = server default)")
 		cod      = fs.Bool("cancel-on-disconnect", false, "cancel the job if its last watcher disconnects")
+		flight   = fs.Uint64("flight-window", 0, "arm each run's flight recorder over the last N cycles (0 = off); failed runs carry the dump")
 		watch    = fs.Bool("watch", false, "stream progress and print the result when done")
 	)
 	fs.Parse(args)
@@ -114,6 +120,7 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 		RunTimeoutMS:       runTmo.Milliseconds(),
 		Workers:            *workers,
 		CancelOnDisconnect: *cod,
+		FlightWindow:       *flight,
 	}
 	if *benches != "" {
 		spec.Benches = strings.Split(*benches, ",")
@@ -212,6 +219,27 @@ func cmdCancel(ctx context.Context, c *client.Client, args []string) error {
 	}
 	fmt.Printf("%s %s\n", st.ID, st.Status)
 	return nil
+}
+
+// cmdTrace downloads a job's span trace as Chrome trace-event JSON —
+// loadable at https://ui.perfetto.dev — to stdout or -o FILE.
+func cmdTrace(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	out := fs.String("o", "", "write the trace to FILE instead of stdout")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: trace [-o FILE] <job-id>")
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return c.Trace(ctx, fs.Arg(0), w)
 }
 
 func cmdMetrics(ctx context.Context, c *client.Client) error {

@@ -10,6 +10,11 @@
 //	curl -s -X POST localhost:8344/v1/jobs -d '{"suite":"fig5"}'
 //	curl -N localhost:8344/v1/jobs/<id>/events
 //	curl -s localhost:8344/v1/jobs/<id>
+//	curl -s localhost:8344/v1/jobs/<id>/trace > job.trace.json
+//
+// Every request, queue wait, and job execution is span-traced; the trace
+// endpoint serves a job's subtree as Perfetto-loadable JSON. -pprof mounts
+// the runtime profiler under /debug/pprof/.
 //
 // SIGINT/SIGTERM drains gracefully: new submissions get 503, queued and
 // running jobs finish (bounded by -drain-timeout), then the process exits.
@@ -42,6 +47,9 @@ func main() {
 		simWorkers = flag.Int("sim-workers", 0, "max concurrent simulations per job (0 = GOMAXPROCS)")
 		runTmo     = flag.Duration("run-timeout", 0, "default wall-clock bound per simulation (0 = none; jobs may override)")
 		drainTmo   = flag.Duration("drain-timeout", 10*time.Minute, "max time to wait for in-flight jobs on shutdown")
+		keepalive  = flag.Duration("sse-keepalive", 0, "idle event-stream keepalive comment cadence (0 = 15s default); lower it below your proxy's idle timeout")
+		traceSpans = flag.Int("trace-spans", 0, "span tracer ring capacity (0 = default); oldest spans are evicted when full")
+		pprofF     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -52,11 +60,14 @@ func main() {
 	logger := log.New(os.Stderr, "conspec-served: ", log.LstdFlags)
 
 	cfg := serve.Config{
-		Workers:    *jobWorkers,
-		QueueCap:   *queueCap,
-		SimWorkers: *simWorkers,
-		RunTimeout: *runTmo,
-		Logf:       logger.Printf,
+		Workers:      *jobWorkers,
+		QueueCap:     *queueCap,
+		SimWorkers:   *simWorkers,
+		RunTimeout:   *runTmo,
+		SSEKeepalive: *keepalive,
+		TraceSpans:   *traceSpans,
+		Pprof:        *pprofF,
+		Logf:         logger.Printf,
 	}
 	if *cacheDir != "" {
 		store, err := diskcache.Open(*cacheDir)

@@ -19,9 +19,17 @@
 //
 //	conspec-sim -bench lbm -mech tpbuf -selfcheck 64
 //	conspec-sim -bench astar -mech tpbuf -selfcheck 1 -inject secmatrix-bit -inject-seed 11 -inject-at 2000
+//
+// -flight-recorder N arms the microarchitectural flight recorder over the
+// last N cycles; a failed run dumps it to stderr as JSON (with an
+// O3PipeView tail), and -flight-out FILE captures it unconditionally:
+//
+//	conspec-sim -bench lbm -mech tpbuf -inject dropped-wakeup -flight-recorder 32768
+//	conspec-sim -bench astar -mech tpbuf -flight-recorder 4096 -flight-out astar.flight.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -98,6 +106,9 @@ func main() {
 		injectAt   = flag.Uint64("inject-at", 0, "first cycle eligible for injection")
 		injectPers = flag.Bool("inject-persistent", false, "re-inject every cycle instead of once")
 		injectFld  = flag.String("inject-field", "S", "TPBuf bit for -inject tpbuf-bit: V|W|S|P")
+
+		flightRec = flag.Uint64("flight-recorder", 0, "arm the microarchitectural flight recorder over the last N cycles (0 = off)")
+		flightOut = flag.String("flight-out", "", "write the flight dump as JSON to FILE ('-' = stderr); default stderr on failed runs only")
 
 		traceF   = flag.String("trace", "", "write a text pipeline event trace to FILE ('-' = stderr)")
 		pipeview = flag.String("pipeview", "", "write an O3PipeView trace (Konata-compatible) to FILE")
@@ -199,6 +210,9 @@ func main() {
 		if *noSkip {
 			c.SetStallSkip(false)
 		}
+		if *flightRec > 0 || *flightOut != "" {
+			c.ArmFlightRecorder(*flightRec, 0)
+		}
 		if inj != nil {
 			c.SetFaultHook(inj.Hook())
 		}
@@ -274,6 +288,26 @@ func main() {
 	if *stages {
 		printStages(res)
 	}
+	if *flightRec > 0 || *flightOut != "" {
+		// Watchdog trips and audit failures auto-dump into the result;
+		// otherwise snapshot the ring as of the final cycle.
+		dump := res.Flight
+		if dump == nil {
+			dump = sim.DumpFlight()
+		}
+		switch {
+		case dump == nil:
+			fmt.Fprintln(os.Stderr, "flight recorder: nothing recorded")
+		case *flightOut != "":
+			if err := writeFlight(*flightOut, dump); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				profStop()
+				os.Exit(1)
+			}
+		case !res.Outcome.Completed():
+			writeFlight("-", dump)
+		}
+	}
 	if !res.Outcome.Completed() {
 		fmt.Fprintf(os.Stderr, "run failed: %s", res.Outcome)
 		if err := sim.Err(); err != nil {
@@ -300,6 +334,22 @@ func openOut(path string) (io.WriteCloser, error) {
 		return nopCloser{os.Stderr}, nil
 	}
 	return os.Create(path)
+}
+
+// writeFlight exports a flight-recorder dump as indented JSON ('-' =
+// stderr, keeping it separable from the statistics report on stdout).
+func writeFlight(path string, d *obs.FlightDump) error {
+	f, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(d)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeSeries exports the sampled time series: CSV when the filename says

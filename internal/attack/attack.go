@@ -21,6 +21,7 @@ import (
 	"conspec/internal/asm"
 	"conspec/internal/config"
 	"conspec/internal/isa"
+	"conspec/internal/obs"
 	"conspec/internal/pipeline"
 )
 
@@ -106,6 +107,11 @@ type Outcome struct {
 	// an attack with that hit rate trivially amplifies to full recovery.
 	Leaked bool
 	Cycles uint64
+	// Flight is the machine's flight-recorder dump at the end of a LEAKED
+	// run, when the caller armed a recorder via RunWith's setup hook (e.g.
+	// a fault-injection campaign convicting a silently-disabled mechanism).
+	// Nil for defended runs and unarmed machines.
+	Flight *obs.FlightDump
 }
 
 func (o Outcome) String() string {
@@ -165,7 +171,7 @@ func (h *Harness) RunWith(cfg config.Core, sec pipeline.SecurityConfig,
 			correct++
 		}
 	}
-	return Outcome{
+	out := Outcome{
 		Scenario:  h.Name,
 		Mechanism: sec.Mechanism.String(),
 		Recovered: recovered,
@@ -174,6 +180,12 @@ func (h *Harness) RunWith(cfg config.Core, sec pipeline.SecurityConfig,
 		Leaked:    correct*2 >= len(h.Secret),
 		Cycles:    res.Cycles,
 	}
+	if out.Leaked {
+		// A conviction: snapshot the armed recorder (nil when unarmed) so
+		// the dump shows the machinery that let the secret out.
+		out.Flight = cpu.DumpFlight()
+	}
+	return out
 }
 
 // seedCommon plants the victim data every scenario shares.

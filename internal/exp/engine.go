@@ -13,6 +13,8 @@ import (
 	"conspec/internal/config"
 	"conspec/internal/core"
 	"conspec/internal/mem"
+	"conspec/internal/obs"
+	"conspec/internal/obs/trace"
 	"conspec/internal/pipeline"
 	"conspec/internal/workload"
 )
@@ -114,6 +116,11 @@ type Stats struct {
 	DiskHits uint64
 	// Panics counts runs whose goroutine panicked (isolated into errors).
 	Panics uint64
+	// SkippedCycles and SkipSpans aggregate the pipeline stall skipper's
+	// meta-counters across every executed simulation: how many simulated
+	// cycles were fast-forwarded rather than stepped, and in how many spans.
+	SkippedCycles uint64
+	SkipSpans     uint64
 }
 
 // Submitted returns the total number of runs requested from the Runner.
@@ -138,6 +145,15 @@ type RunnerOptions struct {
 	// is written back, so identical runs are served from disk across
 	// processes and restarts.
 	Cache ResultCache
+	// Trace, when non-nil, receives a span per suite ("suite:<id>"), per
+	// submitted run ("run:<bench>", annotated with the mechanism and — for
+	// cached submissions — the serving cache tier), and per execution phase
+	// ("warmup"/"measure"). Spans from runs submitted outside RunSuite
+	// parent to TraceRoot.
+	Trace *trace.Tracer
+	// TraceRoot, when non-zero, parents every suite span (e.g. an enclosing
+	// request or job span owned by the caller).
+	TraceRoot trace.SpanID
 }
 
 // RunError records one failed run: a simulation that deadlocked, failed a
@@ -153,6 +169,10 @@ type RunError struct {
 	// failures outside the cycle loop.
 	Outcome string
 	Err     error
+	// Flight carries the run's flight-recorder dump when the failed spec
+	// had one armed (RunSpec.FlightWindow): the last K cycles of
+	// microarchitectural events leading up to the failure.
+	Flight *obs.FlightDump
 }
 
 // Runner is the unified experiment engine: every suite submits
@@ -160,18 +180,21 @@ type RunError struct {
 // through a memoization cache, and unique runs execute once on a bounded
 // worker pool.
 type Runner struct {
-	workers int
-	onEvent func(ProgressEvent)
-	timeout time.Duration
-	store   ResultCache
-	sem     chan struct{}
+	workers   int
+	onEvent   func(ProgressEvent)
+	timeout   time.Duration
+	store     ResultCache
+	trace     *trace.Tracer
+	traceRoot trace.SpanID
+	sem       chan struct{}
 
 	evMu sync.Mutex // serializes onEvent
 
-	mu     sync.Mutex
-	cache  map[runKey]*cacheEntry
-	stats  Stats
-	errors []RunError
+	mu         sync.Mutex
+	cache      map[runKey]*cacheEntry
+	stats      Stats
+	errors     []RunError
+	suiteSpans map[SuiteID]trace.SpanID // open suite spans, for run-span parentage
 
 	// testExec, when non-nil, replaces RunWorkload (test hook for panic
 	// and determinism tests).
@@ -191,13 +214,41 @@ func NewRunner(opts RunnerOptions) *Runner {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Runner{
-		workers: workers,
-		onEvent: opts.OnEvent,
-		timeout: opts.Timeout,
-		store:   opts.Cache,
-		sem:     make(chan struct{}, workers),
-		cache:   make(map[runKey]*cacheEntry),
+		workers:    workers,
+		onEvent:    opts.OnEvent,
+		timeout:    opts.Timeout,
+		store:      opts.Cache,
+		trace:      opts.Trace,
+		traceRoot:  opts.TraceRoot,
+		sem:        make(chan struct{}, workers),
+		cache:      make(map[runKey]*cacheEntry),
+		suiteSpans: make(map[SuiteID]trace.SpanID),
 	}
+}
+
+// suiteSpan returns the parent for a run span submitted under suite:
+// the suite's open span when RunSuite is driving it, TraceRoot otherwise.
+func (r *Runner) suiteSpan(suite SuiteID) trace.SpanID {
+	if r.trace == nil {
+		return trace.NoSpan
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if sp, ok := r.suiteSpans[suite]; ok {
+		return sp
+	}
+	return r.traceRoot
+}
+
+// beginRunSpan opens the per-submission span under the suite span and
+// stamps the identifying annotations every run shares.
+func (r *Runner) beginRunSpan(suite SuiteID, p workload.Profile, spec RunSpec) trace.SpanID {
+	if r.trace == nil {
+		return trace.NoSpan
+	}
+	sp := r.trace.Begin(r.suiteSpan(suite), "run:"+p.Name)
+	r.trace.Annotate(sp, "mechanism", mechLabel(spec))
+	return sp
 }
 
 // Stats returns a snapshot of the scheduler counters.
@@ -243,7 +294,9 @@ type runKey [sha256.Size]byte
 // workload profile, instruction budgets) into the cache key. The full
 // Profile — not just its name — participates, because suites derive
 // variants that share a name (e.g. the fence-recompiled kernels in the
-// defense comparison).
+// defense comparison). Observation-only fields (FlightWindow) are
+// deliberately excluded: they cannot change a result, so armed and unarmed
+// submissions deduplicate onto one execution.
 func keyOf(p workload.Profile, spec RunSpec) runKey {
 	h := sha256.New()
 	fmt.Fprintf(h, "core=%#v\nsec=%#v\nl1d=%d\nwarmup=%d\nmeasure=%d\nmaxcycles=%d\nmetricsinterval=%d\nselfcheck=%d\nworkload=%#v\n",
@@ -289,6 +342,10 @@ func (r *Runner) run(ctx context.Context, suite SuiteID, p workload.Profile, spe
 	if e, ok := r.cache[key]; ok {
 		r.stats.Hits++
 		r.mu.Unlock()
+		sp := r.beginRunSpan(suite, p, spec)
+		r.trace.Annotate(sp, "cache", "hit")
+		r.trace.Annotate(sp, "tier", TierMemory)
+		r.trace.End(sp)
 		r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
 			Mechanism: mechLabel(spec), Phase: PhaseCached, CacheHit: true,
 			Tier: TierMemory})
@@ -312,6 +369,10 @@ func (r *Runner) run(ctx context.Context, suite SuiteID, p workload.Profile, spe
 			r.mu.Lock()
 			r.stats.DiskHits++
 			r.mu.Unlock()
+			sp := r.beginRunSpan(suite, p, spec)
+			r.trace.Annotate(sp, "cache", "hit")
+			r.trace.Annotate(sp, "tier", TierDisk)
+			r.trace.End(sp)
 			r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
 				Mechanism: mechLabel(spec), Phase: PhaseCached, CacheHit: true,
 				Tier: TierDisk})
@@ -350,6 +411,13 @@ func (r *Runner) execute(ctx context.Context, suite SuiteID, p workload.Profile,
 		return pipeline.Result{}, ctx.Err()
 	}
 	defer func() { <-r.sem }()
+	sp := r.beginRunSpan(suite, p, spec)
+	defer func() {
+		if err != nil {
+			r.trace.Annotate(sp, "error", err.Error())
+		}
+		r.trace.End(sp)
+	}()
 	defer func() {
 		if rec := recover(); rec != nil {
 			r.mu.Lock()
@@ -378,8 +446,19 @@ func (r *Runner) execute(ctx context.Context, suite SuiteID, p workload.Profile,
 			runCtx, cancel = context.WithTimeout(ctx, r.timeout)
 			defer cancel()
 		}
+		var onPhase func(string) func()
+		if r.trace != nil && sp != trace.NoSpan {
+			onPhase = func(name string) func() {
+				ph := r.trace.Begin(sp, name)
+				return func() { r.trace.End(ph) }
+			}
+		}
 		var runErr error
-		res, runErr = RunWorkloadCtx(runCtx, w, spec, nil)
+		res, runErr = RunWorkloadObs(runCtx, w, spec, nil, onPhase)
+		r.mu.Lock()
+		r.stats.SkippedCycles += res.Stages.SkippedCycles
+		r.stats.SkipSpans += res.Stages.SkipSpans
+		r.mu.Unlock()
 		if runErr != nil {
 			if ctx.Err() != nil {
 				return pipeline.Result{}, ctx.Err()
@@ -400,7 +479,8 @@ func (r *Runner) execute(ctx context.Context, suite SuiteID, p workload.Profile,
 		}
 		err = errors.New(msg)
 		r.recordError(RunError{Suite: suite, Benchmark: p.Name,
-			Mechanism: mechLabel(spec), Outcome: res.Outcome.String(), Err: err})
+			Mechanism: mechLabel(spec), Outcome: res.Outcome.String(), Err: err,
+			Flight: res.Flight})
 		return res, err
 	}
 	r.emit(ProgressEvent{Suite: suite, Benchmark: p.Name,
@@ -577,6 +657,18 @@ func (s *SuiteResult) Text() string {
 // typed result. Fig5 and Table5 share the same underlying Evaluation; run
 // either and read both renderings from the result.
 func (r *Runner) RunSuite(ctx context.Context, id SuiteID, opts Options) (*SuiteResult, error) {
+	if r.trace != nil {
+		sp := r.trace.Begin(r.traceRoot, "suite:"+string(id))
+		r.mu.Lock()
+		r.suiteSpans[id] = sp
+		r.mu.Unlock()
+		defer func() {
+			r.mu.Lock()
+			delete(r.suiteSpans, id)
+			r.mu.Unlock()
+			r.trace.End(sp)
+		}()
+	}
 	out := &SuiteResult{Suite: id}
 	var err error
 	switch id {

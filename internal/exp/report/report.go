@@ -141,16 +141,23 @@ type EngineStats struct {
 	DiskHits  uint64 `json:"disk_hits"`
 	Submitted uint64 `json:"submitted"`
 	Panics    uint64 `json:"panics,omitempty"`
+	// SkippedCycles/SkipSpans aggregate the stall skipper's meta-counters
+	// over the document's executed runs: simulated cycles fast-forwarded
+	// rather than stepped, and in how many spans.
+	SkippedCycles uint64 `json:"skipped_cycles,omitempty"`
+	SkipSpans     uint64 `json:"skip_spans,omitempty"`
 }
 
 // Engine converts the Runner's counters to their wire form.
 func Engine(st exp.Stats) *EngineStats {
 	return &EngineStats{
-		Executed:  st.Executed,
-		MemHits:   st.Hits,
-		DiskHits:  st.DiskHits,
-		Submitted: st.Submitted(),
-		Panics:    st.Panics,
+		Executed:      st.Executed,
+		MemHits:       st.Hits,
+		DiskHits:      st.DiskHits,
+		Submitted:     st.Submitted(),
+		Panics:        st.Panics,
+		SkippedCycles: st.SkippedCycles,
+		SkipSpans:     st.SkipSpans,
 	}
 }
 

@@ -36,6 +36,14 @@ type RunSpec struct {
 	// invariants every SelfCheck cycles (both phases); a violation ends the
 	// run with OutcomeAuditFailed. Zero (the default) disables sweeps.
 	SelfCheck uint64
+	// FlightWindow, when non-zero, arms the pipeline flight recorder with a
+	// dump window of that many cycles (default ring capacity): a run that
+	// trips the watchdog or fails an audit comes back with Result.Flight
+	// holding its last FlightWindow cycles of microarchitectural events.
+	// Recording is observation only — results are identical with and without
+	// it — so the field deliberately does not participate in run keys
+	// (keyOf): armed and unarmed submissions share cache entries.
+	FlightWindow uint64
 }
 
 // DefaultSpec returns the budget used by the standard experiment suites.
@@ -111,6 +119,15 @@ func runPhase(ctx context.Context, cpu *pipeline.CPU, insts, maxCycles uint64) (
 // that phase's Result immediately — its Outcome and Diag describe the
 // failure — instead of measuring a broken machine.
 func RunWorkloadCtx(ctx context.Context, w *workload.Workload, spec RunSpec, setup func(*pipeline.CPU)) (pipeline.Result, error) {
+	return RunWorkloadObs(ctx, w, spec, setup, nil)
+}
+
+// RunWorkloadObs is RunWorkloadCtx with a phase hook: onPhase, when non-nil,
+// is called at the start of each committed-instruction phase ("warmup", then
+// "measure") and must return a closure invoked when the phase ends — the
+// shape a span tracer wants. The hook observes phase boundaries only; the
+// simulation is byte-identical with and without it.
+func RunWorkloadObs(ctx context.Context, w *workload.Workload, spec RunSpec, setup func(*pipeline.CPU), onPhase func(name string) func()) (pipeline.Result, error) {
 	maxCycles := spec.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 400 * (spec.Warmup + spec.Measure)
@@ -124,9 +141,12 @@ func RunWorkloadCtx(ctx context.Context, w *workload.Workload, spec RunSpec, set
 	if setup != nil {
 		setup(cpu)
 	}
+	if spec.FlightWindow > 0 {
+		cpu.ArmFlightRecorder(spec.FlightWindow, 0)
+	}
 	cpu.SetSelfCheck(spec.SelfCheck)
 	cpu.SetPC(w.Entry)
-	wres, err := runPhase(ctx, cpu, spec.Warmup, maxCycles)
+	wres, err := runObsPhase(ctx, cpu, spec.Warmup, maxCycles, "warmup", onPhase)
 	if err != nil || !wres.Outcome.Completed() {
 		return wres, err
 	}
@@ -137,11 +157,21 @@ func RunWorkloadCtx(ctx context.Context, w *workload.Workload, spec RunSpec, set
 		m.EnableSampling(spec.MetricsInterval, 4096)
 		cpu.AttachMetrics(m)
 	}
-	res, err := runPhase(ctx, cpu, spec.Measure, maxCycles)
+	res, err := runObsPhase(ctx, cpu, spec.Measure, maxCycles, "measure", onPhase)
 	if m != nil {
 		res.Series = m.Series()
 	}
 	return res, err
+}
+
+// runObsPhase wraps runPhase in the onPhase begin/end pair.
+func runObsPhase(ctx context.Context, cpu *pipeline.CPU, insts, maxCycles uint64, name string, onPhase func(string) func()) (pipeline.Result, error) {
+	if onPhase != nil {
+		if end := onPhase(name); end != nil {
+			defer end()
+		}
+	}
+	return runPhase(ctx, cpu, insts, maxCycles)
 }
 
 // Overhead returns the runtime overhead of res relative to origin runs of

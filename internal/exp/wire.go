@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"time"
+
+	"conspec/internal/obs"
 )
 
 // This file pins the JSON wire format of the engine's progress and error
@@ -72,13 +74,15 @@ func (e *ProgressEvent) UnmarshalJSON(b []byte) error {
 }
 
 // runErrorWire is RunError's JSON shape — the same five fields, in the same
-// order, that conspec-bench -json has always emitted per failed run.
+// order, that conspec-bench -json has always emitted per failed run, plus an
+// optional flight-recorder dump (absent unless the run had one armed).
 type runErrorWire struct {
-	Suite     string `json:"suite"`
-	Benchmark string `json:"benchmark"`
-	Mechanism string `json:"mechanism"`
-	Outcome   string `json:"outcome"`
-	Error     string `json:"error"`
+	Suite     string          `json:"suite"`
+	Benchmark string          `json:"benchmark"`
+	Mechanism string          `json:"mechanism"`
+	Outcome   string          `json:"outcome"`
+	Error     string          `json:"error"`
+	Flight    *obs.FlightDump `json:"flight,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
@@ -88,6 +92,7 @@ func (e RunError) MarshalJSON() ([]byte, error) {
 		Benchmark: e.Benchmark,
 		Mechanism: e.Mechanism,
 		Outcome:   e.Outcome,
+		Flight:    e.Flight,
 	}
 	if e.Err != nil {
 		w.Error = e.Err.Error()
@@ -106,6 +111,7 @@ func (e *RunError) UnmarshalJSON(b []byte) error {
 		Benchmark: w.Benchmark,
 		Mechanism: w.Mechanism,
 		Outcome:   w.Outcome,
+		Flight:    w.Flight,
 	}
 	if w.Error != "" {
 		e.Err = errors.New(w.Error)

@@ -170,13 +170,23 @@ func TestPersistentFaultsLeak(t *testing.T) {
 			t.Fatal("baseline must be defended before the fault means anything")
 		}
 		inj := faultinject.New(faultinject.Config{Class: faultinject.SuspectClear, Seed: 31, Persistent: true})
-		out := h.RunWith(cfg, sec, func(c *pipeline.CPU) { c.SetFaultHook(inj.Hook()) })
+		out := h.RunWith(cfg, sec, func(c *pipeline.CPU) {
+			c.ArmFlightRecorder(0, 0)
+			c.SetFaultHook(inj.Hook())
+		})
 		if inj.Injected == 0 {
 			t.Fatal("no fault was ever injected")
 		}
 		if !out.Leaked {
 			t.Fatalf("clearing every S bit must re-open the Flush+Reload leak (recovered %x of %x)",
 				out.Recovered, out.Secret)
+		}
+		// A conviction with an armed recorder carries the flight dump.
+		if out.Flight == nil || len(out.Flight.Events) == 0 {
+			t.Fatal("leak conviction did not produce a flight dump")
+		}
+		if out.Flight.LastCycle > out.Cycles {
+			t.Fatalf("flight dump last cycle %d beyond run end %d", out.Flight.LastCycle, out.Cycles)
 		}
 	})
 

@@ -64,3 +64,53 @@ func TestWritePrometheusHistogram(t *testing.T) {
 		t.Errorf("duplicated sum series:\n%s", out)
 	}
 }
+
+// TestWritePrometheusHistogramObserveN pins the bucket cumulation under the
+// bulk form: ObserveN(v, n) must render exactly like n Observe(v) calls —
+// each _bucket{le} is the running total of every bucket at or below it, and
+// _sum/_count scale by n. The stall skipper credits whole skipped spans
+// this way, so a mistake here silently skews every occupancy histogram.
+func TestWritePrometheusHistogramObserveN(t *testing.T) {
+	bounds := []uint64{1, 4, 16}
+	bulk := NewRegistry()
+	hb := bulk.Histogram("occ", bounds)
+	hb.ObserveN(0, 7)  // le="1" bucket
+	hb.ObserveN(4, 10) // le="4" boundary value lands in its own bucket
+	hb.ObserveN(5, 3)  // le="16"
+	hb.ObserveN(99, 2) // +Inf overflow bucket
+	hb.ObserveN(50, 0) // n=0 must be a no-op
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, "x_", bulk); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"x_occ_bucket{le=\"1\"} 7\n",
+		"x_occ_bucket{le=\"4\"} 17\n",
+		"x_occ_bucket{le=\"16\"} 20\n",
+		"x_occ_bucket{le=\"+Inf\"} 22\n",
+		"x_occ_sum 253\n", // 0*7 + 4*10 + 5*3 + 99*2
+		"x_occ_count 22\n",
+		"x_occ_max 99\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Equivalence: the unrolled registry must expose byte-identical text.
+	unrolled := NewRegistry()
+	hu := unrolled.Histogram("occ", bounds)
+	for _, o := range []struct{ v, n uint64 }{{0, 7}, {4, 10}, {5, 3}, {99, 2}} {
+		for i := uint64(0); i < o.n; i++ {
+			hu.Observe(o.v)
+		}
+	}
+	var sb2 strings.Builder
+	if err := WritePrometheus(&sb2, "x_", unrolled); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Errorf("ObserveN exposition diverges from unrolled Observe:\nbulk:\n%s\nunrolled:\n%s", out, sb2.String())
+	}
+}

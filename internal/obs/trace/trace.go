@@ -1,0 +1,247 @@
+// Package trace is a small span tracer for the experiment and serving
+// layers: preallocated span ring, monotonic timestamps, parent/child IDs,
+// and Chrome trace-event JSON export that Perfetto and chrome://tracing
+// load directly.
+//
+// The tracer is built for the millisecond-granularity layers above the
+// simulator (suite/run/phase spans, HTTP request spans), not the cycle
+// loop — the flight recorder covers that. "Zero-alloc" here means the span
+// ring is allocated once at construction and Begin/Annotate/End perform no
+// allocation, so tracing a hot server adds a mutex acquire and a few
+// stores per span. When the ring fills, new spans are dropped and counted
+// rather than grown or overwritten: parents must stay valid for the
+// lifetime of their children, so eviction is not an option.
+//
+// All methods are nil-safe on a nil *Tracer, and every operation on the
+// zero SpanID (NoSpan) is a no-op, so instrumented code needs no "is
+// tracing on" guards.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanID identifies a span within one Tracer. The zero value (NoSpan) is
+// "no span": Begin(NoSpan, ...) starts a new root, and End/Annotate on
+// NoSpan do nothing.
+type SpanID int32
+
+// NoSpan is the zero SpanID.
+const NoSpan SpanID = 0
+
+// maxArgs is the fixed number of annotation slots per span. Annotations
+// beyond the limit are dropped (counted in Stats) rather than allocated.
+const maxArgs = 4
+
+// Span is one completed or in-progress span. Fields are exported for the
+// exporter and tests; mutate spans only through the Tracer.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	TID    int64 // export track: roots get fresh tracks, children inherit
+	Start  int64 // nanoseconds since the tracer epoch
+	End    int64 // 0 while the span is open
+	NArgs  int
+	Keys   [maxArgs]string
+	Vals   [maxArgs]string
+}
+
+// Tracer records spans into a preallocated ring.
+type Tracer struct {
+	mu      sync.Mutex
+	t0      time.Time
+	spans   []Span
+	n       int // spans allocated so far
+	nextTID int64
+	dropped uint64
+}
+
+// New builds a tracer with room for capacity spans. Capacity <= 0 selects
+// a default of 4096.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{t0: time.Now(), spans: make([]Span, capacity)}
+}
+
+// now returns monotonic nanoseconds since the tracer epoch. time.Since
+// reads the monotonic clock, so wall-clock steps cannot reorder spans.
+func (t *Tracer) now() int64 { return int64(time.Since(t.t0)) }
+
+// Begin starts a span under parent (NoSpan for a root) and returns its ID.
+// Roots are assigned a fresh export track; children render on their
+// parent's track, which Perfetto nests by timestamp. Returns NoSpan when
+// the tracer is nil or the ring is full.
+func (t *Tracer) Begin(parent SpanID, name string) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	ts := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n == len(t.spans) {
+		t.dropped++
+		return NoSpan
+	}
+	tid := int64(0)
+	if parent > 0 && int(parent) <= t.n {
+		tid = t.spans[parent-1].TID
+	} else {
+		t.nextTID++
+		tid = t.nextTID
+		parent = NoSpan
+	}
+	t.n++
+	id := SpanID(t.n)
+	t.spans[id-1] = Span{ID: id, Parent: parent, Name: name, TID: tid, Start: ts}
+	return id
+}
+
+// Annotate attaches a key/value argument to an open or closed span. Each
+// span has a fixed number of slots; extra annotations are dropped.
+func (t *Tracer) Annotate(id SpanID, key, val string) {
+	if t == nil || id <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) > t.n {
+		return
+	}
+	s := &t.spans[id-1]
+	if s.NArgs == maxArgs {
+		t.dropped++
+		return
+	}
+	s.Keys[s.NArgs], s.Vals[s.NArgs] = key, val
+	s.NArgs++
+}
+
+// End closes a span. Ending NoSpan or an already-closed span is a no-op.
+func (t *Tracer) End(id SpanID) {
+	if t == nil || id <= 0 {
+		return
+	}
+	ts := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) > t.n {
+		return
+	}
+	if s := &t.spans[id-1]; s.End == 0 {
+		s.End = ts
+	}
+}
+
+// Stats reports the number of recorded spans and the number of spans or
+// annotations dropped because the ring (or a span's argument slots) was
+// full.
+func (t *Tracer) Stats() (spans int, dropped uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n, t.dropped
+}
+
+// WriteChrome exports every span as Chrome trace-event JSON
+// ({"traceEvents":[...]}). Open spans are exported as if they ended at the
+// export timestamp, so a live server trace is still loadable.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return t.export(w, NoSpan)
+}
+
+// WriteChromeSubtree exports root and every transitive child of root —
+// the shape the per-job trace endpoint serves.
+func (t *Tracer) WriteChromeSubtree(w io.Writer, root SpanID) error {
+	if root <= 0 {
+		return fmt.Errorf("trace: no such span %d", root)
+	}
+	return t.export(w, root)
+}
+
+func (t *Tracer) export(w io.Writer, root SpanID) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	nowNS := t.now()
+	t.mu.Lock()
+	spans := t.spans[:t.n]
+	// Membership pass: a span is in the subtree if it is the root or its
+	// parent is. Parents always precede children (IDs are allocation
+	// order), so one forward scan settles membership.
+	include := make([]bool, t.n+1)
+	for _, s := range spans {
+		if root == NoSpan || s.ID == root || (s.Parent > 0 && include[s.Parent]) {
+			include[s.ID] = true
+		}
+	}
+	// Copy the included spans out so JSON encoding runs outside the lock.
+	out := make([]Span, 0, t.n)
+	for _, s := range spans {
+		if include[s.ID] {
+			out = append(out, s)
+		}
+	}
+	t.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, s := range out {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		end := s.End
+		if end == 0 {
+			end = nowNS
+		}
+		if err := writeChromeEvent(bw, s, end); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeChromeEvent emits one complete ("ph":"X") trace event. Timestamps
+// are microseconds with nanosecond precision, per the trace-event spec.
+func writeChromeEvent(w io.Writer, s Span, end int64) error {
+	name, err := json.Marshal(s.Name)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, `{"name":%s,"ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"span_id":%d,"parent_id":%d`,
+		name, float64(s.Start)/1e3, float64(end-s.Start)/1e3, s.TID, s.ID, s.Parent); err != nil {
+		return err
+	}
+	for i := 0; i < s.NArgs; i++ {
+		k, err := json.Marshal(s.Keys[i])
+		if err != nil {
+			return err
+		}
+		v, err := json.Marshal(s.Vals[i])
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, ",%s:%s", k, v); err != nil {
+			return err
+		}
+	}
+	_, err = io.WriteString(w, "}}")
+	return err
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeDoc mirrors the Chrome trace-event JSON envelope for assertions.
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	PID  int                    `json:"pid"`
+	TID  int64                  `json:"tid"`
+	Args map[string]interface{} `json:"args"`
+}
+
+func decodeChrome(t *testing.T, b []byte) chromeDoc {
+	t.Helper()
+	var doc chromeDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b)
+	}
+	return doc
+}
+
+func TestTracerExport(t *testing.T) {
+	tr := New(16)
+	root := tr.Begin(NoSpan, "suite:fig5")
+	run := tr.Begin(root, "run:lbm")
+	tr.Annotate(run, "mechanism", "cachehit")
+	warm := tr.Begin(run, "warmup")
+	tr.End(warm)
+	meas := tr.Begin(run, "measure")
+	tr.End(meas)
+	tr.End(run)
+	tr.End(root)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	doc := decodeChrome(t, buf.Bytes())
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("exported %d events, want 4", len(doc.TraceEvents))
+	}
+	byName := map[string]chromeEvent{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		byName[ev.Name] = ev
+	}
+	for _, name := range []string{"suite:fig5", "run:lbm", "warmup", "measure"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("missing span %q in export", name)
+		}
+	}
+	// Children render on the parent's track and carry its ID.
+	if got := byName["run:lbm"].TID; got != byName["suite:fig5"].TID {
+		t.Errorf("run tid %d != suite tid %d", got, byName["suite:fig5"].TID)
+	}
+	if got := byName["warmup"].Args["parent_id"].(float64); SpanID(got) != run {
+		t.Errorf("warmup parent_id = %v, want %d", got, run)
+	}
+	if got := byName["run:lbm"].Args["mechanism"]; got != "cachehit" {
+		t.Errorf("annotation mechanism = %v, want cachehit", got)
+	}
+	// Phases nest inside the run span's time range.
+	runEv, warmEv := byName["run:lbm"], byName["warmup"]
+	if warmEv.TS < runEv.TS || warmEv.TS+warmEv.Dur > runEv.TS+runEv.Dur+0.001 {
+		t.Errorf("warmup [%v,+%v] not nested in run [%v,+%v]",
+			warmEv.TS, warmEv.Dur, runEv.TS, runEv.Dur)
+	}
+}
+
+func TestTracerSubtree(t *testing.T) {
+	tr := New(16)
+	jobA := tr.Begin(NoSpan, "job:a")
+	childA := tr.Begin(jobA, "execute")
+	grandA := tr.Begin(childA, "run")
+	jobB := tr.Begin(NoSpan, "job:b")
+	tr.End(grandA)
+	tr.End(childA)
+	tr.End(jobA)
+	tr.End(jobB)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeSubtree(&buf, jobA); err != nil {
+		t.Fatalf("WriteChromeSubtree: %v", err)
+	}
+	doc := decodeChrome(t, buf.Bytes())
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("subtree exported %d events, want 3", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "job:b" {
+			t.Fatal("subtree export leaked an unrelated root")
+		}
+	}
+	if err := tr.WriteChromeSubtree(&buf, NoSpan); err == nil {
+		t.Fatal("expected error exporting subtree of NoSpan")
+	}
+}
+
+func TestTracerRingFullDropsNotGrows(t *testing.T) {
+	tr := New(2)
+	a := tr.Begin(NoSpan, "a")
+	b := tr.Begin(a, "b")
+	c := tr.Begin(b, "c") // ring full
+	if c != NoSpan {
+		t.Fatalf("overflow Begin = %d, want NoSpan", c)
+	}
+	tr.End(c) // no-op
+	tr.Annotate(c, "k", "v")
+	spans, dropped := tr.Stats()
+	if spans != 2 || dropped == 0 {
+		t.Fatalf("Stats = (%d, %d), want (2, >0)", spans, dropped)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	id := tr.Begin(NoSpan, "x")
+	if id != NoSpan {
+		t.Fatalf("nil Begin = %d, want NoSpan", id)
+	}
+	tr.Annotate(id, "k", "v")
+	tr.End(id)
+	if s, d := tr.Stats(); s != 0 || d != 0 {
+		t.Fatalf("nil Stats = (%d, %d)", s, d)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	decodeChrome(t, buf.Bytes())
+}
+
+func TestTracerOpenSpanExports(t *testing.T) {
+	tr := New(4)
+	id := tr.Begin(NoSpan, "open")
+	_ = id
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	doc := decodeChrome(t, buf.Bytes())
+	if len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Dur < 0 {
+		t.Fatalf("open span export = %+v", doc.TraceEvents)
+	}
+}
+
+func TestTracerHotPathAllocs(t *testing.T) {
+	tr := New(1 << 16)
+	n := testing.AllocsPerRun(1000, func() {
+		id := tr.Begin(NoSpan, "span")
+		tr.Annotate(id, "k", "v")
+		tr.End(id)
+	})
+	if n != 0 {
+		t.Fatalf("Begin/Annotate/End allocate %v per span, want 0", n)
+	}
+}

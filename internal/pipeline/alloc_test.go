@@ -45,26 +45,34 @@ func TestZeroAllocSteadyState(t *testing.T) {
 		name    string
 		sec     SecurityConfig
 		metrics bool
+		flight  bool
 	}{
-		{"origin", SecurityConfig{Mechanism: core.Origin}, false},
-		{"cachehit-tpbuf", SecurityConfig{Mechanism: core.CacheHitTPBuf, Scope: core.ScopeBranchMem}, false},
-		{"ssbd", SecurityConfig{Mechanism: core.Origin, SSBD: true}, false},
+		{"origin", SecurityConfig{Mechanism: core.Origin}, false, false},
+		{"cachehit-tpbuf", SecurityConfig{Mechanism: core.CacheHitTPBuf, Scope: core.ScopeBranchMem}, false, false},
+		{"ssbd", SecurityConfig{Mechanism: core.Origin, SSBD: true}, false, false},
 		// The new Defense backends must keep the property: the fence
 		// watermark is a scalar, parked delay-on-miss loads reuse a
 		// preallocated slice, and invisible loads change no bookkeeping.
-		{"fence", SecurityConfig{Mechanism: core.Fence}, false},
-		{"delay-on-miss", SecurityConfig{Mechanism: core.DelayOnMiss, Scope: core.ScopeBranchMem}, false},
-		{"invisispec", SecurityConfig{Mechanism: core.InvisiSpec}, false},
+		{"fence", SecurityConfig{Mechanism: core.Fence}, false, false},
+		{"delay-on-miss", SecurityConfig{Mechanism: core.DelayOnMiss, Scope: core.ScopeBranchMem}, false, false},
+		{"invisispec", SecurityConfig{Mechanism: core.InvisiSpec}, false, false},
 		// The obs contract: an attached registry with interval sampling
 		// costs array writes only — still zero allocations per cycle.
-		{"origin-metrics", SecurityConfig{Mechanism: core.Origin}, true},
-		{"cachehit-tpbuf-metrics", SecurityConfig{Mechanism: core.CacheHitTPBuf, Scope: core.ScopeBranchMem}, true},
+		{"origin-metrics", SecurityConfig{Mechanism: core.Origin}, true, false},
+		{"cachehit-tpbuf-metrics", SecurityConfig{Mechanism: core.CacheHitTPBuf, Scope: core.ScopeBranchMem}, true, false},
+		// The flight recorder's contract: an armed recorder is ring stores
+		// only — still zero allocations per cycle, even alongside metrics.
+		{"origin-flight", SecurityConfig{Mechanism: core.Origin}, false, true},
+		{"cachehit-tpbuf-flight", SecurityConfig{Mechanism: core.CacheHitTPBuf, Scope: core.ScopeBranchMem}, true, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			prog := allocKernel()
 			backing := isa.NewFlatMem()
 			prog.Load(backing)
 			cpu := NewWithMemory(smallCore(), tc.sec, backing)
+			if tc.flight {
+				cpu.ArmFlightRecorder(0, 0)
+			}
 			if tc.metrics {
 				m := NewMetrics()
 				// 30000 warmup + 21*2000 measured cycles at interval 256
@@ -90,6 +98,11 @@ func TestZeroAllocSteadyState(t *testing.T) {
 			}
 			if err := cpu.CheckInvariants(); err != nil {
 				t.Fatalf("invariants after run: %v", err)
+			}
+			if tc.flight {
+				if d := cpu.DumpFlight(); d == nil || len(d.Events) == 0 {
+					t.Fatal("flight recorder armed but recorded nothing")
+				}
 			}
 			if tc.metrics {
 				s := cpu.m.Series()

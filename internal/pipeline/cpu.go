@@ -172,6 +172,12 @@ type Result struct {
 	Diag      string         `json:",omitempty"`
 	Hardening HardeningStats `json:",omitempty"`
 
+	// Flight is the flight recorder's dump of the last K cycles of
+	// microarchitectural events, populated on the same failure paths that
+	// fill Diag (watchdog trip, audit failure) when a recorder is armed.
+	// Nil for healthy runs and disarmed machines.
+	Flight *obs.FlightDump `json:",omitempty"`
+
 	// Series is the sampled metric time series, populated by the exp layer
 	// after the run when interval sampling was enabled (never by the cycle
 	// loop itself — materializing it allocates). Nil otherwise.
@@ -336,6 +342,12 @@ type CPU struct {
 	// sinks, when non-empty, receive one obs.TraceEvent per pipeline event
 	// (see trace.go).
 	sinks []obs.EventSink
+
+	// fr, when armed, records compact microarchitectural events into a
+	// fixed ring at zero allocations per cycle; failure paths dump it into
+	// Result.Flight (see flight.go). Nil when disarmed — every record site
+	// is a nil-receiver no-op.
+	fr *obs.FlightRecorder
 
 	// m is the attached metric set, held by value so detached metrics are
 	// nil pointers and each record site is a nil-receiver no-op (see

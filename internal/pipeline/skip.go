@@ -6,6 +6,7 @@ import (
 	"conspec/internal/branch"
 	"conspec/internal/core"
 	"conspec/internal/mem"
+	"conspec/internal/obs"
 )
 
 // Event-driven stall skipping.
@@ -196,6 +197,10 @@ func (c *CPU) fastForward(capCycle uint64) {
 	c.stats.Stages.SkipSpans++
 	c.m.skippedCycles.Add(span)
 	c.m.skipSpans.Inc()
+	// Stamped at the span's END so a dump window that opens mid-span still
+	// retains the event explaining its silence (no events can occur inside
+	// a skipped span by construction).
+	c.fr.Record(c.cycle, obs.FlightSkipSpan, 0, 0, span, false)
 }
 
 // creditStall advances the cycle counter by span, crediting the counters a

@@ -135,6 +135,7 @@ func (c *CPU) tripWatchdog() {
 	c.runOutcome = OutcomeDeadlock
 	c.stats.Outcome = OutcomeDeadlock
 	c.stats.Diag = err.Dump
+	c.stats.Flight = c.fr.Dump(c.cycle)
 }
 
 // failAudit records a self-check violation as the run's terminal error.
@@ -144,6 +145,7 @@ func (c *CPU) failAudit(violation error) {
 	c.runOutcome = OutcomeAuditFailed
 	c.stats.Outcome = OutcomeAuditFailed
 	c.stats.Diag = err.Error() + "\n" + c.progressDump()
+	c.stats.Flight = c.fr.Dump(c.cycle)
 }
 
 // progressDump renders a bounded snapshot of the stuck machine: ROB head

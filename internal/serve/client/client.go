@@ -136,6 +136,25 @@ func (c *Client) Cancel(ctx context.Context, id string) (serve.JobStatus, error)
 	return st, err
 }
 
+// Trace fetches a job's span trace as Chrome trace-event JSON (the raw
+// document, loadable in Perfetto) and writes it to w.
+func (c *Client) Trace(ctx context.Context, id string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
 // Metrics fetches the Prometheus exposition text.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)

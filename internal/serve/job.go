@@ -9,6 +9,7 @@ import (
 	"conspec/internal/core"
 	"conspec/internal/exp"
 	"conspec/internal/exp/report"
+	"conspec/internal/obs/trace"
 	"conspec/internal/workload"
 )
 
@@ -64,6 +65,11 @@ type JobSpec struct {
 	// CancelOnDisconnect cancels the job when its last event-stream
 	// watcher disconnects while it is still queued or running.
 	CancelOnDisconnect bool `json:"cancel_on_disconnect,omitempty"`
+	// FlightWindow arms each simulation's flight recorder with a dump
+	// window of that many cycles: failed runs in the result document's
+	// errors array then carry the last FlightWindow cycles of
+	// microarchitectural events (0 = recorder off).
+	FlightWindow uint64 `json:"flight_window,omitempty"`
 }
 
 // suiteIDs validates Suite and expands "all". Table5 is omitted from the
@@ -182,6 +188,11 @@ type job struct {
 	// onAbandoned is called (outside mu) when the last subscriber leaves a
 	// live job that asked for cancel_on_disconnect.
 	onAbandoned func()
+
+	// Tracer spans (owned by the server's tracer): span is the job's root,
+	// queueSpan covers submission to worker pickup, execSpan covers the
+	// suite execution and parents the engine's suite/run/phase spans.
+	span, queueSpan, execSpan trace.SpanID
 
 	done chan struct{} // closed at terminal state
 }

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"fmt"
 	"io"
 	"sync"
 
+	"conspec/internal/buildinfo"
 	"conspec/internal/exp"
 	"conspec/internal/obs"
 )
@@ -26,6 +28,9 @@ type serverMetrics struct {
 	memHitsC  *obs.Counter
 	diskHitsC *obs.Counter
 
+	skippedCyclesC *obs.Counter
+	skipSpansC     *obs.Counter
+
 	queuedG  *obs.Gauge
 	runningG *obs.Gauge
 }
@@ -33,17 +38,19 @@ type serverMetrics struct {
 func newServerMetrics() *serverMetrics {
 	reg := obs.NewRegistry()
 	return &serverMetrics{
-		reg:        reg,
-		submittedC: reg.Counter("jobs_submitted_total"),
-		rejectedC:  reg.Counter("jobs_rejected_total"),
-		doneC:      reg.Counter("jobs_done_total"),
-		failedC:    reg.Counter("jobs_failed_total"),
-		canceledC:  reg.Counter("jobs_canceled_total"),
-		executedC:  reg.Counter("runs_executed_total"),
-		memHitsC:   reg.Counter("cache_hits_memory_total"),
-		diskHitsC:  reg.Counter("cache_hits_disk_total"),
-		queuedG:    reg.Gauge("jobs_queued"),
-		runningG:   reg.Gauge("jobs_running"),
+		reg:            reg,
+		submittedC:     reg.Counter("jobs_submitted_total"),
+		rejectedC:      reg.Counter("jobs_rejected_total"),
+		doneC:          reg.Counter("jobs_done_total"),
+		failedC:        reg.Counter("jobs_failed_total"),
+		canceledC:      reg.Counter("jobs_canceled_total"),
+		executedC:      reg.Counter("runs_executed_total"),
+		memHitsC:       reg.Counter("cache_hits_memory_total"),
+		diskHitsC:      reg.Counter("cache_hits_disk_total"),
+		skippedCyclesC: reg.Counter("sim_skipped_cycles_total"),
+		skipSpansC:     reg.Counter("sim_skip_spans_total"),
+		queuedG:        reg.Gauge("jobs_queued"),
+		runningG:       reg.Gauge("jobs_running"),
 	}
 }
 
@@ -74,6 +81,8 @@ func (m *serverMetrics) jobFinished(status Status, st exp.Stats) {
 	m.executedC.Add(st.Executed)
 	m.memHitsC.Add(st.Hits)
 	m.diskHitsC.Add(st.DiskHits)
+	m.skippedCyclesC.Add(st.SkippedCycles)
+	m.skipSpansC.Add(st.SkipSpans)
 }
 
 func (m *serverMetrics) setQueue(queued, running int) {
@@ -86,5 +95,20 @@ func (m *serverMetrics) setQueue(queued, running int) {
 func (m *serverMetrics) write(w io.Writer) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := writeBuildInfo(w); err != nil {
+		return err
+	}
 	return obs.WritePrometheus(w, "conspec_served_", m.reg)
+}
+
+// writeBuildInfo emits the conspec_build_info identity gauge: a constant-1
+// sample whose labels carry the running binary's build identity, the
+// standard join key for dashboards (obs.WritePrometheus has no label
+// support, so the line is written by hand in the same exposition format).
+func writeBuildInfo(w io.Writer) error {
+	bi := buildinfo.Get()
+	_, err := fmt.Fprintf(w,
+		"# TYPE conspec_build_info gauge\nconspec_build_info{module=%q,version=%q,revision=%q,dirty=%q,go_version=%q} 1\n",
+		bi.Module, bi.Version, bi.Revision, fmt.Sprintf("%t", bi.Dirty), bi.GoVersion)
+	return err
 }

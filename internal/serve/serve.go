@@ -18,8 +18,12 @@
 //	                            live "progress"/"state" frames; the stream
 //	                            ends after the terminal state frame
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/trace  Chrome trace-event JSON for the job's span
+//	                            subtree (queue-wait, execution, per-suite,
+//	                            per-run, per-phase) — load in Perfetto
 //	GET    /metrics             Prometheus text exposition (server counters)
 //	GET    /healthz             liveness + drain state
+//	GET    /debug/pprof/        net/http/pprof profiles (Config.Pprof only)
 package serve
 
 import (
@@ -30,12 +34,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"time"
 
 	"conspec/internal/exp"
 	"conspec/internal/exp/report"
+	"conspec/internal/obs/trace"
 )
 
 // Config parameterizes a Server.
@@ -59,6 +65,14 @@ type Config struct {
 	Cache exp.ResultCache
 	// Logf, when non-nil, receives one line per job lifecycle transition.
 	Logf func(format string, args ...any)
+	// SSEKeepalive is how often an idle event stream emits a comment frame
+	// so intermediaries don't drop long watches (default 15s).
+	SSEKeepalive time.Duration
+	// TraceSpans bounds the server-wide span tracer's ring (default 16384
+	// spans; the ring drops rather than grows when full).
+	TraceSpans int
+	// Pprof, when true, mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
 }
 
 // Server owns the job table, the queue, and the worker pool. Create with
@@ -78,6 +92,11 @@ type Server struct {
 	draining bool
 
 	metrics *serverMetrics
+	// tracer holds every span the server records: HTTP requests, job
+	// lifecycles (queue-wait/execute), and — through RunnerOptions.Trace —
+	// each job's suite/run/phase spans. GET /v1/jobs/{id}/trace exports one
+	// job's subtree.
+	tracer *trace.Tracer
 
 	// exec runs one job's suites (test seam). The default implementation
 	// builds an exp.Runner over cfg.Cache and runs the spec's suites.
@@ -92,12 +111,19 @@ func New(cfg Config) *Server {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 16
 	}
+	if cfg.SSEKeepalive <= 0 {
+		cfg.SSEKeepalive = defaultSSEKeepalive
+	}
+	if cfg.TraceSpans <= 0 {
+		cfg.TraceSpans = 16384
+	}
 	s := &Server{
 		cfg:     cfg,
 		queue:   make(chan *job, cfg.QueueCap),
 		quit:    make(chan struct{}),
 		jobs:    make(map[string]*job),
 		metrics: newServerMetrics(),
+		tracer:  trace.New(cfg.TraceSpans),
 	}
 	s.exec = s.runSuites
 	s.mux = http.NewServeMux()
@@ -106,8 +132,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -115,8 +149,21 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler serving the API above.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the API above. Every request is
+// wrapped in a root tracer span named "http:<method> <path>" (SSE watches
+// included — their spans stay open for the watch's lifetime and export with
+// their duration so far).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sp := s.tracer.Begin(trace.NoSpan, "http:"+r.Method+" "+r.URL.Path)
+		defer s.tracer.End(sp)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Tracer exposes the server-wide span tracer (for embedding callers that
+// want to export the whole timeline rather than one job's subtree).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -152,12 +199,15 @@ func (s *Server) worker() {
 func (s *Server) process(j *job) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	s.tracer.End(j.queueSpan)
 	if !j.begin(cancel) {
 		// Canceled while queued.
 		s.mu.Lock()
 		s.queued--
 		s.mu.Unlock()
 		j.finish(StatusCanceled, nil, nil, 0, "canceled while queued")
+		s.tracer.Annotate(j.span, "status", string(StatusCanceled))
+		s.tracer.End(j.span)
 		s.metrics.jobFinished(StatusCanceled, exp.Stats{})
 		s.logf("job %s: canceled while queued", j.id)
 		return
@@ -169,7 +219,9 @@ func (s *Server) process(j *job) {
 	s.metrics.setQueue(s.counts())
 	s.logf("job %s: running (suite %s)", j.id, j.spec.Suite)
 
+	j.execSpan = s.tracer.Begin(j.span, "execute")
 	rep, stats, failedRuns, err := s.exec(ctx, j, j.progress)
+	s.tracer.End(j.execSpan)
 
 	status := StatusDone
 	errMsg := ""
@@ -183,6 +235,8 @@ func (s *Server) process(j *job) {
 		rep = nil
 	}
 	j.finish(status, rep, report.Engine(stats), failedRuns, errMsg)
+	s.tracer.Annotate(j.span, "status", string(status))
+	s.tracer.End(j.span)
 
 	s.mu.Lock()
 	s.running--
@@ -212,6 +266,7 @@ func (s *Server) runSuites(ctx context.Context, j *job, emit func(exp.ProgressEv
 	}
 	spec.MetricsInterval = j.spec.MetricsInterval
 	spec.SelfCheck = j.spec.SelfCheck
+	spec.FlightWindow = j.spec.FlightWindow
 
 	timeout := s.cfg.RunTimeout
 	if j.spec.RunTimeoutMS > 0 {
@@ -222,10 +277,12 @@ func (s *Server) runSuites(ctx context.Context, j *job, emit func(exp.ProgressEv
 		workers = j.spec.Workers
 	}
 	runner := exp.NewRunner(exp.RunnerOptions{
-		Workers: workers,
-		OnEvent: emit,
-		Timeout: timeout,
-		Cache:   s.cfg.Cache,
+		Workers:   workers,
+		OnEvent:   emit,
+		Timeout:   timeout,
+		Cache:     s.cfg.Cache,
+		Trace:     s.tracer,
+		TraceRoot: j.execSpan,
 	})
 	suites, err := j.spec.suiteIDs() // validated at submit; re-checked for defense
 	if err != nil {
@@ -365,6 +422,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		id = newJobID()
 	}
 	j := newJob(id, spec)
+	j.span = s.tracer.Begin(trace.NoSpan, "job:"+id)
+	s.tracer.Annotate(j.span, "suite", spec.Suite)
+	j.queueSpan = s.tracer.Begin(j.span, "queue-wait")
 	// Arm before the job becomes visible to workers/subscribers.
 	j.onAbandoned = func() {
 		if j.requestCancel() {
@@ -445,6 +505,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"queued":   queued,
 		"running":  running,
 	})
+}
+
+// handleTrace exports one job's span subtree as Chrome trace-event JSON,
+// loadable in Perfetto / chrome://tracing. Open spans (a still-running job)
+// export with their duration so far; the endpoint works at any job state.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	if j.span == trace.NoSpan {
+		// Span ring was full at submission; there is nothing to export.
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no trace recorded for job (span ring full)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.id+".trace.json"))
+	if err := s.tracer.WriteChromeSubtree(w, j.span); err != nil {
+		s.logf("job %s: trace export: %v", j.id, err)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -7,9 +7,10 @@ import (
 	"time"
 )
 
-// sseKeepalive is how often an idle event stream emits a comment frame so
-// intermediaries don't drop the connection.
-const sseKeepalive = 15 * time.Second
+// defaultSSEKeepalive is how often an idle event stream emits a comment
+// frame so intermediaries don't drop the connection (Config.SSEKeepalive
+// overrides it).
+const defaultSSEKeepalive = 15 * time.Second
 
 // handleEvents streams a job's events as Server-Sent Events: first the full
 // history (a late subscriber misses nothing), then live frames until the
@@ -50,7 +51,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	fl.Flush()
 
-	keepalive := time.NewTicker(sseKeepalive)
+	keepalive := time.NewTicker(s.cfg.SSEKeepalive)
 	defer keepalive.Stop()
 	for {
 		select {

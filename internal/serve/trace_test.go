@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"conspec/internal/exp"
+)
+
+// traceDoc decodes a Chrome trace-event export body.
+func traceDoc(t *testing.T, body io.Reader) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+// TestJobTraceEndpoint: GET /v1/jobs/{id}/trace returns the job's span
+// subtree — queue-wait and execute under the job root — as Perfetto-loadable
+// Chrome trace-event JSON, and excludes other jobs' spans.
+func TestJobTraceEndpoint(t *testing.T) {
+	fake := newFakeExec()
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4}, fake)
+
+	st1 := submit(t, ts.URL, JobSpec{Suite: "lru"})
+	st2 := submit(t, ts.URL, JobSpec{Suite: "fig5"})
+	<-fake.started
+	fake.releaseAll(2)
+	<-fake.started
+	waitStatus(t, ts.URL, st1.ID, StatusDone)
+	waitStatus(t, ts.URL, st2.ID, StatusDone)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st1.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	events := traceDoc(t, resp.Body)
+	names := map[string]int{}
+	for _, ev := range events {
+		name, _ := ev["name"].(string)
+		names[name]++
+	}
+	for _, want := range []string{"job:" + st1.ID, "queue-wait", "execute"} {
+		if names[want] != 1 {
+			t.Errorf("trace has %d %q spans, want 1 (all: %v)", names[want], want, names)
+		}
+	}
+	if names["job:"+st2.ID] != 0 {
+		t.Errorf("job %s trace leaks job %s spans", st1.ID, st2.ID)
+	}
+
+	// Unknown job: 404.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job trace: status %d", resp2.StatusCode)
+	}
+}
+
+// TestMetricsBuildInfoAndSkipCounters: /metrics carries the labeled
+// conspec_build_info identity gauge plus the stall skipper's aggregated
+// meta-counters.
+func TestMetricsBuildInfoAndSkipCounters(t *testing.T) {
+	fake := newFakeExec()
+	fake.stats = exp.Stats{Executed: 2, SkippedCycles: 12345, SkipSpans: 67}
+	_, ts := newTestServer(t, Config{Workers: 1}, fake)
+	st := submit(t, ts.URL, JobSpec{Suite: "lru"})
+	<-fake.started
+	fake.releaseAll(1)
+	waitStatus(t, ts.URL, st.ID, StatusDone)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	text := string(out)
+	for _, want := range []string{
+		"# TYPE conspec_build_info gauge\n",
+		"conspec_served_sim_skipped_cycles_total 12345\n",
+		"conspec_served_sim_skip_spans_total 67\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	// The identity gauge is one labeled constant-1 sample with every
+	// buildinfo label present (values vary by build environment).
+	var infoLine string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "conspec_build_info{") {
+			infoLine = line
+			break
+		}
+	}
+	if infoLine == "" {
+		t.Fatalf("metrics missing conspec_build_info sample:\n%s", text)
+	}
+	if !strings.HasSuffix(infoLine, "} 1") {
+		t.Errorf("build info gauge is not constant 1: %q", infoLine)
+	}
+	for _, label := range []string{"module=", "version=", "revision=", "dirty=", "go_version="} {
+		if !strings.Contains(infoLine, label) {
+			t.Errorf("build info gauge missing %s label: %q", label, infoLine)
+		}
+	}
+}
+
+// TestSSEKeepaliveConfigurable: an idle event stream emits comment frames at
+// the configured cadence so proxies don't drop long watches.
+func TestSSEKeepaliveConfigurable(t *testing.T) {
+	fake := newFakeExec()
+	_, ts := newTestServer(t, Config{Workers: 1, SSEKeepalive: 20 * time.Millisecond}, fake)
+	st := submit(t, ts.URL, JobSpec{Suite: "lru"})
+	<-fake.started // running; the stream will be idle until released
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type lineOrErr struct {
+		line string
+		err  error
+	}
+	lines := make(chan lineOrErr, 64)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- lineOrErr{line: sc.Text()}
+		}
+		lines <- lineOrErr{err: sc.Err()}
+	}()
+
+	deadline := time.After(5 * time.Second)
+	keepalives := 0
+	for keepalives < 2 {
+		select {
+		case l := <-lines:
+			if l.err != nil {
+				t.Fatalf("stream ended early: %v", l.err)
+			}
+			if strings.HasPrefix(l.line, ":") {
+				keepalives++
+			}
+		case <-deadline:
+			t.Fatalf("saw %d keepalive comments in 5s at a 20ms cadence", keepalives)
+		}
+	}
+	fake.releaseAll(1)
+	waitStatus(t, ts.URL, st.ID, StatusDone)
+}
+
+// TestPprofMounted: Config.Pprof mounts the profile index under /debug/;
+// without it the path is absent.
+func TestPprofMounted(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Pprof: true}, newFakeExec())
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d body %.80s", resp.StatusCode, body)
+	}
+
+	_, tsOff := newTestServer(t, Config{Workers: 1}, newFakeExec())
+	respOff, err := http.Get(tsOff.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, respOff.Body)
+	respOff.Body.Close()
+	if respOff.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof should be absent by default: status %d", respOff.StatusCode)
+	}
+}

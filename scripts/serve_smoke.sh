@@ -58,11 +58,12 @@ submit() {
         -warmup 2000 -measure 8000 -watch 2>"$tmp/watch.log"
 }
 
-# The result documents embed the engine's cache accounting, which is the
-# one part expected to differ between the cold and warm runs; strip those
-# lines before comparing.
+# The result documents embed the engine's cache and stall-skip accounting,
+# which is the one part expected to differ between the cold and warm runs
+# (a warm rerun executes zero simulations, so it skips zero cycles); strip
+# those lines before comparing.
 strip_engine_stats() {
-    grep -v '"executed"\|"mem_hits"\|"disk_hits"\|"submitted"' "$1"
+    grep -v '"executed"\|"mem_hits"\|"disk_hits"\|"submitted"\|"skipped_cycles"\|"skip_spans"' "$1"
 }
 
 assert_metric() {

@@ -1,0 +1,117 @@
+// Command tracecheck validates the two observability artifacts the
+// trace-smoke gate produces, exiting non-zero with a diagnostic when one is
+// malformed:
+//
+//	tracecheck -flight dump.json        validate a flight-recorder dump
+//	tracecheck -chrome trace.json name...  require spans in a Chrome trace
+//
+// -flight checks the ring invariants from the outside: events parse, are
+// cycle-ordered, lie inside the dump's window [cycle-window+1, cycle], and
+// first_cycle/last_cycle bracket them exactly. -chrome parses a Chrome
+// trace-event document and requires at least one complete ("ph":"X") span
+// per given name prefix.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"conspec/internal/obs"
+)
+
+func main() {
+	flight := flag.String("flight", "", "flight-recorder dump JSON to validate")
+	chrome := flag.String("chrome", "", "Chrome trace-event JSON to validate (args: required span name prefixes)")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *flight != "":
+		err = checkFlight(*flight)
+	case *chrome != "":
+		err = checkChrome(*chrome, flag.Args())
+	default:
+		err = fmt.Errorf("usage: tracecheck -flight FILE | -chrome FILE [span-prefix...]")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func checkFlight(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var d obs.FlightDump
+	if err := json.NewDecoder(f).Decode(&d); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(d.Events) == 0 {
+		return fmt.Errorf("%s: dump has no events", path)
+	}
+	if d.Window == 0 {
+		return fmt.Errorf("%s: zero window", path)
+	}
+	horizon := uint64(0)
+	if d.Cycle >= d.Window {
+		horizon = d.Cycle - d.Window + 1
+	}
+	prev := uint64(0)
+	for i, ev := range d.Events {
+		if ev.Cycle < prev {
+			return fmt.Errorf("%s: event %d at cycle %d out of order (prev %d)", path, i, ev.Cycle, prev)
+		}
+		if ev.Cycle < horizon || ev.Cycle > d.Cycle {
+			return fmt.Errorf("%s: event %d at cycle %d outside window [%d, %d]", path, i, ev.Cycle, horizon, d.Cycle)
+		}
+		prev = ev.Cycle
+	}
+	if first := d.Events[0].Cycle; d.FirstCycle != first {
+		return fmt.Errorf("%s: first_cycle %d != first event cycle %d", path, d.FirstCycle, first)
+	}
+	if last := d.Events[len(d.Events)-1].Cycle; d.LastCycle != last {
+		return fmt.Errorf("%s: last_cycle %d != last event cycle %d", path, d.LastCycle, last)
+	}
+	fmt.Printf("tracecheck: %s ok (%d events over cycles [%d, %d], trip at %d)\n",
+		path, len(d.Events), d.FirstCycle, d.LastCycle, d.Cycle)
+	return nil
+}
+
+func checkChrome(path string, prefixes []string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no trace events", path)
+	}
+	for _, want := range prefixes {
+		found := 0
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "X" && strings.HasPrefix(ev.Name, want) {
+				found++
+			}
+		}
+		if found == 0 {
+			return fmt.Errorf("%s: no complete span named %q*", path, want)
+		}
+	}
+	fmt.Printf("tracecheck: %s ok (%d spans)\n", path, len(doc.TraceEvents))
+	return nil
+}
