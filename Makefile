@@ -7,10 +7,12 @@
 #                         self-checking stress), a one-iteration
 #                         BenchmarkFig5 smoke run, the conspec-served
 #                         end-to-end smoke (submit, drain, warm-cache
-#                         restart), the trace smoke (flight-recorder dump
-#                         on the deadlock reproducer + span-traced suite),
-#                         and the defense smoke matrix (every registered
-#                         backend vs the Spectre V1 PoC).
+#                         restart), the crash smoke (kill -9 mid-suite,
+#                         journal recovery, bounded-cache eviction), the
+#                         trace smoke (flight-recorder dump on the deadlock
+#                         reproducer + span-traced suite), and the defense
+#                         smoke matrix (every registered backend vs the
+#                         Spectre V1 PoC).
 #   make chaos          — the robustness gate on its own: every fault class
 #                         must be caught, and every mechanism must survive
 #                         a per-cycle invariant audit over the random-program
@@ -28,7 +30,7 @@ GO ?= go
 # the end-to-end Figure 5 evaluation plus the per-component microbenches.
 TRACKED_BENCHES = ^(BenchmarkFig5|BenchmarkSimulatorThroughput|BenchmarkSecMatrixDispatch|BenchmarkSecMatrixHazardCheck|BenchmarkTPBufQuery|BenchmarkCacheAccess)$$
 
-.PHONY: all build fmt vet lint lint-defense test race chaos benchsmoke serve-smoke trace-smoke defense-matrix tier1 bench bench-snapshot bench-compare
+.PHONY: all build fmt vet lint lint-defense test race chaos benchsmoke serve-smoke crash-smoke trace-smoke defense-matrix tier1 bench bench-snapshot bench-compare
 
 all: tier1
 
@@ -60,7 +62,7 @@ test:
 # the race detector on every PR.
 race:
 	$(GO) test -race ./internal/exp ./internal/obs ./internal/faultinject \
-	    ./internal/serve ./internal/serve/client
+	    ./internal/serve ./internal/serve/client ./internal/serve/journal
 
 # The robustness gate: the seeded fault-injection corpus (every fault class
 # must be detected by the invariant auditor, the watchdog, or the attack
@@ -83,6 +85,15 @@ benchsmoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# The crash-safety gate: submit a suite, kill -9 the daemon mid-run,
+# restart it over the same journal and store, and assert the job is
+# recovered and completes with every pre-crash simulation served from the
+# disk cache; then a sustained run under a tiny -cache-max-bytes budget
+# must evict (visible in /metrics) while staying under the cap; then the
+# journal package under the race detector.
+crash-smoke:
+	sh scripts/crash_smoke.sh
+
 # The defense smoke matrix: every registered backend runs two workloads for
 # overhead and faces the canonical Spectre V1 PoC; each verdict must match
 # the backend's documented expectation (origin and SSBD leak, the rest
@@ -98,7 +109,7 @@ defense-matrix:
 trace-smoke:
 	sh scripts/trace_smoke.sh
 
-tier1: build lint test race chaos benchsmoke serve-smoke trace-smoke defense-matrix
+tier1: build lint test race chaos benchsmoke serve-smoke crash-smoke trace-smoke defense-matrix
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

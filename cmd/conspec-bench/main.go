@@ -54,6 +54,7 @@ func main() {
 		selfchk  = flag.Uint64("selfcheck", 0, "audit pipeline and security invariants every N cycles of every run; a violation fails that run (0 = off)")
 		runTmo   = flag.Duration("run-timeout", 0, "wall-clock bound per simulation; a run exceeding it is recorded as failed and its suite continues (0 = none)")
 		cacheDir = flag.String("cache-dir", "", "persist memoized simulation results under this directory and reuse them across invocations (content-addressed, namespaced by build identity; a warm rerun executes zero simulations)")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "size budget for -cache-dir; least-recently-used entries are evicted past it (0 = unbounded)")
 		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS); values below GOMAXPROCS also cap GOMAXPROCS so -workers 1 -cpuprofile profiles a single attributable thread")
 		traceF   = flag.String("trace", "", "write a Chrome trace-event span trace of the whole invocation (suite > run > phase, with cache-tier annotations) to FILE; load it at https://ui.perfetto.dev")
 		flight   = flag.Uint64("flight-window", 0, "arm each run's microarchitectural flight recorder over the last N cycles; failed runs report the dump (0 = off)")
@@ -107,7 +108,7 @@ func main() {
 		ropts.Trace = tracer
 	}
 	if *cacheDir != "" {
-		store, err := diskcache.Open(*cacheDir)
+		store, err := diskcache.OpenWith(*cacheDir, diskcache.Options{MaxBytes: *cacheMax})
 		if err != nil {
 			fatal(err)
 		}

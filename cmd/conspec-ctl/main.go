@@ -32,6 +32,7 @@ import (
 
 func main() {
 	server := flag.String("server", envOr("CONSPEC_SERVER", "http://127.0.0.1:8344"), "conspec-served base URL (env CONSPEC_SERVER)")
+	retries := flag.Int("retries", client.DefaultRetry().MaxAttempts, "attempts per request on transient failures (connection refused, 429, 503); watch reconnects dropped streams with the same budget (1 = fail fast)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -42,6 +43,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	c := client.New(*server)
+	c.Retry = client.DefaultRetry()
+	c.Retry.MaxAttempts = *retries
+	c.Retry.OnRetry = func(attempt int, delay time.Duration, err error) {
+		fmt.Fprintf(os.Stderr, "conspec-ctl: retrying in %s (attempt %d): %v\n", delay.Round(time.Millisecond), attempt, err)
+	}
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
@@ -204,7 +210,11 @@ func cmdList(ctx context.Context, c *client.Client) error {
 	}
 	for _, j := range jobs {
 		age := time.Since(j.Created).Round(time.Second)
-		fmt.Printf("%s  %-8s  %-8s  %4s ago%s\n", j.ID, j.Spec.Suite, j.Status, age, suffixIf(j.Error))
+		recovered := ""
+		if j.Recovered {
+			recovered = "  [recovered]"
+		}
+		fmt.Printf("%s  %-8s  %-8s  %4s ago%s%s\n", j.ID, j.Spec.Suite, j.Status, age, recovered, suffixIf(j.Error))
 	}
 	return nil
 }

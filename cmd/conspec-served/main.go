@@ -16,6 +16,13 @@
 // endpoint serves a job's subtree as Perfetto-loadable JSON. -pprof mounts
 // the runtime profiler under /debug/pprof/.
 //
+// With -data-dir the server keeps a durable job journal: every accepted
+// job is fsynced before the 202, and jobs interrupted by a crash are
+// re-queued on the next start (their finished simulations replayed from the
+// -cache-dir store). -cache-max-bytes bounds that store with LRU eviction;
+// -cache-gc-interval adds a background sweep that also quarantines corrupt
+// entries.
+//
 // SIGINT/SIGTERM drains gracefully: new submissions get 503, queued and
 // running jobs finish (bounded by -drain-timeout), then the process exits.
 package main
@@ -36,12 +43,16 @@ import (
 	"conspec/internal/buildinfo"
 	"conspec/internal/diskcache"
 	"conspec/internal/serve"
+	"conspec/internal/serve/journal"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8344", "listen address")
 		cacheDir   = flag.String("cache-dir", "", "persistent result store directory (empty = memory-only per job)")
+		dataDir    = flag.String("data-dir", "", "durable job journal directory: accepted jobs survive crashes and are re-queued on restart (empty = no journal)")
+		cacheMax   = flag.Int64("cache-max-bytes", 0, "result store size budget; least-recently-used entries are evicted past it (0 = unbounded)")
+		cacheGC    = flag.Duration("cache-gc-interval", 0, "background cache GC sweep cadence, revalidating entries and enforcing the budget (0 = off)")
 		jobWorkers = flag.Int("workers", 2, "max concurrently executing jobs")
 		queueCap   = flag.Int("queue-cap", 16, "max queued jobs before submissions get 429")
 		simWorkers = flag.Int("sim-workers", 0, "max concurrent simulations per job (0 = GOMAXPROCS)")
@@ -70,12 +81,30 @@ func main() {
 		Logf:         logger.Printf,
 	}
 	if *cacheDir != "" {
-		store, err := diskcache.Open(*cacheDir)
+		store, err := diskcache.OpenWith(*cacheDir, diskcache.Options{MaxBytes: *cacheMax, GCInterval: *cacheGC})
 		if err != nil {
 			logger.Fatalf("open cache: %v", err)
 		}
+		defer store.Close()
 		cfg.Cache = store
-		logger.Printf("result store: %s (%d entries for this build)", store.Dir(), store.Len())
+		budget := "unbounded"
+		if *cacheMax > 0 {
+			budget = fmt.Sprintf("%d byte budget", *cacheMax)
+		}
+		logger.Printf("result store: %s (%d entries for this build, %s)", store.Dir(), store.Len(), budget)
+	}
+	var jr *journal.Journal
+	if *dataDir != "" {
+		var recovered []journal.State
+		var err error
+		jr, recovered, err = journal.Open(*dataDir, journal.Options{})
+		if err != nil {
+			logger.Fatalf("open journal: %v", err)
+		}
+		defer jr.Close()
+		cfg.Journal = jr
+		cfg.Recovered = recovered
+		logger.Printf("job journal: %s (%d interrupted jobs to recover)", *dataDir, len(recovered))
 	}
 	srv := serve.New(cfg)
 

@@ -11,12 +11,21 @@
 //
 //	<root>/<build-id>/meta.json          — the full buildinfo identity
 //	<root>/<build-id>/<kk>/<key>.json    — one entry; kk = key[:2]
+//	<root>/<build-id>/quarantine/        — corrupt entries moved aside
 //
 // Writes are atomic (temp file + rename), so concurrent processes sharing
 // a root — several CLIs, a server's worker pool — can only ever observe
 // whole entries. Reads tolerate corruption: an unreadable or mismatched
-// entry is a miss (and is deleted), never an error, because the store's
-// failure mode must be "simulate again", not "fail the suite".
+// entry is a miss (and is quarantined for inspection, never deleted
+// blind), because the store's failure mode must be "simulate again", not
+// "fail the suite".
+//
+// The store is bounded: Options.MaxBytes caps the namespace's entry bytes,
+// with least-recently-used eviction on the write path (recency is entry
+// mtime, which Get refreshes on hits, so it survives restarts) and an
+// optional background GC sweep that re-syncs the index with the directory,
+// quarantines corrupt entries, and re-applies the budget — covering
+// entries written by other processes sharing the root.
 package diskcache
 
 import (
@@ -26,8 +35,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"conspec/internal/buildinfo"
@@ -39,13 +49,61 @@ import (
 // rather than misread.
 const formatVersion = 1
 
+// quarantineDir is where corrupt entries are moved, inside the namespace.
+const quarantineDir = "quarantine"
+
+// Options bounds a Store.
+type Options struct {
+	// MaxBytes caps the total size of stored entries (meta.json and the
+	// quarantine are not counted). Writes that push the store past the cap
+	// evict least-recently-used entries until it fits; an entry larger
+	// than the whole budget is not stored at all. 0 = unbounded.
+	MaxBytes int64
+	// GCInterval, when non-zero, starts a background sweep loop on Open:
+	// every interval the sweep rescans the namespace (picking up entries
+	// written by other processes sharing the root), quarantines corrupt
+	// entries, and evicts back under MaxBytes. Stop it with Close.
+	GCInterval time.Duration
+}
+
+// Stats is a snapshot of the store's activity since Open plus its current
+// occupancy. Gets/Hits/Puts/PutErrs count operations; Evictions and
+// EvictedBytes count LRU evictions (budget enforcement); Quarantined
+// counts corrupt entries moved aside by Get or the GC sweep; Bytes and
+// Entries describe what the index currently tracks.
+type Stats struct {
+	Gets         uint64
+	Hits         uint64
+	Puts         uint64
+	PutErrs      uint64
+	Evictions    uint64
+	EvictedBytes uint64
+	Quarantined  uint64
+	GCSweeps     uint64
+	Bytes        int64
+	Entries      int
+}
+
 // Store is a persistent exp.ResultCache. The zero value is not usable;
 // obtain one from Open. A nil *Store is a valid no-op cache, so callers
 // can thread an optional store without nil checks at every use.
 type Store struct {
-	dir string // <root>/<build-id>, created by Open
+	dir  string // <root>/<build-id>, created by Open
+	opts Options
 
-	gets, hits, puts, putErrs atomic.Uint64
+	mu    sync.Mutex
+	index map[string]*indexEntry // key -> size + last-access
+	bytes int64                  // sum of index sizes
+	stats Stats
+
+	stop chan struct{} // closes the GC loop; nil when GCInterval == 0
+	done chan struct{} // GC loop exited
+}
+
+// indexEntry is the in-memory record of one on-disk entry.
+type indexEntry struct {
+	size  int64
+	atime time.Time
 }
 
 // entry is the on-disk envelope: the key is stored redundantly so a
@@ -72,15 +130,20 @@ func BuildID(info buildinfo.Info) string {
 }
 
 // Open creates (or reuses) the store rooted at root, namespaced by the
-// running binary's build identity.
+// running binary's build identity, with no size bound.
 func Open(root string) (*Store, error) {
-	return OpenFor(root, buildinfo.Get())
+	return OpenWith(root, Options{})
 }
 
-// OpenFor is Open with an explicit build identity (test hook, and the seam
-// that makes "a rebuilt binary gets a fresh namespace" checkable without
-// rebuilding).
-func OpenFor(root string, info buildinfo.Info) (*Store, error) {
+// OpenWith is Open with a size budget and GC cadence.
+func OpenWith(root string, opts Options) (*Store, error) {
+	return OpenFor(root, buildinfo.Get(), opts)
+}
+
+// OpenFor is OpenWith with an explicit build identity (test hook, and the
+// seam that makes "a rebuilt binary gets a fresh namespace" checkable
+// without rebuilding).
+func OpenFor(root string, info buildinfo.Info, opts Options) (*Store, error) {
 	dir := filepath.Join(root, BuildID(info))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("diskcache: %w", err)
@@ -94,7 +157,34 @@ func OpenFor(root string, info buildinfo.Info) (*Store, error) {
 	if err := writeAtomic(filepath.Join(dir, "meta.json"), b); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir, opts: opts, index: make(map[string]*indexEntry)}
+	s.mu.Lock()
+	s.rescanLocked(false)
+	s.evictLocked()
+	s.mu.Unlock()
+	if opts.GCInterval > 0 {
+		s.stop = make(chan struct{})
+		s.done = make(chan struct{})
+		go s.gcLoop()
+	}
+	return s, nil
+}
+
+// Close stops the background GC loop, if one was started. The store stays
+// usable for Get/Put afterwards; Close is about the goroutine, not the
+// files.
+func (s *Store) Close() {
+	if s == nil || s.stop == nil {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 }
 
 // Dir returns the namespace directory entries are stored under.
@@ -122,12 +212,14 @@ func (s *Store) path(key string) (string, bool) {
 }
 
 // Get implements exp.ResultCache. Misses on nil stores, unknown keys, and
-// corrupt entries (which are removed).
+// corrupt entries (which are quarantined, not deleted — see quarantine).
 func (s *Store) Get(key string) (pipeline.Result, bool) {
 	if s == nil {
 		return pipeline.Result{}, false
 	}
-	s.gets.Add(1)
+	s.mu.Lock()
+	s.stats.Gets++
+	s.mu.Unlock()
 	p, ok := s.path(key)
 	if !ok {
 		return pipeline.Result{}, false
@@ -138,47 +230,218 @@ func (s *Store) Get(key string) (pipeline.Result, bool) {
 	}
 	var e entry
 	if err := json.Unmarshal(b, &e); err != nil || e.Key != key {
-		os.Remove(p)
+		s.quarantine(key, p)
 		return pipeline.Result{}, false
 	}
-	s.hits.Add(1)
+	now := time.Now()
+	// Refresh recency on disk too, so LRU order survives restarts and is
+	// visible to other processes sharing the root. Best effort.
+	os.Chtimes(p, now, now)
+	s.mu.Lock()
+	s.stats.Hits++
+	if ie := s.index[key]; ie != nil {
+		ie.atime = now
+	} else {
+		// Another process wrote it after our last scan; adopt it.
+		s.index[key] = &indexEntry{size: int64(len(b)), atime: now}
+		s.bytes += int64(len(b))
+	}
+	s.mu.Unlock()
 	return e.Result, true
 }
 
 // Put implements exp.ResultCache. Errors are swallowed by design (see the
 // package comment) but counted, so an operator can notice a full disk in
-// the stats rather than in silently colder caches.
+// the stats rather than in silently colder caches. A successful write
+// that pushes the store past Options.MaxBytes evicts least-recently-used
+// entries until the budget holds again.
 func (s *Store) Put(key string, res pipeline.Result) {
 	if s == nil {
 		return
 	}
-	s.puts.Add(1)
+	s.mu.Lock()
+	s.stats.Puts++
+	s.mu.Unlock()
 	p, ok := s.path(key)
 	if !ok {
-		s.putErrs.Add(1)
+		s.putErr()
 		return
 	}
 	b, err := json.Marshal(entry{Key: key, SavedAt: time.Now().UTC(), Result: res})
 	if err != nil {
-		s.putErrs.Add(1)
+		s.putErr()
+		return
+	}
+	if s.opts.MaxBytes > 0 && int64(len(b)) > s.opts.MaxBytes {
+		// Larger than the whole budget: storing it would evict everything
+		// and then still bust the cap. Count it as a failed write.
+		s.putErr()
 		return
 	}
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		s.putErrs.Add(1)
+		s.putErr()
 		return
 	}
 	if err := writeAtomic(p, b); err != nil {
-		s.putErrs.Add(1)
+		s.putErr()
+		return
+	}
+	s.mu.Lock()
+	if old := s.index[key]; old != nil {
+		s.bytes -= old.size
+	}
+	s.index[key] = &indexEntry{size: int64(len(b)), atime: time.Now()}
+	s.bytes += int64(len(b))
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+func (s *Store) putErr() {
+	s.mu.Lock()
+	s.stats.PutErrs++
+	s.mu.Unlock()
+}
+
+// evictLocked removes least-recently-used entries until the byte budget
+// holds. Caller holds s.mu.
+func (s *Store) evictLocked() {
+	if s.opts.MaxBytes <= 0 || s.bytes <= s.opts.MaxBytes {
+		return
+	}
+	type cand struct {
+		key   string
+		size  int64
+		atime time.Time
+	}
+	cands := make([]cand, 0, len(s.index))
+	for k, ie := range s.index {
+		cands = append(cands, cand{k, ie.size, ie.atime})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].atime.Before(cands[j].atime) })
+	for _, c := range cands {
+		if s.bytes <= s.opts.MaxBytes {
+			break
+		}
+		if p, ok := s.path(c.key); ok {
+			os.Remove(p)
+		}
+		delete(s.index, c.key)
+		s.bytes -= c.size
+		s.stats.Evictions++
+		s.stats.EvictedBytes += uint64(c.size)
 	}
 }
 
-// Stats reports the store's activity since Open: lookups, lookup hits,
-// attempted writes, and writes that failed.
-func (s *Store) Stats() (gets, hits, puts, putErrs uint64) {
-	if s == nil {
-		return 0, 0, 0, 0
+// quarantine moves a corrupt entry into the namespace's quarantine
+// directory (suffixed with a timestamp so repeated offenders don't
+// clobber each other) and drops it from the index.
+func (s *Store) quarantine(key, p string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	dst := filepath.Join(qdir, fmt.Sprintf("%s.%d", filepath.Base(p), time.Now().UnixNano()))
+	moved := os.MkdirAll(qdir, 0o755) == nil && os.Rename(p, dst) == nil
+	if !moved {
+		// Quarantine failed (e.g. read-only fs): fall back to removal so a
+		// corrupt entry cannot be served forever.
+		os.Remove(p)
 	}
-	return s.gets.Load(), s.hits.Load(), s.puts.Load(), s.putErrs.Load()
+	s.mu.Lock()
+	s.stats.Quarantined++
+	if ie := s.index[key]; ie != nil {
+		s.bytes -= ie.size
+		delete(s.index, key)
+	}
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the store's counters and occupancy. A nil
+// store reports zeros.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Bytes = s.bytes
+	st.Entries = len(s.index)
+	return st
+}
+
+// GC runs one sweep synchronously: rescan the namespace directory
+// (validating every entry and quarantining corrupt ones), then evict back
+// under the byte budget. The background loop started by Options.GCInterval
+// calls exactly this.
+func (s *Store) GC() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rescanLocked(true)
+	s.evictLocked()
+	s.stats.GCSweeps++
+	s.mu.Unlock()
+}
+
+func (s *Store) gcLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.opts.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.GC()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// rescanLocked rebuilds the index from the directory. With validate set it
+// also parses every entry and quarantines corrupt ones (the GC sweep); the
+// cheap form (Open) trusts filenames and sizes and lets Get catch rot
+// lazily. Caller holds s.mu; the quarantine helper re-locks, so corrupt
+// paths are collected first and moved after the walk.
+func (s *Store) rescanLocked(validate bool) {
+	index := make(map[string]*indexEntry)
+	var total int64
+	type corrupt struct{ key, path string }
+	var bad []corrupt
+	filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			if err == nil && info.IsDir() && filepath.Base(path) == quarantineDir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		base := filepath.Base(path)
+		if !strings.HasSuffix(base, ".json") || base == "meta.json" {
+			return nil
+		}
+		key := strings.TrimSuffix(base, ".json")
+		if _, ok := s.path(key); !ok {
+			return nil // foreign file; leave it alone
+		}
+		if validate {
+			b, rerr := os.ReadFile(path)
+			var e entry
+			if rerr != nil || len(b) == 0 || json.Unmarshal(b, &e) != nil || e.Key != key {
+				bad = append(bad, corrupt{key, path})
+				return nil
+			}
+		}
+		index[key] = &indexEntry{size: info.Size(), atime: info.ModTime()}
+		total += info.Size()
+		return nil
+	})
+	s.index = index
+	s.bytes = total
+	if len(bad) > 0 {
+		s.mu.Unlock()
+		for _, c := range bad {
+			s.quarantine(c.key, c.path)
+		}
+		s.mu.Lock()
+	}
 }
 
 // Len walks the namespace and counts stored entries (operator/test
@@ -189,6 +452,9 @@ func (s *Store) Len() int {
 	}
 	n := 0
 	filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && info.IsDir() && filepath.Base(path) == quarantineDir {
+			return filepath.SkipDir
+		}
 		if err == nil && !info.IsDir() &&
 			strings.HasSuffix(path, ".json") && filepath.Base(path) != "meta.json" {
 			n++

@@ -1,10 +1,12 @@
 package diskcache
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"conspec/internal/buildinfo"
 	"conspec/internal/pipeline"
@@ -15,11 +17,23 @@ var testInfo = buildinfo.Info{Module: "conspec", Version: "(devel)",
 
 const key = "00deadbeef00deadbeef00deadbeef00deadbeef00deadbeef00deadbeef0000"
 
-func TestPutGetRoundTrip(t *testing.T) {
-	s, err := OpenFor(t.TempDir(), testInfo)
+// testKey derives a distinct valid key from an index.
+func testKey(i int) string {
+	return fmt.Sprintf("%02x", i%256) + key[2:56] + fmt.Sprintf("%08x", i)
+}
+
+func openTest(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := OpenFor(t.TempDir(), testInfo, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t, Options{})
 	if _, ok := s.Get(key); ok {
 		t.Fatal("empty store reported a hit")
 	}
@@ -39,9 +53,12 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if s.Len() != 1 {
 		t.Errorf("Len = %d, want 1", s.Len())
 	}
-	gets, hits, puts, putErrs := s.Stats()
-	if gets != 2 || hits != 1 || puts != 1 || putErrs != 0 {
-		t.Errorf("stats = %d/%d/%d/%d, want 2/1/1/0", gets, hits, puts, putErrs)
+	st := s.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.Puts != 1 || st.PutErrs != 0 {
+		t.Errorf("stats = %+v, want gets 2 / hits 1 / puts 1 / putErrs 0", st)
+	}
+	if st.Entries != 1 || st.Bytes <= 0 {
+		t.Errorf("occupancy = %d entries / %d bytes, want 1 entry and positive bytes", st.Entries, st.Bytes)
 	}
 }
 
@@ -50,17 +67,21 @@ func TestPutGetRoundTrip(t *testing.T) {
 // same build identity sees the previous process's entries.
 func TestReopenSurvivesRestart(t *testing.T) {
 	root := t.TempDir()
-	s1, err := OpenFor(root, testInfo)
+	s1, err := OpenFor(root, testInfo, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s1.Put(key, pipeline.Result{Cycles: 7})
-	s2, err := OpenFor(root, testInfo)
+	s2, err := OpenFor(root, testInfo, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got, ok := s2.Get(key); !ok || got.Cycles != 7 {
 		t.Fatalf("reopened store: got %+v / %v, want cycles 7", got, ok)
+	}
+	// The reopened store's index found the entry on the rescan.
+	if st := s2.Stats(); st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("reopened index = %+v, want 1 entry", st)
 	}
 }
 
@@ -68,7 +89,7 @@ func TestReopenSurvivesRestart(t *testing.T) {
 // old namespace's entries.
 func TestBuildIdentityNamespacing(t *testing.T) {
 	root := t.TempDir()
-	s1, err := OpenFor(root, testInfo)
+	s1, err := OpenFor(root, testInfo, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +97,7 @@ func TestBuildIdentityNamespacing(t *testing.T) {
 
 	other := testInfo
 	other.Revision = "def456"
-	s2, err := OpenFor(root, other)
+	s2, err := OpenFor(root, other, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,39 +114,154 @@ func TestBuildIdentityNamespacing(t *testing.T) {
 	}
 }
 
-func TestCorruptEntryIsAMiss(t *testing.T) {
-	s, err := OpenFor(t.TempDir(), testInfo)
+// TestCorruptEntriesQuarantined: truncated, zero-byte, and wrong-identity
+// entries are misses, are moved into the quarantine directory (not deleted
+// blind, so an operator can inspect what rotted), and are counted.
+func TestCorruptEntriesQuarantined(t *testing.T) {
+	s := openTest(t, Options{})
+	qdir := filepath.Join(s.Dir(), quarantineDir)
+
+	corrupt := []struct {
+		name  string
+		write func(p string)
+	}{
+		{"truncated", func(p string) { os.WriteFile(p, []byte(`{"key":"tr`), 0o644) }},
+		{"zero-byte", func(p string) { os.WriteFile(p, nil, 0o644) }},
+		{"wrong-identity", func(p string) {
+			// A structurally valid entry whose embedded key names a
+			// different run: must not be served under this filename.
+			os.WriteFile(p, []byte(`{"key":"`+key+`","result":{}}`), 0o644)
+		}},
+	}
+	for i, c := range corrupt {
+		k := testKey(i + 1)
+		s.Put(k, pipeline.Result{Cycles: 7})
+		p, _ := s.path(k)
+		c.write(p)
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("%s entry reported as hit", c.name)
+		}
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s entry still in place", c.name)
+		}
+	}
+	ents, err := os.ReadDir(qdir)
+	if err != nil || len(ents) != len(corrupt) {
+		t.Fatalf("quarantine holds %d files (err %v), want %d", len(ents), err, len(corrupt))
+	}
+	st := s.Stats()
+	if st.Quarantined != uint64(len(corrupt)) {
+		t.Errorf("Quarantined = %d, want %d", st.Quarantined, len(corrupt))
+	}
+	// Quarantined bytes no longer count against the budget index.
+	if st.Entries != 0 {
+		t.Errorf("index still tracks %d entries after quarantine", st.Entries)
+	}
+}
+
+// TestGCSweepQuarantinesForeignCorruption: corruption that appeared behind
+// the store's back (another process, bit rot) is caught by the sweep, not
+// just by a Get of the exact key.
+func TestGCSweepQuarantinesForeignCorruption(t *testing.T) {
+	s := openTest(t, Options{})
+	good, bad := testKey(1), testKey(2)
+	s.Put(good, pipeline.Result{Cycles: 7})
+	// Drop a corrupt entry directly into the namespace.
+	p, _ := s.path(bad)
+	os.MkdirAll(filepath.Dir(p), 0o755)
+	os.WriteFile(p, []byte("{rot"), 0o644)
+
+	s.GC()
+
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Error("sweep left the corrupt entry in place")
+	}
+	if _, ok := s.Get(good); !ok {
+		t.Error("sweep lost the good entry")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.GCSweeps != 1 {
+		t.Errorf("stats after sweep = %+v, want 1 quarantined / 1 sweep", st)
+	}
+}
+
+// TestEvictionHoldsBudget: writes beyond MaxBytes evict least-recently-used
+// entries; recently-read entries survive.
+func TestEvictionHoldsBudget(t *testing.T) {
+	// Size one entry, then budget for roughly four.
+	probe, err := OpenFor(t.TempDir(), testInfo, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Put(key, pipeline.Result{Cycles: 7})
-	p, _ := s.path(key)
-	if err := os.WriteFile(p, []byte("{truncated"), 0o644); err != nil {
+	probe.Put(testKey(0), pipeline.Result{Cycles: 1})
+	entrySize := probe.Stats().Bytes
+	if entrySize <= 0 {
+		t.Fatal("probe entry has no size")
+	}
+
+	s := openTest(t, Options{MaxBytes: entrySize*4 + entrySize/2})
+	for i := 1; i <= 4; i++ {
+		s.Put(testKey(i), pipeline.Result{Cycles: uint64(i)})
+		time.Sleep(2 * time.Millisecond) // distinct mtimes/atimes
+	}
+	// Touch the oldest so it becomes most-recently-used.
+	if _, ok := s.Get(testKey(1)); !ok {
+		t.Fatal("entry 1 missing before eviction")
+	}
+	time.Sleep(2 * time.Millisecond)
+	// Two more writes: must evict the LRU entries (2, then 3), not 1.
+	s.Put(testKey(5), pipeline.Result{Cycles: 5})
+	s.Put(testKey(6), pipeline.Result{Cycles: 6})
+
+	st := s.Stats()
+	if st.Bytes > s.opts.MaxBytes {
+		t.Errorf("store at %d bytes, budget %d", st.Bytes, s.opts.MaxBytes)
+	}
+	if st.Evictions == 0 || st.EvictedBytes == 0 {
+		t.Errorf("no evictions recorded: %+v", st)
+	}
+	if _, ok := s.Get(testKey(1)); !ok {
+		t.Error("recently-used entry 1 was evicted")
+	}
+	if _, ok := s.Get(testKey(2)); ok {
+		t.Error("least-recently-used entry 2 survived")
+	}
+}
+
+// TestOversizeEntryRejected: an entry larger than the whole budget is a
+// put error, not a store-emptying event.
+func TestOversizeEntryRejected(t *testing.T) {
+	s := openTest(t, Options{MaxBytes: 64})
+	s.Put(testKey(1), pipeline.Result{Cycles: 7, Diag: strings.Repeat("x", 256)})
+	if st := s.Stats(); st.PutErrs != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 1 putErr and empty store", st)
+	}
+}
+
+// TestBudgetAppliedAtOpen: reopening over an overfull namespace (e.g. the
+// budget was lowered) trims it immediately.
+func TestBudgetAppliedAtOpen(t *testing.T) {
+	root := t.TempDir()
+	s1, err := OpenFor(root, testInfo, Options{})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(key); ok {
-		t.Fatal("corrupt entry reported as hit")
+	for i := 1; i <= 6; i++ {
+		s1.Put(testKey(i), pipeline.Result{Cycles: uint64(i)})
 	}
-	if _, err := os.Stat(p); !os.IsNotExist(err) {
-		t.Error("corrupt entry not removed")
+	total := s1.Stats().Bytes
+
+	s2, err := OpenFor(root, testInfo, Options{MaxBytes: total / 2})
+	if err != nil {
+		t.Fatal(err)
 	}
-	// A key stored under the wrong filename is likewise a miss.
-	s.Put(key, pipeline.Result{Cycles: 7})
-	otherKey := "ff" + key[2:]
-	dir := filepath.Join(s.Dir(), otherKey[:2])
-	os.MkdirAll(dir, 0o755)
-	b, _ := os.ReadFile(p)
-	os.WriteFile(filepath.Join(dir, otherKey+".json"), b, 0o644)
-	if _, ok := s.Get(otherKey); ok {
-		t.Fatal("entry with mismatched key reported as hit")
+	if st := s2.Stats(); st.Bytes > total/2 || st.Evictions == 0 {
+		t.Errorf("reopen with halved budget left %d bytes (%d evictions)", st.Bytes, st.Evictions)
 	}
 }
 
 func TestMalformedKeysRejected(t *testing.T) {
-	s, err := OpenFor(t.TempDir(), testInfo)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := openTest(t, Options{})
 	for _, bad := range []string{"", "short", "../../../../etc/passwd",
 		strings.Repeat("zz", 32), strings.Repeat("AB", 32)} {
 		s.Put(bad, pipeline.Result{})
@@ -146,5 +282,10 @@ func TestNilStoreIsNoop(t *testing.T) {
 	}
 	if s.Len() != 0 || s.Dir() != "" {
 		t.Fatal("nil store not inert")
+	}
+	s.GC()
+	s.Close()
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil store stats %+v", st)
 	}
 }

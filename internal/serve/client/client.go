@@ -9,8 +9,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -26,6 +28,91 @@ type Client struct {
 	// indefinitely, so the client must not set an overall Timeout; bound
 	// watches with the context instead.
 	HTTPClient *http.Client
+	// Retry, when enabled (MaxAttempts > 1), makes every request retry
+	// transient failures — transport errors, 429 queue-full, 503 draining —
+	// with exponential backoff, and makes Watch reconnect dropped event
+	// streams, resuming where it left off. The zero value disables retries
+	// (one attempt, fail fast), preserving bare-Client behavior.
+	Retry RetryPolicy
+}
+
+// RetryPolicy shapes the client's reaction to transient failures.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per request (and consecutive reconnects per
+	// watch without progress). <= 1 means a single attempt, no retries.
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 200ms). Each further
+	// attempt doubles it, up to MaxDelay (default 10s); the actual sleep is
+	// jittered to [d/2, d] so synchronized clients fan out. A server-sent
+	// Retry-After overrides the computed delay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// OnRetry, when non-nil, observes each retry before its backoff sleep
+	// (for "-watch reconnecting in 2s: connection refused" style UX).
+	OnRetry func(attempt int, delay time.Duration, err error)
+}
+
+// DefaultRetry is the policy conspec-ctl uses: 6 attempts, 200ms..10s
+// exponential backoff — enough to ride out a server restart.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 6, BaseDelay: 200 * time.Millisecond, MaxDelay: 10 * time.Second}
+}
+
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// delay computes the backoff before attempt (0-based) retries, honoring the
+// server's Retry-After when err carries one.
+func (p RetryPolicy) delay(attempt int, err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+		return apiErr.RetryAfter
+	}
+	d := p.BaseDelay
+	if d <= 0 {
+		d = 200 * time.Millisecond
+	}
+	maxD := p.MaxDelay
+	if maxD <= 0 {
+		maxD = 10 * time.Second
+	}
+	for i := 0; i < attempt && d < maxD; i++ {
+		d *= 2
+	}
+	if d > maxD {
+		d = maxD
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// retryable reports whether err is worth retrying: retryable API rejections
+// (429/503) and transport-level failures, but never context cancellation or
+// definitive server answers (4xx/5xx others).
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.IsRetryable()
+	}
+	// Everything else came from the transport (connection refused during a
+	// restart, reset mid-response, ...) — the canonical transient case.
+	return true
+}
+
+// sleepCtx sleeps d or until ctx is done, returning ctx.Err() in that case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // New returns a client for baseURL.
@@ -77,20 +164,51 @@ func apiErr(resp *http.Response) error {
 	return e
 }
 
+// do runs one API request, retrying transient failures per c.Retry. A POST
+// retried after a transport error may have been applied by the server (the
+// response was lost, not necessarily the request); for job submission that
+// at worst queues a duplicate job, which the shared result cache serves
+// without re-simulation.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return err
 		}
+	}
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = c.doOnce(ctx, method, path, data, out); err == nil {
+			return nil
+		}
+		if attempt+1 >= attempts || !retryable(err) {
+			return err
+		}
+		d := c.Retry.delay(attempt, err)
+		if c.Retry.OnRetry != nil {
+			c.Retry.OnRetry(attempt+1, d, err)
+		}
+		if sleepCtx(ctx, d) != nil {
+			return err // the last real failure, not the cancellation
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, out any) error {
+	var body io.Reader
+	if data != nil {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
@@ -173,25 +291,78 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(out), err
 }
 
+// callbackError marks an error that came from the caller's fn, which must
+// surface immediately rather than trigger a reconnect.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+
 // Watch streams a job's events, calling fn for each (history replay first,
 // then live frames). It returns nil when the stream ends with a terminal
 // state event, the first non-nil error from fn, or the transport error.
+//
+// With Retry enabled, a dropped stream is reconnected with backoff and
+// resumed from the last event seen: the server replays each job's full
+// history on (re)subscribe, and every frame carries (epoch, seq), so the
+// client skips frames it already delivered — unless the epoch changed,
+// which means the server restarted and the history itself restarted (the
+// job re-executed after journal recovery), in which case the replay is
+// delivered in full. Each delivered event refreshes the reconnect budget;
+// MaxAttempts bounds consecutive attempts without progress.
 func (c *Client) Watch(ctx context.Context, id string, fn func(serve.Event) error) error {
+	lastSeen := -1
+	epoch := ""
+	attempt := 0
+	for {
+		delivered, terminal, err := c.watchOnce(ctx, id, &epoch, &lastSeen, fn)
+		if terminal {
+			return nil
+		}
+		var cb *callbackError
+		if errors.As(err, &cb) {
+			return cb.err
+		}
+		if err == nil {
+			// Clean EOF without a terminal frame: the server shut the stream
+			// down (e.g. it exited). Retryable — the job may be journaled
+			// and recovered by the next server.
+			err = fmt.Errorf("event stream ended before the job finished")
+		}
+		if delivered > 0 {
+			attempt = 0
+		}
+		if attempt+1 >= c.Retry.MaxAttempts || !retryable(err) {
+			return err
+		}
+		d := c.Retry.delay(attempt, err)
+		attempt++
+		if c.Retry.OnRetry != nil {
+			c.Retry.OnRetry(attempt, d, err)
+		}
+		if sleepCtx(ctx, d) != nil {
+			return err
+		}
+	}
+}
+
+// watchOnce consumes a single event-stream connection, delivering frames
+// beyond (*epoch, *lastSeen) and advancing them. It returns how many events
+// it delivered and whether the stream reached a terminal frame.
+func (c *Client) watchOnce(ctx context.Context, id string, epoch *string, lastSeen *int, fn func(serve.Event) error) (delivered int, terminal bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return apiErr(resp)
+		return 0, false, apiErr(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	terminal := false
 	for sc.Scan() {
 		data, ok := strings.CutPrefix(sc.Text(), "data: ")
 		if !ok {
@@ -199,23 +370,26 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(serve.Event) erro
 		}
 		var ev serve.Event
 		if err := json.Unmarshal([]byte(data), &ev); err != nil {
-			return fmt.Errorf("bad event frame: %w", err)
+			return delivered, false, fmt.Errorf("bad event frame: %w", err)
 		}
+		if ev.Epoch != *epoch {
+			// A different server process: its history is not ours, however
+			// the seq numbers line up. Deliver its replay from the start.
+			*epoch, *lastSeen = ev.Epoch, -1
+		}
+		if ev.Seq <= *lastSeen {
+			continue // replayed history we already delivered
+		}
+		*lastSeen = ev.Seq
+		delivered++
 		if err := fn(ev); err != nil {
-			return err
+			return delivered, false, &callbackError{err: err}
 		}
 		if ev.Terminal() {
-			terminal = true
-			break
+			return delivered, true, nil
 		}
 	}
-	if err := sc.Err(); err != nil && !terminal {
-		return err
-	}
-	if !terminal {
-		return fmt.Errorf("event stream ended before the job finished")
-	}
-	return nil
+	return delivered, false, sc.Err()
 }
 
 // WaitDone watches id until it reaches a terminal state and returns the

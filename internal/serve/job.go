@@ -121,13 +121,18 @@ func (s JobSpec) validate() error {
 // JobStatus is a job's wire representation. Result is populated only on
 // single-job GETs once the job is done; list responses omit it.
 type JobStatus struct {
-	ID       string     `json:"id"`
-	Spec     JobSpec    `json:"spec"`
-	Status   Status     `json:"status"`
-	Created  time.Time  `json:"created"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
-	Error    string     `json:"error,omitempty"`
+	ID      string    `json:"id"`
+	Spec    JobSpec   `json:"spec"`
+	Status  Status    `json:"status"`
+	Created time.Time `json:"created"`
+	// Recovered marks a job replayed from the durable journal after a
+	// server restart: it was accepted by a previous process and re-queued
+	// on startup. Its simulations re-execute idempotently — runs that
+	// completed before the crash are served from the disk cache.
+	Recovered bool       `json:"recovered,omitempty"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
 	// FailedRuns counts simulations excluded from the result's aggregates
 	// (the result document's errors array has the details).
 	FailedRuns int                 `json:"failed_runs,omitempty"`
@@ -140,9 +145,16 @@ type JobStatus struct {
 // Seq is the frame's position in the job's event history, so a client that
 // reconnects can detect replayed frames.
 type Event struct {
-	Type     string             `json:"type"` // "state" | "progress"
-	Job      string             `json:"job"`
-	Seq      int                `json:"seq"`
+	Type string `json:"type"` // "state" | "progress"
+	Job  string `json:"job"`
+	Seq  int    `json:"seq"`
+	// Epoch identifies the server process that recorded the event. A
+	// reconnecting watcher compares it against the last stream's epoch: a
+	// change means the server restarted and the job's event history began
+	// anew (the job was recovered from the journal), so Seq comparisons
+	// against the previous stream are meaningless and the client must
+	// treat every frame as fresh.
+	Epoch    string             `json:"epoch,omitempty"`
 	Status   Status             `json:"status,omitempty"`
 	Error    string             `json:"error,omitempty"`
 	Progress *exp.ProgressEvent `json:"progress,omitempty"`
@@ -163,8 +175,11 @@ const subEventBuf = 1024
 // job is the server-side job record: spec, lifecycle, result, and the
 // event history with its subscribers.
 type job struct {
-	id   string
-	spec JobSpec
+	id    string
+	spec  JobSpec
+	epoch string // owning server process, stamped on every event
+	// recovered marks a job re-queued from the journal after a restart.
+	recovered bool
 
 	mu         sync.Mutex
 	status     Status
@@ -197,10 +212,11 @@ type job struct {
 	done chan struct{} // closed at terminal state
 }
 
-func newJob(id string, spec JobSpec) *job {
+func newJob(id string, spec JobSpec, epoch string) *job {
 	j := &job{
 		id:      id,
 		spec:    spec,
+		epoch:   epoch,
 		status:  StatusQueued,
 		created: time.Now().UTC(),
 		subs:    make(map[int]chan Event),
@@ -210,10 +226,28 @@ func newJob(id string, spec JobSpec) *job {
 	return j
 }
 
+// newRecoveredJob rebuilds a journaled job for re-execution after a
+// restart: same id, original submission time, recovered flag set.
+func newRecoveredJob(id string, spec JobSpec, epoch string, submitted time.Time) *job {
+	j := &job{
+		id:        id,
+		spec:      spec,
+		epoch:     epoch,
+		recovered: true,
+		status:    StatusQueued,
+		created:   submitted,
+		subs:      make(map[int]chan Event),
+		done:      make(chan struct{}),
+	}
+	j.publishLocked(Event{Type: "state", Status: StatusQueued})
+	return j
+}
+
 // publishLocked appends ev to the history and fans it out. Callers must
 // NOT hold j.mu for the initial newJob call; every other caller must.
 func (j *job) publishLocked(ev Event) {
 	ev.Job = j.id
+	ev.Epoch = j.epoch
 	ev.Seq = len(j.events)
 	j.events = append(j.events, ev)
 	for id, ch := range j.subs {
@@ -326,6 +360,7 @@ func (j *job) snapshot(withResult bool) JobStatus {
 		Spec:       j.spec,
 		Status:     j.status,
 		Created:    j.created,
+		Recovered:  j.recovered,
 		Error:      j.err,
 		FailedRuns: j.failedRuns,
 		Engine:     j.engine,

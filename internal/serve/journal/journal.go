@@ -1,0 +1,392 @@
+// Package journal is the durable job journal under the serve tier: an
+// append-only write-ahead log of job lifecycle records that survives
+// process death. Every accepted job is journaled (fsynced) before the
+// submitter sees a 202, so a kill -9 loses no accepted work: on the next
+// startup the journal is replayed and every job whose last record is
+// non-terminal is handed back to the server for re-execution. Re-running
+// is cheap and idempotent because results are content-addressed in the
+// disk cache — the recovered job's already-finished simulations are served
+// from disk and only the interrupted tail simulates again.
+//
+// Layout (inside the data directory):
+//
+//	<dir>/journal.wal   — JSONL, one Record per line, fsynced per append
+//	<dir>/journal.snap  — compaction snapshot: {"last_seq":N,"jobs":[...]}
+//
+// Once the WAL grows past Options.CompactBytes, it is compacted: the
+// current state of every still-live job is written to a snapshot (terminal
+// jobs need no recovery and are dropped — that is the GC), the snapshot is
+// atomically renamed into place, and the WAL restarts empty. Recovery
+// reads the snapshot first, then replays WAL records with Seq beyond the
+// snapshot's last_seq, so a crash anywhere in the compaction sequence is
+// safe: the worst case is replaying records the snapshot already covers,
+// which the seq filter discards. A torn final WAL line (crash mid-append)
+// is detected and truncated away on open.
+//
+// The journal is deliberately ignorant of the server's JobSpec type — the
+// spec rides through as raw JSON — so the planned coordinator can reuse it
+// as its queue store with a different payload.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Op is a job lifecycle transition.
+type Op string
+
+const (
+	// OpSubmitted: the job was accepted; the record carries the full spec.
+	OpSubmitted Op = "submitted"
+	// OpStarted: a worker began executing the job.
+	OpStarted Op = "started"
+	// OpDone, OpFailed, OpCanceled: terminal transitions. The job needs no
+	// recovery and is dropped at the next compaction.
+	OpDone     Op = "done"
+	OpFailed   Op = "failed"
+	OpCanceled Op = "canceled"
+)
+
+// Terminal reports whether the op ends a job's lifecycle.
+func (o Op) Terminal() bool {
+	return o == OpDone || o == OpFailed || o == OpCanceled
+}
+
+// Record is one WAL line.
+type Record struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Op   Op        `json:"op"`
+	Job  string    `json:"job"`
+	// Spec is the submission payload, carried only on OpSubmitted and
+	// opaque to the journal (the serve layer stores its JobSpec here).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Error carries the failure message on OpFailed.
+	Error string `json:"error,omitempty"`
+}
+
+// State is one job's reduced state after replay: the latest lifecycle op
+// plus the spec from its submission record.
+type State struct {
+	Job       string          `json:"job"`
+	Op        Op              `json:"op"`
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Submitted time.Time       `json:"submitted"`
+	Updated   time.Time       `json:"updated"`
+}
+
+// snapshot is the compaction file's shape.
+type snapshot struct {
+	LastSeq uint64  `json:"last_seq"`
+	Jobs    []State `json:"jobs"`
+}
+
+// Options tunes a Journal.
+type Options struct {
+	// CompactBytes triggers compaction once the WAL file exceeds it
+	// (default 1 MiB; every append checks). Compaction cost is linear in
+	// the number of live jobs, not WAL size.
+	CompactBytes int64
+	// NoSync skips the per-append fsync (tests that hammer the journal).
+	// Production callers leave it false: the durability guarantee — an
+	// acknowledged submission survives kill -9 — is exactly that fsync.
+	NoSync bool
+}
+
+const defaultCompactBytes = 1 << 20
+
+// Journal is the open WAL. All methods are safe for concurrent use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	f           *os.File
+	w           *bufio.Writer
+	seq         uint64            // last assigned seq
+	size        int64             // current WAL size
+	live        map[string]*State // non-terminal jobs, for compaction
+	appends     uint64
+	compactions uint64
+}
+
+// walPath and snapPath locate the journal's files inside dir.
+func walPath(dir string) string  { return filepath.Join(dir, "journal.wal") }
+func snapPath(dir string) string { return filepath.Join(dir, "journal.snap") }
+
+// Open replays the journal in dir (creating it if absent) and returns the
+// open journal plus the recovered states of every job whose last record is
+// non-terminal, in submission order. The caller re-queues those.
+func Open(dir string, opts Options) (*Journal, []State, error) {
+	if opts.CompactBytes <= 0 {
+		opts.CompactBytes = defaultCompactBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts, live: make(map[string]*State)}
+
+	lastSeq, err := j.loadSnapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := j.replayWAL(lastSeq); err != nil {
+		return nil, nil, err
+	}
+
+	f, err := os.OpenFile(walPath(dir), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f, j.w, j.size = f, bufio.NewWriter(f), st.Size()
+
+	recovered := make([]State, 0, len(j.live))
+	for _, s := range j.live {
+		recovered = append(recovered, *s)
+	}
+	sort.Slice(recovered, func(i, k int) bool {
+		if !recovered[i].Submitted.Equal(recovered[k].Submitted) {
+			return recovered[i].Submitted.Before(recovered[k].Submitted)
+		}
+		return recovered[i].Job < recovered[k].Job
+	})
+	return j, recovered, nil
+}
+
+// loadSnapshot populates live from the snapshot file, returning its
+// last_seq (0 when there is no snapshot). A corrupt snapshot is an error:
+// silently dropping it would silently drop accepted jobs.
+func (j *Journal) loadSnapshot() (uint64, error) {
+	b, err := os.ReadFile(snapPath(j.dir))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("journal: snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return 0, fmt.Errorf("journal: corrupt snapshot %s: %w", snapPath(j.dir), err)
+	}
+	for i := range snap.Jobs {
+		s := snap.Jobs[i]
+		if !s.Op.Terminal() {
+			j.live[s.Job] = &s
+		}
+	}
+	j.seq = snap.LastSeq
+	return snap.LastSeq, nil
+}
+
+// replayWAL applies WAL records with Seq > lastSeq to live. A torn final
+// line (crash mid-append) is truncated away; a torn line in the middle is
+// an error, since records after it did fsync and must not be lost.
+func (j *Journal) replayWAL(lastSeq uint64) error {
+	b, err := os.ReadFile(walPath(j.dir))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	goodEnd := 0
+	for off := 0; off < len(b); {
+		nl := bytes.IndexByte(b[off:], '\n')
+		if nl < 0 {
+			break // torn tail: no trailing newline
+		}
+		line := b[off : off+nl]
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if off+nl+1 == len(b) {
+				break // torn tail that happens to contain a newline-free prefix? keep goodEnd
+			}
+			return fmt.Errorf("journal: corrupt record at offset %d: %w", off, err)
+		}
+		off += nl + 1
+		goodEnd = off
+		if rec.Seq <= lastSeq {
+			continue // already covered by the snapshot
+		}
+		j.apply(rec)
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+	}
+	if goodEnd < len(b) {
+		if err := os.Truncate(walPath(j.dir), int64(goodEnd)); err != nil {
+			return fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// apply folds one record into the live map.
+func (j *Journal) apply(rec Record) {
+	switch {
+	case rec.Op == OpSubmitted:
+		j.live[rec.Job] = &State{
+			Job: rec.Job, Op: rec.Op, Spec: rec.Spec,
+			Submitted: rec.Time, Updated: rec.Time,
+		}
+	case rec.Op.Terminal():
+		delete(j.live, rec.Job)
+	default:
+		if s := j.live[rec.Job]; s != nil {
+			s.Op = rec.Op
+			s.Error = rec.Error
+			s.Updated = rec.Time
+		}
+	}
+}
+
+// Append writes one record and — unless Options.NoSync — fsyncs before
+// returning, so an acknowledged append survives power loss. It triggers
+// compaction when the WAL has outgrown Options.CompactBytes.
+func (j *Journal) Append(op Op, jobID string, spec json.RawMessage, errMsg string) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	rec := Record{Seq: j.seq, Time: time.Now().UTC(), Op: op, Job: jobID, Spec: spec, Error: errMsg}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	j.size += int64(len(b))
+	j.appends++
+	j.apply(rec)
+	if j.size > j.opts.CompactBytes {
+		if err := j.compactLocked(); err != nil {
+			// Compaction failure is not fatal to the append — the record is
+			// durable in the WAL; the journal just stays long.
+			return nil
+		}
+	}
+	return nil
+}
+
+// Live returns the number of non-terminal jobs the journal tracks.
+func (j *Journal) Live() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.live)
+}
+
+// Sizes reports the current WAL size and compaction count (metrics hook).
+func (j *Journal) Sizes() (walBytes int64, appends, compactions uint64) {
+	if j == nil {
+		return 0, 0, 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size, j.appends, j.compactions
+}
+
+// Compact forces a compaction (tests; production compaction is automatic).
+func (j *Journal) Compact() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactLocked()
+}
+
+// compactLocked snapshots the live jobs and restarts the WAL. Crash-safe
+// ordering: snapshot.tmp is written and fsynced, renamed over the
+// snapshot, and only then is the WAL truncated — a crash between rename
+// and truncate merely replays records the seq filter will skip.
+func (j *Journal) compactLocked() error {
+	snap := snapshot{LastSeq: j.seq, Jobs: make([]State, 0, len(j.live))}
+	for _, s := range j.live {
+		snap.Jobs = append(snap.Jobs, *s)
+	}
+	sort.Slice(snap.Jobs, func(i, k int) bool { return snap.Jobs[i].Job < snap.Jobs[k].Job })
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	tmp := snapPath(j.dir) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	_, werr := f.Write(b)
+	if werr == nil && !j.opts.NoSync {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, snapPath(j.dir))
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", werr)
+	}
+
+	// Restart the WAL. O_TRUNC on the live handle keeps appends working
+	// even if reopening failed; the bufio writer has no buffered bytes
+	// (Append flushes every record).
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.size = 0
+	j.compactions++
+	return nil
+}
+
+// Close flushes and closes the WAL handle.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.w.Flush()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

@@ -1,0 +1,250 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Journal, []State) {
+	t.Helper()
+	j, recovered, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, recovered
+}
+
+func spec(s string) json.RawMessage { return json.RawMessage(`{"suite":"` + s + `"}`) }
+
+func TestReplayRecoversNonTerminalJobs(t *testing.T) {
+	dir := t.TempDir()
+	j, recovered := mustOpen(t, dir, Options{})
+	if len(recovered) != 0 {
+		t.Fatalf("fresh journal recovered %d jobs", len(recovered))
+	}
+	// j1 finished, j2 was running, j3 never started, j4 was canceled.
+	j.Append(OpSubmitted, "j1", spec("fig5"), "")
+	j.Append(OpSubmitted, "j2", spec("lru"), "")
+	j.Append(OpSubmitted, "j3", spec("scope"), "")
+	j.Append(OpSubmitted, "j4", spec("dtlb"), "")
+	j.Append(OpStarted, "j1", nil, "")
+	j.Append(OpDone, "j1", nil, "")
+	j.Append(OpStarted, "j2", nil, "")
+	j.Append(OpCanceled, "j4", nil, "")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recovered := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d jobs, want 2 (j2, j3): %+v", len(recovered), recovered)
+	}
+	// Submission order is preserved.
+	if recovered[0].Job != "j2" || recovered[1].Job != "j3" {
+		t.Fatalf("recovered order %s, %s; want j2, j3", recovered[0].Job, recovered[1].Job)
+	}
+	if recovered[0].Op != OpStarted || recovered[1].Op != OpSubmitted {
+		t.Fatalf("recovered ops %s, %s; want started, submitted", recovered[0].Op, recovered[1].Op)
+	}
+	var s struct {
+		Suite string `json:"suite"`
+	}
+	if err := json.Unmarshal(recovered[0].Spec, &s); err != nil || s.Suite != "lru" {
+		t.Fatalf("recovered spec %s (err %v), want lru", recovered[0].Spec, err)
+	}
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	j.Append(OpSubmitted, "j1", spec("fig5"), "")
+	j.Append(OpSubmitted, "j2", spec("lru"), "")
+	j.Close()
+
+	// Simulate a crash mid-append: a partial record at the tail.
+	f, err := os.OpenFile(walPath(dir), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":3,"time":"2026-0`)
+	f.Close()
+
+	j2, recovered := mustOpen(t, dir, Options{})
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(recovered))
+	}
+	// The torn bytes are gone: appends continue on a clean line.
+	if err := j2.Append(OpStarted, "j1", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	b, _ := os.ReadFile(walPath(dir))
+	for _, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("WAL line %q unparsable after torn-tail recovery: %v", line, err)
+		}
+	}
+}
+
+func TestMidFileCorruptionIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	j.Append(OpSubmitted, "j1", spec("fig5"), "")
+	j.Append(OpSubmitted, "j2", spec("lru"), "")
+	j.Close()
+
+	b, _ := os.ReadFile(walPath(dir))
+	lines := strings.SplitAfter(string(b), "\n")
+	// Corrupt the first record while keeping the second intact: records
+	// after the rot were acknowledged durable, so replay must refuse to
+	// silently drop them.
+	mangled := "{rot}\n" + lines[1]
+	os.WriteFile(walPath(dir), []byte(mangled), 0o644)
+
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("mid-file corruption replayed without error")
+	}
+}
+
+func TestCompactionDropsTerminalAndSurvivesReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{NoSync: true})
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("j%03d", i)
+		j.Append(OpSubmitted, id, spec("lru"), "")
+		j.Append(OpStarted, id, nil, "")
+		if i%2 == 0 {
+			j.Append(OpDone, id, nil, "")
+		}
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	wal, appends, compactions := j.Sizes()
+	if wal != 0 || compactions != 1 {
+		t.Fatalf("after compaction: wal %d bytes, %d compactions", wal, compactions)
+	}
+	if appends != 125 {
+		t.Fatalf("appends = %d, want 125", appends)
+	}
+	// Post-compaction appends land in the fresh WAL.
+	j.Append(OpDone, "j001", nil, "")
+	j.Close()
+
+	j2, recovered := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	// 25 odd-numbered jobs were live; j001 finished after the compaction.
+	if len(recovered) != 24 {
+		t.Fatalf("recovered %d jobs, want 24", len(recovered))
+	}
+	for _, s := range recovered {
+		if s.Op != OpStarted {
+			t.Fatalf("recovered %s in op %s, want started", s.Job, s.Op)
+		}
+		if s.Job == "j001" {
+			t.Fatal("job finished after compaction was recovered")
+		}
+	}
+}
+
+func TestAutoCompactionTriggersOnSize(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{CompactBytes: 512, NoSync: true})
+	defer j.Close()
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("j%03d", i)
+		j.Append(OpSubmitted, id, spec("lru"), "")
+		j.Append(OpDone, id, nil, "")
+	}
+	if _, _, compactions := j.Sizes(); compactions == 0 {
+		t.Fatal("WAL grew past CompactBytes without compacting")
+	}
+	if wal, _, _ := j.Sizes(); wal > 512 {
+		t.Fatalf("WAL still %d bytes after auto-compaction", wal)
+	}
+	if j.Live() != 0 {
+		t.Fatalf("%d live jobs, want 0", j.Live())
+	}
+}
+
+// TestCrashBetweenSnapshotAndTruncate: the compaction's worst-case crash
+// point — snapshot renamed into place, WAL not yet truncated — must replay
+// to the same state, not duplicate jobs.
+func TestCrashBetweenSnapshotAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{NoSync: true})
+	j.Append(OpSubmitted, "j1", spec("fig5"), "")
+	j.Append(OpSubmitted, "j2", spec("lru"), "")
+	j.Append(OpDone, "j1", nil, "")
+	// Simulate: keep a copy of the WAL, compact (which truncates), then
+	// restore the old WAL next to the new snapshot.
+	wal, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := os.WriteFile(walPath(dir), wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recovered := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(recovered) != 1 || recovered[0].Job != "j2" {
+		t.Fatalf("recovered %+v, want exactly j2", recovered)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{NoSync: true, CompactBytes: 2048})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				id := fmt.Sprintf("g%dj%d", g, i)
+				j.Append(OpSubmitted, id, spec("lru"), "")
+				if i%2 == 0 {
+					j.Append(OpDone, id, nil, "")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	live := j.Live()
+	j.Close()
+	j2, recovered := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(recovered) != live || live != 8*20 {
+		t.Fatalf("recovered %d, live %d, want %d", len(recovered), live, 8*20)
+	}
+}
+
+func TestNilJournalIsNoop(t *testing.T) {
+	var j *Journal
+	if err := j.Append(OpSubmitted, "j1", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Live() != 0 {
+		t.Fatal("nil journal has live jobs")
+	}
+	if w, a, c := j.Sizes(); w != 0 || a != 0 || c != 0 {
+		t.Fatal("nil journal has sizes")
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,9 +6,18 @@ import (
 	"sync"
 
 	"conspec/internal/buildinfo"
+	"conspec/internal/diskcache"
 	"conspec/internal/exp"
 	"conspec/internal/obs"
+	"conspec/internal/serve/journal"
 )
+
+// CacheStats is the optional interface a Config.Cache can implement (as
+// *diskcache.Store does) to export occupancy and eviction counters through
+// /metrics.
+type CacheStats interface {
+	Stats() diskcache.Stats
+}
 
 // serverMetrics aggregates server-level counters into an obs.Registry and
 // renders them on demand. The obs registry's counters are plain (non-atomic)
@@ -20,6 +29,7 @@ type serverMetrics struct {
 
 	submittedC *obs.Counter
 	rejectedC  *obs.Counter
+	recoveredC *obs.Counter
 	doneC      *obs.Counter
 	failedC    *obs.Counter
 	canceledC  *obs.Counter
@@ -41,6 +51,7 @@ func newServerMetrics() *serverMetrics {
 		reg:            reg,
 		submittedC:     reg.Counter("jobs_submitted_total"),
 		rejectedC:      reg.Counter("jobs_rejected_total"),
+		recoveredC:     reg.Counter("jobs_recovered_total"),
 		doneC:          reg.Counter("jobs_done_total"),
 		failedC:        reg.Counter("jobs_failed_total"),
 		canceledC:      reg.Counter("jobs_canceled_total"),
@@ -64,6 +75,53 @@ func (m *serverMetrics) rejected() {
 	m.mu.Lock()
 	m.rejectedC.Add(1)
 	m.mu.Unlock()
+}
+
+func (m *serverMetrics) recovered() {
+	m.mu.Lock()
+	m.recoveredC.Add(1)
+	m.mu.Unlock()
+}
+
+// attachStores registers readouts over the disk cache (when the configured
+// cache exposes Stats) and the job journal, pulled live at every /metrics
+// exposition:
+//
+//	cache_disk_gets_total / cache_disk_hits_total store-level lookups
+//	cache_disk_bytes / cache_disk_entries        current occupancy
+//	cache_disk_evictions_total (+ evicted bytes) LRU budget enforcement
+//	cache_disk_quarantined_total                 corrupt entries moved aside
+//	cache_disk_gc_sweeps_total                   background GC passes
+//	cache_disk_put_errors_total                  failed writes (disk full…)
+//	journal_wal_bytes / journal_live_jobs        WAL size and live jobs
+//	journal_appends_total / journal_compactions_total
+func (m *serverMetrics) attachStores(cache exp.ResultCache, jr *journal.Journal) {
+	if cs, ok := cache.(CacheStats); ok && cs != nil {
+		m.reg.GaugeFunc("cache_disk_gets_total", func() uint64 { return cs.Stats().Gets })
+		m.reg.GaugeFunc("cache_disk_hits_total", func() uint64 { return cs.Stats().Hits })
+		m.reg.GaugeFunc("cache_disk_bytes", func() uint64 { return uint64(cs.Stats().Bytes) })
+		m.reg.GaugeFunc("cache_disk_entries", func() uint64 { return uint64(cs.Stats().Entries) })
+		m.reg.GaugeFunc("cache_disk_evictions_total", func() uint64 { return cs.Stats().Evictions })
+		m.reg.GaugeFunc("cache_disk_evicted_bytes_total", func() uint64 { return cs.Stats().EvictedBytes })
+		m.reg.GaugeFunc("cache_disk_quarantined_total", func() uint64 { return cs.Stats().Quarantined })
+		m.reg.GaugeFunc("cache_disk_gc_sweeps_total", func() uint64 { return cs.Stats().GCSweeps })
+		m.reg.GaugeFunc("cache_disk_put_errors_total", func() uint64 { return cs.Stats().PutErrs })
+	}
+	if jr != nil {
+		m.reg.GaugeFunc("journal_wal_bytes", func() uint64 {
+			wal, _, _ := jr.Sizes()
+			return uint64(wal)
+		})
+		m.reg.GaugeFunc("journal_appends_total", func() uint64 {
+			_, appends, _ := jr.Sizes()
+			return appends
+		})
+		m.reg.GaugeFunc("journal_compactions_total", func() uint64 {
+			_, _, compactions := jr.Sizes()
+			return compactions
+		})
+		m.reg.GaugeFunc("journal_live_jobs", func() uint64 { return uint64(jr.Live()) })
+	}
 }
 
 // jobFinished records a terminal job plus its engine-level run accounting.

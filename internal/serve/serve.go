@@ -36,12 +36,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"conspec/internal/exp"
 	"conspec/internal/exp/report"
 	"conspec/internal/obs/trace"
+	"conspec/internal/serve/journal"
 )
 
 // Config parameterizes a Server.
@@ -61,8 +63,21 @@ type Config struct {
 	RunTimeout time.Duration
 	// Cache, when non-nil, is the persistent result store shared by every
 	// job's Runner (and with conspec-bench -cache-dir users of the same
-	// directory).
+	// directory). When it additionally implements CacheStats (as
+	// *diskcache.Store does), its occupancy and eviction counters are
+	// exported through /metrics.
 	Cache exp.ResultCache
+	// Journal, when non-nil, is the durable job journal: every accepted
+	// job is appended (and fsynced) before the submitter sees 202, and
+	// every lifecycle transition is recorded, so a kill -9 loses no
+	// accepted work. Open it with journal.Open and pass the recovered
+	// states via Recovered.
+	Journal *journal.Journal
+	// Recovered is the non-terminal job states journal.Open replayed.
+	// New re-queues them (oldest first, ahead of fresh submissions) with
+	// the recovered flag set on their status and re-executes them;
+	// simulations that completed before the crash are served from Cache.
+	Recovered []journal.State
 	// Logf, when non-nil, receives one line per job lifecycle transition.
 	Logf func(format string, args ...any)
 	// SSEKeepalive is how often an idle event stream emits a comment frame
@@ -73,7 +88,16 @@ type Config struct {
 	TraceSpans int
 	// Pprof, when true, mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+
+	// execOverride swaps the job executor (test seam). It must be set via
+	// Config — recovered jobs can reach a worker before New returns, so
+	// assigning Server.exec afterwards would race.
+	execOverride execFunc
 }
+
+// execFunc runs one job's suites and returns its report, engine stats, and
+// failed-run count.
+type execFunc func(ctx context.Context, j *job, emit func(exp.ProgressEvent)) (*report.Report, exp.Stats, int, error)
 
 // Server owns the job table, the queue, and the worker pool. Create with
 // New, expose via Handler, stop with Drain (graceful) or Close (forced).
@@ -83,6 +107,10 @@ type Server struct {
 	queue chan *job
 	quit  chan struct{}
 	wg    sync.WaitGroup
+	// epoch identifies this server process on every event frame, so a
+	// reconnecting watcher can tell "same history, resume from my last
+	// seq" apart from "server restarted, the history restarted too".
+	epoch string
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -90,6 +118,11 @@ type Server struct {
 	queued   int
 	running  int
 	draining bool
+	// latency ring over recently completed jobs, for deriving Retry-After
+	// estimates on 429/503 responses.
+	recentLat [latWindow]time.Duration
+	latCount  int
+	latIdx    int
 
 	metrics *serverMetrics
 	// tracer holds every span the server records: HTTP requests, job
@@ -98,9 +131,10 @@ type Server struct {
 	// job's subtree.
 	tracer *trace.Tracer
 
-	// exec runs one job's suites (test seam). The default implementation
-	// builds an exp.Runner over cfg.Cache and runs the spec's suites.
-	exec func(ctx context.Context, j *job, emit func(exp.ProgressEvent)) (*report.Report, exp.Stats, int, error)
+	// exec runs one job's suites (Config.execOverride or the default
+	// implementation, which builds an exp.Runner over cfg.Cache and runs
+	// the spec's suites). Fixed before the worker pool starts.
+	exec execFunc
 }
 
 // New builds a Server and starts its worker pool.
@@ -118,14 +152,23 @@ func New(cfg Config) *Server {
 		cfg.TraceSpans = 16384
 	}
 	s := &Server{
-		cfg:     cfg,
-		queue:   make(chan *job, cfg.QueueCap),
+		cfg: cfg,
+		// The channel holds every recovered job plus a full queue of fresh
+		// ones; admission control is the queued-count check in
+		// handleSubmit, so sends under s.mu can never block.
+		queue:   make(chan *job, cfg.QueueCap+len(cfg.Recovered)),
 		quit:    make(chan struct{}),
+		epoch:   randHex(4),
 		jobs:    make(map[string]*job),
 		metrics: newServerMetrics(),
 		tracer:  trace.New(cfg.TraceSpans),
 	}
 	s.exec = s.runSuites
+	if cfg.execOverride != nil {
+		s.exec = cfg.execOverride
+	}
+	s.metrics.attachStores(cfg.Cache, cfg.Journal)
+	s.recover(cfg.Recovered)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -164,6 +207,68 @@ func (s *Server) Handler() http.Handler {
 // Tracer exposes the server-wide span tracer (for embedding callers that
 // want to export the whole timeline rather than one job's subtree).
 func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// recover re-queues journaled jobs (called from New, before the worker
+// pool starts). Ordering is preserved: Config.Recovered arrives oldest
+// first from journal.Open, and the queue channel was sized to hold all of
+// them, so fresh submissions line up behind the backlog.
+func (s *Server) recover(states []journal.State) {
+	for _, st := range states {
+		var spec JobSpec
+		if err := json.Unmarshal(st.Spec, &spec); err != nil {
+			s.logf("journal: job %s: dropping unreadable spec: %v", st.Job, err)
+			s.journalAppend(journal.OpFailed, nil, "unreadable journaled spec: "+err.Error(), st.Job)
+			continue
+		}
+		if err := spec.validate(); err != nil {
+			// The spec was valid when accepted; a registry/bench rename
+			// across the restart can invalidate it. Fail it cleanly rather
+			// than crash-loop on it forever.
+			s.logf("journal: job %s: spec no longer valid: %v", st.Job, err)
+			s.journalAppend(journal.OpFailed, nil, "journaled spec no longer valid: "+err.Error(), st.Job)
+			continue
+		}
+		j := newRecoveredJob(st.Job, spec, s.epoch, st.Submitted)
+		j.span = s.tracer.Begin(trace.NoSpan, "job:"+j.id)
+		s.tracer.Annotate(j.span, "suite", spec.Suite)
+		s.tracer.Annotate(j.span, "recovered", "true")
+		j.queueSpan = s.tracer.Begin(j.span, "queue-wait")
+		j.onAbandoned = func() {
+			if j.requestCancel() {
+				s.logf("job %s: canceled (last watcher disconnected)", j.id)
+			}
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.queued++
+		s.queue <- j
+		s.metrics.recovered()
+		s.logf("job %s: recovered from journal (suite %s, was %s)", j.id, spec.Suite, st.Op)
+	}
+	s.metrics.setQueue(s.queued, 0)
+}
+
+// journalAppend records a lifecycle transition, logging rather than
+// propagating append failures for non-submit ops (the submit path handles
+// its error explicitly — that is the durability guarantee; later ops
+// degrade to re-execution on recovery).
+func (s *Server) journalAppend(op journal.Op, spec json.RawMessage, errMsg, jobID string) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if err := s.cfg.Journal.Append(op, jobID, spec, errMsg); err != nil {
+		s.logf("journal: append %s for job %s: %v", op, jobID, err)
+	}
+}
+
+// randHex returns n random bytes as 2n hex chars.
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		panic(fmt.Sprintf("serve: rand: %v", err)) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b)
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -206,6 +311,7 @@ func (s *Server) process(j *job) {
 		s.queued--
 		s.mu.Unlock()
 		j.finish(StatusCanceled, nil, nil, 0, "canceled while queued")
+		s.journalAppend(journal.OpCanceled, nil, "", j.id)
 		s.tracer.Annotate(j.span, "status", string(StatusCanceled))
 		s.tracer.End(j.span)
 		s.metrics.jobFinished(StatusCanceled, exp.Stats{})
@@ -216,9 +322,11 @@ func (s *Server) process(j *job) {
 	s.queued--
 	s.running++
 	s.mu.Unlock()
+	s.journalAppend(journal.OpStarted, nil, "", j.id)
 	s.metrics.setQueue(s.counts())
 	s.logf("job %s: running (suite %s)", j.id, j.spec.Suite)
 
+	started := time.Now()
 	j.execSpan = s.tracer.Begin(j.span, "execute")
 	rep, stats, failedRuns, err := s.exec(ctx, j, j.progress)
 	s.tracer.End(j.execSpan)
@@ -235,6 +343,15 @@ func (s *Server) process(j *job) {
 		rep = nil
 	}
 	j.finish(status, rep, report.Engine(stats), failedRuns, errMsg)
+	switch status {
+	case StatusDone:
+		s.journalAppend(journal.OpDone, nil, "", j.id)
+		s.observeLatency(time.Since(started))
+	case StatusFailed:
+		s.journalAppend(journal.OpFailed, nil, errMsg, j.id)
+	case StatusCanceled:
+		s.journalAppend(journal.OpCanceled, nil, "", j.id)
+	}
 	s.tracer.Annotate(j.span, "status", string(status))
 	s.tracer.End(j.span)
 
@@ -307,13 +424,75 @@ func (s *Server) counts() (queued, running int) {
 	return s.queued, s.running
 }
 
+// latWindow is how many recently completed jobs the latency estimate
+// averages over.
+const latWindow = 8
+
+// observeLatency records one successfully completed job's wall-clock
+// execution time into the ring behind Retry-After estimates.
+func (s *Server) observeLatency(d time.Duration) {
+	s.mu.Lock()
+	s.recentLat[s.latIdx] = d
+	s.latIdx = (s.latIdx + 1) % latWindow
+	if s.latCount < latWindow {
+		s.latCount++
+	}
+	s.mu.Unlock()
+}
+
+// avgLatencyLocked averages the ring (0 when no job has completed yet).
+// Caller holds s.mu.
+func (s *Server) avgLatencyLocked() time.Duration {
+	if s.latCount == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for i := 0; i < s.latCount; i++ {
+		sum += s.recentLat[i]
+	}
+	return sum / time.Duration(s.latCount)
+}
+
+// retryAfterSecs estimates how many seconds until capacity for `ahead`
+// more jobs frees up, given the recent average job latency and the worker
+// pool width: the pool completes one job every avg/workers on average.
+// With no latency history yet it falls back to fallbackSecs (the
+// pre-derivation constants). The estimate is clamped to [1, 600].
+func retryAfterSecs(ahead, workers int, avg time.Duration, fallbackSecs int) int {
+	if avg <= 0 {
+		return fallbackSecs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if ahead < 1 {
+		ahead = 1
+	}
+	est := avg * time.Duration(ahead) / time.Duration(workers)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return secs
+}
+
+// retryAfterLocked renders the Retry-After value for a rejection while
+// holding s.mu. For a full queue (429) the caller should retry once one
+// job finishes; for draining (503) once the whole backlog flushes.
+func (s *Server) retryAfterLocked(draining bool) string {
+	avg := s.avgLatencyLocked()
+	if draining {
+		return strconv.Itoa(retryAfterSecs(s.queued+s.running, s.cfg.Workers, avg, 10))
+	}
+	return strconv.Itoa(retryAfterSecs(1, s.cfg.Workers, avg, 2))
+}
+
 // newJobID returns a fresh random job id ("j" + 12 hex chars).
 func newJobID() string {
-	var b [6]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("serve: rand: %v", err)) // crypto/rand never fails on supported platforms
-	}
-	return "j" + hex.EncodeToString(b[:])
+	return "j" + randHex(6)
 }
 
 // Drain gracefully stops the server: new submissions are rejected with
@@ -352,8 +531,25 @@ wait:
 	}
 	close(s.quit)
 	s.wg.Wait()
-	s.logf("drained")
-	return err
+	// Defensive sweep: with admission strictly ordered against the drain
+	// flag nothing should remain, but an accepted job must never be
+	// silently dropped — fail anything still queued to a clean terminal
+	// state and journal it.
+	for {
+		select {
+		case j := <-s.queue:
+			s.mu.Lock()
+			s.queued--
+			s.mu.Unlock()
+			j.finish(StatusCanceled, nil, nil, 0, "server stopped before the job ran")
+			s.journalAppend(journal.OpCanceled, nil, "", j.id)
+			s.metrics.jobFinished(StatusCanceled, exp.Stats{})
+			s.logf("job %s: canceled (server stopped before it ran)", j.id)
+		default:
+			s.logf("drained")
+			return err
+		}
+	}
 }
 
 // Close force-stops the server: reject new work, cancel everything live,
@@ -411,17 +607,50 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
+	// Admission happens entirely under s.mu, strictly ordered against
+	// Drain's setting of the draining flag: a submission either completes
+	// its enqueue before the drain begins (and the drain then waits for
+	// it) or observes draining and is rejected with a clean 503 — it can
+	// never be accepted after the drain's queue audit and silently
+	// dropped. Drain additionally sweeps the queue after the workers exit
+	// and fails anything left, so an accepted job always reaches a
+	// terminal state.
 	if s.draining {
+		ra := s.retryAfterLocked(true)
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "10")
+		w.Header().Set("Retry-After", ra)
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
+		return
+	}
+	if s.queued >= s.cfg.QueueCap {
+		ra := s.retryAfterLocked(false)
+		s.mu.Unlock()
+		s.metrics.rejected()
+		w.Header().Set("Retry-After", ra)
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "job queue is full"})
 		return
 	}
 	id := newJobID()
 	for s.jobs[id] != nil {
 		id = newJobID()
 	}
-	j := newJob(id, spec)
+	// Journal (and fsync) before the job becomes visible: a 202 means the
+	// submission survives kill -9. A journal write failure refuses the
+	// job — accepting work we cannot make durable would silently downgrade
+	// the crash-safety contract.
+	if s.cfg.Journal != nil {
+		specJSON, err := json.Marshal(spec)
+		if err == nil {
+			err = s.cfg.Journal.Append(journal.OpSubmitted, id, specJSON, "")
+		}
+		if err != nil {
+			s.mu.Unlock()
+			s.logf("job %s: journal submit: %v", id, err)
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: "journal write failed: " + err.Error()})
+			return
+		}
+	}
+	j := newJob(id, spec, s.epoch)
 	j.span = s.tracer.Begin(trace.NoSpan, "job:"+id)
 	s.tracer.Annotate(j.span, "suite", spec.Suite)
 	j.queueSpan = s.tracer.Begin(j.span, "queue-wait")
@@ -431,19 +660,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.logf("job %s: canceled (last watcher disconnected)", j.id)
 		}
 	}
-	select {
-	case s.queue <- j:
-		s.jobs[id] = j
-		s.order = append(s.order, id)
-		s.queued++
-		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
-		s.metrics.rejected()
-		w.Header().Set("Retry-After", "2")
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "job queue is full"})
-		return
-	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queued++
+	// Cannot block: only this critical section sends, the channel was
+	// sized for QueueCap fresh jobs plus the recovered backlog, and
+	// admission above kept queued below QueueCap.
+	s.queue <- j
+	s.mu.Unlock()
 	s.metrics.submitted()
 	s.metrics.setQueue(s.counts())
 	s.logf("job %s: queued (suite %s)", id, spec.Suite)
@@ -489,6 +713,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if j.requestCancel() {
+		// A queued job's cancel is made durable immediately: without this
+		// record, a crash before a worker dequeues it would resurrect a
+		// job the client was told is canceled. (The worker's own terminal
+		// append for it later is an idempotent duplicate.) A running job is
+		// journaled by its worker when the cancellation unwinds.
+		if j.snapshot(false).Status == StatusQueued {
+			s.journalAppend(journal.OpCanceled, nil, "", j.id)
+		}
 		s.logf("job %s: cancel requested", j.id)
 	}
 	writeJSON(w, http.StatusOK, j.snapshot(false))

@@ -71,10 +71,12 @@ func (f *fakeExec) releaseAll(n int) {
 
 func newTestServer(t *testing.T, cfg Config, fake *fakeExec) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
 	if fake != nil {
-		s.exec = fake.run
+		// Via Config, not assigned after New: recovered jobs reach a worker
+		// (which reads s.exec) before New returns.
+		cfg.execOverride = fake.run
 	}
+	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()

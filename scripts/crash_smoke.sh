@@ -1,0 +1,167 @@
+#!/bin/sh
+# crash-smoke: end-to-end check of the crash-safe service tier.
+#
+# Phase 1 — recovery: start conspec-served with a job journal and a
+# persistent result store, submit a real multi-run suite, kill -9 the
+# daemon mid-run, restart it over the same directories, and assert the job
+# is re-queued with the recovered flag and completes — with every
+# simulation that finished before the crash served from the disk cache
+# (zero lost work, verified through /metrics).
+#
+# Phase 2 — bounded cache: rerun the server with a byte budget far below
+# the workload's footprint and assert the store evicts (counter visible in
+# /metrics) while staying under the cap.
+#
+# Phase 3 — the journal's concurrency under the race detector.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+srv_pid=
+cleanup() {
+    [ -n "$srv_pid" ] && kill -9 "$srv_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "crash-smoke: building binaries"
+$GO build -o "$tmp/bin/" ./cmd/conspec-served ./cmd/conspec-ctl
+
+log="$tmp/served.log"
+start_server() {
+    # start_server <extra flags...>
+    : >"$log"
+    "$tmp/bin/conspec-served" -addr 127.0.0.1:0 -workers 1 -sim-workers 1 "$@" >>"$log" 2>&1 &
+    srv_pid=$!
+    i=0
+    while [ $i -lt 100 ]; do
+        CONSPEC_SERVER=$(sed -n 's#.*listening on \(http://[0-9.:]*\).*#\1#p' "$log" | head -1)
+        if [ -n "$CONSPEC_SERVER" ]; then
+            export CONSPEC_SERVER
+            return 0
+        fi
+        if ! kill -0 "$srv_pid" 2>/dev/null; then
+            echo "crash-smoke: server exited during startup" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "crash-smoke: server never announced its address" >&2
+    cat "$log" >&2
+    exit 1
+}
+
+metric() {
+    "$tmp/bin/conspec-ctl" metrics | sed -n "s/^conspec_served_$1 //p"
+}
+
+assert_metric() {
+    # assert_metric <name> <expected-value>
+    got=$(metric "$1")
+    if [ "$got" != "$2" ]; then
+        echo "crash-smoke: conspec_served_$1 = ${got:-<missing>}, want $2" >&2
+        "$tmp/bin/conspec-ctl" metrics >&2
+        exit 1
+    fi
+}
+
+cache_entries() {
+    find "$tmp/cache" -type f -name '*.json' ! -name meta.json 2>/dev/null |
+        grep -cv /quarantine/ || true
+}
+
+echo "crash-smoke: phase 1 — submit, kill -9 mid-run, recover"
+start_server -cache-dir "$tmp/cache" -data-dir "$tmp/data"
+job=$("$tmp/bin/conspec-ctl" submit -suite lru -warmup 2000 -measure 8000)
+echo "crash-smoke: job $job running; waiting for the first finished simulations"
+
+# Wait until at least two simulations are durably cached, then pull the
+# plug. -sim-workers 1 serializes the suite's ~90 runs, so the job is
+# nowhere near done when the first results land.
+i=0
+while :; do
+    n=$(cache_entries)
+    [ "$n" -ge 2 ] && break
+    if ! kill -0 "$srv_pid" 2>/dev/null; then
+        echo "crash-smoke: server died before any simulation finished" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ $i -gt 600 ]; then
+        echo "crash-smoke: no cached simulations after 30s" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -9 "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+srv_pid=
+pre_crash=$(cache_entries)
+echo "crash-smoke: killed -9 with $pre_crash simulations cached, job unfinished"
+
+echo "crash-smoke: restarting over the same journal and store"
+start_server -cache-dir "$tmp/cache" -data-dir "$tmp/data"
+grep -q "interrupted jobs to recover" "$log" || {
+    echo "crash-smoke: restart log never mentioned recovery" >&2
+    cat "$log" >&2
+    exit 1
+}
+"$tmp/bin/conspec-ctl" list | grep -F "$job" | grep -qF "[recovered]" || {
+    echo "crash-smoke: recovered job not flagged in list output" >&2
+    "$tmp/bin/conspec-ctl" list >&2
+    exit 1
+}
+
+# watch blocks until the recovered job completes (exits non-zero otherwise).
+"$tmp/bin/conspec-ctl" watch "$job" >"$tmp/result.json" 2>"$tmp/watch.log"
+grep -q '"lru"' "$tmp/result.json" || {
+    echo "crash-smoke: recovered job's result has no lru section" >&2
+    exit 1
+}
+"$tmp/bin/conspec-ctl" get "$job" | grep -q '"recovered": true' || {
+    echo "crash-smoke: completed job lost its recovered flag" >&2
+    exit 1
+}
+
+# Zero lost work: everything cached before the kill was served from disk.
+assert_metric jobs_recovered_total 1
+assert_metric jobs_done_total 1
+assert_metric journal_live_jobs 0
+disk_hits=$(metric cache_hits_disk_total)
+if [ "${disk_hits:-0}" -lt "$pre_crash" ]; then
+    echo "crash-smoke: only $disk_hits disk hits after recovery, want >= $pre_crash (simulations were lost)" >&2
+    exit 1
+fi
+kill -TERM "$srv_pid" && wait "$srv_pid" || true
+srv_pid=
+echo "crash-smoke: phase 1 OK (recovered job finished; $disk_hits pre-crash simulations reused)"
+
+echo "crash-smoke: phase 2 — sustained load under a 4KB cache budget"
+budget=4096
+start_server -cache-dir "$tmp/cache2" -data-dir "$tmp/data2" -cache-max-bytes $budget
+for measure in 8000 8800 9600; do
+    "$tmp/bin/conspec-ctl" submit -suite lru -benches astar \
+        -warmup 2000 -measure $measure -watch >/dev/null 2>&1
+done
+evictions=$(metric cache_disk_evictions_total)
+bytes=$(metric cache_disk_bytes)
+if [ "${evictions:-0}" -eq 0 ]; then
+    echo "crash-smoke: cache never evicted under a $budget-byte budget" >&2
+    "$tmp/bin/conspec-ctl" metrics >&2
+    exit 1
+fi
+if [ "${bytes:-0}" -gt $budget ]; then
+    echo "crash-smoke: cache at $bytes bytes, over the $budget-byte budget" >&2
+    exit 1
+fi
+kill -TERM "$srv_pid" && wait "$srv_pid" || true
+srv_pid=
+echo "crash-smoke: phase 2 OK ($evictions evictions, $bytes bytes <= $budget)"
+
+echo "crash-smoke: phase 3 — journal under the race detector"
+$GO test -race -count=1 ./internal/serve/journal
+
+echo "crash-smoke: OK"
