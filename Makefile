@@ -10,9 +10,11 @@
 #                         restart), the crash smoke (kill -9 mid-suite,
 #                         journal recovery, bounded-cache eviction), the
 #                         trace smoke (flight-recorder dump on the deadlock
-#                         reproducer + span-traced suite), and the defense
-#                         smoke matrix (every registered backend vs the
-#                         Spectre V1 PoC).
+#                         reproducer + span-traced suite), the fleet smoke
+#                         (coordinator + 3 leased workers beat standalone,
+#                         survive kill -9 with zero lost results), and the
+#                         defense smoke matrix (every registered backend vs
+#                         the Spectre V1 PoC).
 #   make chaos          — the robustness gate on its own: every fault class
 #                         must be caught, and every mechanism must survive
 #                         a per-cycle invariant audit over the random-program
@@ -30,7 +32,7 @@ GO ?= go
 # the end-to-end Figure 5 evaluation plus the per-component microbenches.
 TRACKED_BENCHES = ^(BenchmarkFig5|BenchmarkSimulatorThroughput|BenchmarkSecMatrixDispatch|BenchmarkSecMatrixHazardCheck|BenchmarkTPBufQuery|BenchmarkCacheAccess)$$
 
-.PHONY: all build fmt vet lint lint-defense test race chaos benchsmoke serve-smoke crash-smoke trace-smoke defense-matrix tier1 bench bench-snapshot bench-compare
+.PHONY: all build fmt vet lint lint-defense test race chaos benchsmoke serve-smoke crash-smoke trace-smoke fleet-smoke defense-matrix tier1 bench bench-snapshot bench-compare
 
 all: tier1
 
@@ -62,7 +64,8 @@ test:
 # the race detector on every PR.
 race:
 	$(GO) test -race ./internal/exp ./internal/obs ./internal/faultinject \
-	    ./internal/serve ./internal/serve/client ./internal/serve/journal
+	    ./internal/serve ./internal/serve/client ./internal/serve/journal \
+	    ./internal/fleet
 
 # The robustness gate: the seeded fault-injection corpus (every fault class
 # must be detected by the invariant auditor, the watchdog, or the attack
@@ -109,7 +112,18 @@ defense-matrix:
 trace-smoke:
 	sh scripts/trace_smoke.sh
 
-tier1: build lint test race chaos benchsmoke serve-smoke crash-smoke trace-smoke defense-matrix
+# The distributed-tier gate: a duplicate-heavy defense batch must finish
+# strictly faster on a coordinator + 3 leased workers (subsets spread
+# across the fleet, duplicate submissions coalesced onto one lease) with
+# a result document identical to the standalone server's; then kill -9 a
+# worker mid-lease and assert the job is re-queued to a survivor and
+# completes with every pre-kill simulation reused from the coordinator's
+# result store (zero lost results, verified via /metrics); then drain a
+# worker through conspec-ctl.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
+
+tier1: build lint test race chaos benchsmoke serve-smoke crash-smoke trace-smoke fleet-smoke defense-matrix
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -7,6 +7,8 @@
 //	conspec-ctl cancel <job-id>
 //	conspec-ctl trace -o suite.trace.json <job-id>
 //	conspec-ctl metrics
+//	conspec-ctl workers
+//	conspec-ctl workers drain w1
 //
 // submit prints the job id (or, with -watch, streams progress to stderr and
 // prints the result JSON to stdout once done, exiting non-zero if the job
@@ -66,6 +68,8 @@ func main() {
 		err = cmdTrace(ctx, c, args)
 	case "metrics":
 		err = cmdMetrics(ctx, c)
+	case "workers":
+		err = cmdWorkers(ctx, c, args)
 	default:
 		fmt.Fprintf(os.Stderr, "conspec-ctl: unknown command %q\n\n", cmd)
 		usage()
@@ -89,6 +93,8 @@ commands:
   cancel <job-id>                            cancel a queued or running job
   trace  [-o FILE] <job-id>                  fetch the job's span trace (Perfetto JSON)
   metrics                                    dump the server's /metrics text
+  workers                                    list fleet workers (coordinator only)
+  workers drain <worker-id>                  stop leasing jobs to a worker
 `)
 	flag.PrintDefaults()
 }
@@ -214,7 +220,47 @@ func cmdList(ctx context.Context, c *client.Client) error {
 		if j.Recovered {
 			recovered = "  [recovered]"
 		}
-		fmt.Printf("%s  %-8s  %-8s  %4s ago%s%s\n", j.ID, j.Spec.Suite, j.Status, age, recovered, suffixIf(j.Error))
+		worker := ""
+		if j.Worker != "" {
+			worker = "  @" + j.Worker
+		}
+		fmt.Printf("%s  %-8s  %-8s  %4s ago%s%s%s\n", j.ID, j.Spec.Suite, j.Status, age, worker, recovered, suffixIf(j.Error))
+	}
+	return nil
+}
+
+// cmdWorkers lists the fleet ("workers") or drains one of its members
+// ("workers drain <id>"). Standalone servers have no fleet and answer 404.
+func cmdWorkers(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) == 2 && args[0] == "drain" {
+		w, err := c.DrainWorker(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s draining (%d active leases to finish)\n", w.ID, w.Active)
+		return nil
+	}
+	if len(args) != 0 {
+		return fmt.Errorf("usage: workers [drain <worker-id>]")
+	}
+	workers, err := c.Workers(ctx)
+	if err != nil {
+		return err
+	}
+	if len(workers) == 0 {
+		fmt.Fprintln(os.Stderr, "no workers")
+		return nil
+	}
+	for _, w := range workers {
+		state := "up"
+		switch {
+		case w.Lost:
+			state = "lost"
+		case w.Draining:
+			state = "draining"
+		}
+		fmt.Printf("%s  %-8s  %d/%d active  done %d  failed %d  last beat %s ago\n",
+			w.ID, state, w.Active, w.Slots, w.Done, w.Failed, time.Since(w.LastBeat).Round(time.Second))
 	}
 	return nil
 }

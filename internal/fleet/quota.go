@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a per-client token-bucket implementing serve.SubmitLimiter:
+// each client gets Burst tokens refilled at Rate tokens/second, and one
+// submission spends one token. It protects the coordinator's submit path
+// from a single client flooding the fleet-wide queue; clients over budget
+// get 429 + Retry-After and the retrying client library backs off.
+type Limiter struct {
+	// Rate is tokens (submissions) per second per client.
+	Rate float64
+	// Burst is the bucket capacity (max submissions in an instant).
+	Burst int
+
+	// now is the clock seam for tests.
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// bucket is one client's token balance at its last refill.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the client table; when exceeded, fully-refilled
+// buckets (idle clients) are dropped — they would be recreated full
+// anyway.
+const maxBuckets = 16384
+
+// NewLimiter returns a limiter allowing rate submissions/second with the
+// given burst per client. Non-positive values are clamped to a minimal
+// working quota (1 token, 1 burst).
+func NewLimiter(rate float64, burst int) *Limiter {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{Rate: rate, Burst: burst, now: time.Now, buckets: make(map[string]*bucket)}
+}
+
+// Allow implements serve.SubmitLimiter: it spends one token for client,
+// or reports how long until one accrues.
+func (l *Limiter) Allow(client string) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= maxBuckets {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: float64(l.Burst), last: now}
+		l.buckets[client] = b
+	}
+	// Refill for the elapsed time, capped at the burst.
+	b.tokens += now.Sub(b.last).Seconds() * l.Rate
+	if b.tokens > float64(l.Burst) {
+		b.tokens = float64(l.Burst)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.Rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// pruneLocked drops idle clients (buckets that have refilled to full) to
+// bound the table. Caller holds l.mu.
+func (l *Limiter) pruneLocked(now time.Time) {
+	for c, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.Rate >= float64(l.Burst) {
+			delete(l.buckets, c)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"conspec/internal/fleet"
 	"conspec/internal/serve"
 )
 
@@ -400,4 +401,20 @@ func (c *Client) WaitDone(ctx context.Context, id string) (serve.JobStatus, erro
 		return serve.JobStatus{}, err
 	}
 	return c.Get(ctx, id)
+}
+
+// Workers lists the fleet's registered workers — coordinator-mode servers
+// only (standalone servers answer 404).
+func (c *Client) Workers(ctx context.Context) ([]fleet.WorkerInfo, error) {
+	var out []fleet.WorkerInfo
+	err := c.do(ctx, http.MethodGet, "/fleet/v1/workers", nil, &out)
+	return out, err
+}
+
+// DrainWorker marks a fleet worker draining: it finishes its active
+// leases and is handed no new ones.
+func (c *Client) DrainWorker(ctx context.Context, id string) (fleet.WorkerInfo, error) {
+	var out fleet.WorkerInfo
+	err := c.do(ctx, http.MethodPost, "/fleet/v1/workers/"+id+"/drain", nil, &out)
+	return out, err
 }

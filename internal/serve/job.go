@@ -129,10 +129,13 @@ type JobStatus struct {
 	// server restart: it was accepted by a previous process and re-queued
 	// on startup. Its simulations re-execute idempotently — runs that
 	// completed before the crash are served from the disk cache.
-	Recovered bool       `json:"recovered,omitempty"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
-	Error     string     `json:"error,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
+	// Worker names the fleet worker the job is (or was) leased to. Empty in
+	// standalone mode, where execution is in-process.
+	Worker   string     `json:"worker,omitempty"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
 	// FailedRuns counts simulations excluded from the result's aggregates
 	// (the result document's errors array has the details).
 	FailedRuns int                 `json:"failed_runs,omitempty"`
@@ -183,6 +186,7 @@ type job struct {
 
 	mu         sync.Mutex
 	status     Status
+	worker     string // fleet worker holding/last holding the lease
 	created    time.Time
 	started    time.Time
 	finished   time.Time
@@ -296,6 +300,14 @@ func (j *job) subscribe() (history []Event, ch chan Event, unsub func()) {
 	}
 }
 
+// setWorker records which fleet worker holds (or held) the job's lease; a
+// re-lease after a worker death overwrites it.
+func (j *job) setWorker(worker string) {
+	j.mu.Lock()
+	j.worker = worker
+	j.mu.Unlock()
+}
+
 // requestCancel cancels a live job: a running job's context is canceled, a
 // queued job is marked so the worker skips it the moment it is dequeued.
 // Terminal jobs are left untouched (returns false).
@@ -361,6 +373,7 @@ func (j *job) snapshot(withResult bool) JobStatus {
 		Status:     j.status,
 		Created:    j.created,
 		Recovered:  j.recovered,
+		Worker:     j.worker,
 		Error:      j.err,
 		FailedRuns: j.failedRuns,
 		Engine:     j.engine,

@@ -49,6 +49,14 @@ const (
 	OpSubmitted Op = "submitted"
 	// OpStarted: a worker began executing the job.
 	OpStarted Op = "started"
+	// OpLeased: the fleet coordinator handed the job to a remote worker;
+	// the record's Worker field names it. Non-terminal: a coordinator crash
+	// re-queues the job exactly like an interrupted local run.
+	OpLeased Op = "leased"
+	// OpRequeued: the leased worker died (missed heartbeats) or abandoned
+	// the lease, and the coordinator put the job back on the queue; Worker
+	// names the worker that lost it.
+	OpRequeued Op = "requeued"
 	// OpDone, OpFailed, OpCanceled: terminal transitions. The job needs no
 	// recovery and is dropped at the next compaction.
 	OpDone     Op = "done"
@@ -72,6 +80,9 @@ type Record struct {
 	Spec json.RawMessage `json:"spec,omitempty"`
 	// Error carries the failure message on OpFailed.
 	Error string `json:"error,omitempty"`
+	// Worker names the fleet worker on OpLeased (who holds the lease) and
+	// OpRequeued (who lost it).
+	Worker string `json:"worker,omitempty"`
 }
 
 // State is one job's reduced state after replay: the latest lifecycle op
@@ -81,6 +92,7 @@ type State struct {
 	Op        Op              `json:"op"`
 	Spec      json.RawMessage `json:"spec,omitempty"`
 	Error     string          `json:"error,omitempty"`
+	Worker    string          `json:"worker,omitempty"`
 	Submitted time.Time       `json:"submitted"`
 	Updated   time.Time       `json:"updated"`
 }
@@ -250,6 +262,7 @@ func (j *Journal) apply(rec Record) {
 		if s := j.live[rec.Job]; s != nil {
 			s.Op = rec.Op
 			s.Error = rec.Error
+			s.Worker = rec.Worker
 			s.Updated = rec.Time
 		}
 	}
@@ -259,13 +272,26 @@ func (j *Journal) apply(rec Record) {
 // returning, so an acknowledged append survives power loss. It triggers
 // compaction when the WAL has outgrown Options.CompactBytes.
 func (j *Journal) Append(op Op, jobID string, spec json.RawMessage, errMsg string) error {
+	return j.append(Record{Op: op, Job: jobID, Spec: spec, Error: errMsg})
+}
+
+// AppendLease records a fleet lease transition (OpLeased/OpRequeued) with
+// the worker holding — or having lost — the lease, with the same
+// durability as Append.
+func (j *Journal) AppendLease(op Op, jobID, worker string) error {
+	return j.append(Record{Op: op, Job: jobID, Worker: worker})
+}
+
+// append assigns the record's seq/time, writes and fsyncs it, and folds it
+// into the live map.
+func (j *Journal) append(rec Record) error {
 	if j == nil {
 		return nil
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.seq++
-	rec := Record{Seq: j.seq, Time: time.Now().UTC(), Op: op, Job: jobID, Spec: spec, Error: errMsg}
+	rec.Seq, rec.Time = j.seq, time.Now().UTC()
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)

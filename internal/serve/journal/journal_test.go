@@ -248,3 +248,51 @@ func TestNilJournalIsNoop(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLeaseOpsRecoverWithWorker(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	// j1 was leased to w1, lost when w1 died, re-leased to w2; j2 finished
+	// on w3 — only j1 needs recovery, and its state names the last worker.
+	j.Append(OpSubmitted, "j1", spec("defenses"), "")
+	j.Append(OpSubmitted, "j2", spec("lru"), "")
+	j.AppendLease(OpLeased, "j1", "w1")
+	j.AppendLease(OpRequeued, "j1", "w1")
+	j.AppendLease(OpLeased, "j1", "w2")
+	j.AppendLease(OpLeased, "j2", "w3")
+	j.Append(OpDone, "j2", nil, "")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recovered := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d jobs, want 1", len(recovered))
+	}
+	st := recovered[0]
+	if st.Job != "j1" || st.Op != OpLeased || st.Worker != "w2" {
+		t.Fatalf("recovered state = %+v, want j1 leased to w2", st)
+	}
+	if string(st.Spec) != string(spec("defenses")) {
+		t.Fatalf("recovered spec = %s", st.Spec)
+	}
+}
+
+func TestLeaseOpsSurviveCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	j.Append(OpSubmitted, "j1", spec("fig5"), "")
+	j.AppendLease(OpLeased, "j1", "w9")
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, recovered := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(recovered) != 1 || recovered[0].Op != OpLeased || recovered[0].Worker != "w9" {
+		t.Fatalf("post-compaction recovery = %+v, want j1 leased to w9", recovered)
+	}
+}

@@ -29,6 +29,7 @@ type serverMetrics struct {
 
 	submittedC *obs.Counter
 	rejectedC  *obs.Counter
+	throttledC *obs.Counter
 	recoveredC *obs.Counter
 	doneC      *obs.Counter
 	failedC    *obs.Counter
@@ -51,6 +52,7 @@ func newServerMetrics() *serverMetrics {
 		reg:            reg,
 		submittedC:     reg.Counter("jobs_submitted_total"),
 		rejectedC:      reg.Counter("jobs_rejected_total"),
+		throttledC:     reg.Counter("jobs_throttled_total"),
 		recoveredC:     reg.Counter("jobs_recovered_total"),
 		doneC:          reg.Counter("jobs_done_total"),
 		failedC:        reg.Counter("jobs_failed_total"),
@@ -74,6 +76,13 @@ func (m *serverMetrics) submitted() {
 func (m *serverMetrics) rejected() {
 	m.mu.Lock()
 	m.rejectedC.Add(1)
+	m.mu.Unlock()
+}
+
+// throttled counts submissions denied by the per-client quota limiter.
+func (m *serverMetrics) throttled() {
+	m.mu.Lock()
+	m.throttledC.Add(1)
 	m.mu.Unlock()
 }
 

@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -78,6 +79,22 @@ type Config struct {
 	// the recovered flag set on their status and re-executes them;
 	// simulations that completed before the crash are served from Cache.
 	Recovered []journal.State
+	// Executor, when non-nil, replaces the in-process job executor: jobs
+	// are handed to it instead of being run on a local exp.Runner. The
+	// fleet coordinator uses this seam to dispatch jobs to remote leased
+	// workers; standalone servers leave it nil and execute locally.
+	Executor Executor
+	// Capacity, when non-nil, reports the service's live execution
+	// capacity in slots (for a fleet: registered, non-draining workers ×
+	// their slots). Retry-After estimates divide the recent job latency by
+	// it instead of by Workers, so backpressure hints stay accurate when
+	// capacity is dynamic. Zero capacity falls back to 1 (the estimate
+	// clamps at 600s anyway).
+	Capacity func() int
+	// Limiter, when non-nil, gates POST /v1/jobs per client with 429 +
+	// Retry-After before admission. Clients are identified by the
+	// X-Conspec-Client header when present, else the request's remote host.
+	Limiter SubmitLimiter
 	// Logf, when non-nil, receives one line per job lifecycle transition.
 	Logf func(format string, args ...any)
 	// SSEKeepalive is how often an idle event stream emits a comment frame
@@ -98,6 +115,38 @@ type Config struct {
 // execFunc runs one job's suites and returns its report, engine stats, and
 // failed-run count.
 type execFunc func(ctx context.Context, j *job, emit func(exp.ProgressEvent)) (*report.Report, exp.Stats, int, error)
+
+// Executor is the pluggable job-execution backend behind Config.Executor.
+// Execute runs one job end to end and returns its result document, engine
+// stats, and failed-run count; a ctx cancellation should unwind with
+// ctx.Err() (the server maps it to the canceled state when the client
+// requested the cancel). Execute is called from the server's worker pool,
+// so implementations bound their own concurrency.
+type Executor interface {
+	Execute(ctx context.Context, job ExecJob) (*report.Report, exp.Stats, int, error)
+}
+
+// ExecJob is what an Executor sees of a job: identity, spec, and callbacks
+// back into the server's event stream and status record.
+type ExecJob struct {
+	ID   string
+	Spec JobSpec
+	// Recovered marks a job replayed from the journal after a restart.
+	Recovered bool
+	// Emit forwards one engine progress event to the job's SSE watchers.
+	Emit func(exp.ProgressEvent)
+	// SetWorker records which fleet worker is executing (or executed) the
+	// job; it shows up as the status document's worker field and in
+	// conspec-ctl list. Safe to call repeatedly (re-leases overwrite).
+	SetWorker func(worker string)
+}
+
+// SubmitLimiter is the per-client admission gate behind Config.Limiter.
+// Allow spends one token for the client and reports whether the submission
+// may proceed; when it may not, retryAfter is the suggested wait.
+type SubmitLimiter interface {
+	Allow(client string) (ok bool, retryAfter time.Duration)
+}
 
 // Server owns the job table, the queue, and the worker pool. Create with
 // New, expose via Handler, stop with Drain (graceful) or Close (forced).
@@ -164,6 +213,17 @@ func New(cfg Config) *Server {
 		tracer:  trace.New(cfg.TraceSpans),
 	}
 	s.exec = s.runSuites
+	if cfg.Executor != nil {
+		s.exec = func(ctx context.Context, j *job, emit func(exp.ProgressEvent)) (*report.Report, exp.Stats, int, error) {
+			return cfg.Executor.Execute(ctx, ExecJob{
+				ID:        j.id,
+				Spec:      j.spec,
+				Recovered: j.recovered,
+				Emit:      emit,
+				SetWorker: j.setWorker,
+			})
+		}
+	}
 	if cfg.execOverride != nil {
 		s.exec = cfg.execOverride
 	}
@@ -374,40 +434,64 @@ func (j *job) canceled() bool {
 // runSuites is the production job executor: one engine per job (per-job
 // progress attribution and stats), the shared persistent cache underneath.
 func (s *Server) runSuites(ctx context.Context, j *job, emit func(exp.ProgressEvent)) (*report.Report, exp.Stats, int, error) {
-	spec := exp.DefaultSpec()
-	if j.spec.Warmup > 0 {
-		spec.Warmup = j.spec.Warmup
-	}
-	if j.spec.Measure > 0 {
-		spec.Measure = j.spec.Measure
-	}
-	spec.MetricsInterval = j.spec.MetricsInterval
-	spec.SelfCheck = j.spec.SelfCheck
-	spec.FlightWindow = j.spec.FlightWindow
+	return ExecuteSpec(ctx, j.spec, ExecOptions{
+		Cache:      s.cfg.Cache,
+		SimWorkers: s.cfg.SimWorkers,
+		RunTimeout: s.cfg.RunTimeout,
+		Trace:      s.tracer,
+		TraceRoot:  j.execSpan,
+	}, emit)
+}
 
-	timeout := s.cfg.RunTimeout
-	if j.spec.RunTimeoutMS > 0 {
-		timeout = time.Duration(j.spec.RunTimeoutMS) * time.Millisecond
+// ExecOptions parameterizes ExecuteSpec: the persistent cache tier, the
+// process-level defaults a spec may narrow, and optional span tracing.
+type ExecOptions struct {
+	Cache      exp.ResultCache
+	SimWorkers int
+	RunTimeout time.Duration
+	Trace      *trace.Tracer
+	TraceRoot  trace.SpanID
+}
+
+// ExecuteSpec runs one JobSpec's suites on a fresh exp.Runner and returns
+// the result document, engine stats, and failed-run count. It is the
+// single execution path shared by the in-process worker pool and the fleet
+// worker (which runs it against a tiered local+remote cache).
+func ExecuteSpec(ctx context.Context, js JobSpec, o ExecOptions, emit func(exp.ProgressEvent)) (*report.Report, exp.Stats, int, error) {
+	spec := exp.DefaultSpec()
+	if js.Warmup > 0 {
+		spec.Warmup = js.Warmup
 	}
-	workers := s.cfg.SimWorkers
-	if j.spec.Workers > 0 && (workers <= 0 || j.spec.Workers < workers) {
-		workers = j.spec.Workers
+	if js.Measure > 0 {
+		spec.Measure = js.Measure
+	}
+	spec.MetricsInterval = js.MetricsInterval
+	spec.SelfCheck = js.SelfCheck
+	spec.FlightWindow = js.FlightWindow
+
+	timeout := o.RunTimeout
+	if js.RunTimeoutMS > 0 {
+		timeout = time.Duration(js.RunTimeoutMS) * time.Millisecond
+	}
+	workers := o.SimWorkers
+	if js.Workers > 0 && (workers <= 0 || js.Workers < workers) {
+		workers = js.Workers
 	}
 	runner := exp.NewRunner(exp.RunnerOptions{
 		Workers:   workers,
 		OnEvent:   emit,
 		Timeout:   timeout,
-		Cache:     s.cfg.Cache,
-		Trace:     s.tracer,
-		TraceRoot: j.execSpan,
+		Cache:     o.Cache,
+		Trace:     o.Trace,
+		TraceRoot: o.TraceRoot,
 	})
-	suites, err := j.spec.suiteIDs() // validated at submit; re-checked for defense
+	suites, err := js.suiteIDs() // validated at submit; re-checked for defense
 	if err != nil {
 		return nil, exp.Stats{}, 0, err
 	}
 	rep := report.New()
 	for _, id := range suites {
-		res, err := runner.RunSuite(ctx, id, exp.Options{Spec: spec, Benches: j.spec.Benches, Defenses: j.spec.Defenses})
+		res, err := runner.RunSuite(ctx, id, exp.Options{Spec: spec, Benches: js.Benches, Defenses: js.Defenses})
 		if err != nil {
 			return nil, runner.Stats(), len(runner.Errors()), err
 		}
@@ -479,15 +563,29 @@ func retryAfterSecs(ahead, workers int, avg time.Duration, fallbackSecs int) int
 	return secs
 }
 
+// capacity returns the slot count Retry-After estimates divide by: the
+// live fleet capacity when Config.Capacity is wired (registered,
+// non-draining workers × slots), else the static local pool width. An
+// empty fleet degrades to 1 — the estimate clamps at 600s regardless.
+func (s *Server) capacity() int {
+	if s.cfg.Capacity != nil {
+		if c := s.cfg.Capacity(); c > 0 {
+			return c
+		}
+		return 1
+	}
+	return s.cfg.Workers
+}
+
 // retryAfterLocked renders the Retry-After value for a rejection while
 // holding s.mu. For a full queue (429) the caller should retry once one
 // job finishes; for draining (503) once the whole backlog flushes.
 func (s *Server) retryAfterLocked(draining bool) string {
 	avg := s.avgLatencyLocked()
 	if draining {
-		return strconv.Itoa(retryAfterSecs(s.queued+s.running, s.cfg.Workers, avg, 10))
+		return strconv.Itoa(retryAfterSecs(s.queued+s.running, s.capacity(), avg, 10))
 	}
-	return strconv.Itoa(retryAfterSecs(1, s.cfg.Workers, avg, 2))
+	return strconv.Itoa(retryAfterSecs(1, s.capacity(), avg, 2))
 }
 
 // newJobID returns a fresh random job id ("j" + 12 hex chars).
@@ -595,7 +693,34 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// clientID identifies the submitting client for quota accounting: the
+// X-Conspec-Client header when the client names itself, else the remote
+// host (every process behind one NAT shares a bucket — the coarse but safe
+// default).
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Conspec-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Limiter != nil {
+		if ok, retryAfter := s.cfg.Limiter.Allow(clientID(r)); !ok {
+			secs := int((retryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			s.metrics.throttled()
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: "client quota exceeded"})
+			return
+		}
+	}
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad job spec: " + err.Error()})
